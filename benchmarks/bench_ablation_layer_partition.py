@@ -1,0 +1,78 @@
+"""Ablation: width partitioning (the paper's choice) vs depth partitioning.
+
+MoDNN-style width splitting is what the paper builds on; the obvious
+alternative is a depth (pipeline) split.  This bench quantifies why the
+paper's choice is right for its goals:
+
+* per-image latency: width wins (devices work in parallel on every layer);
+* steady-state pipelined throughput: the best depth cut lands between HA
+  and HT — but a pipeline *never* survives a device failure, because a
+  weight prefix/suffix cannot produce logits no matter how it is trained;
+* Fluid HT dominates every depth cut outright.
+"""
+
+import pytest
+
+from repro.comm import CommLatencyModel
+from repro.device import jetson_nx_master, jetson_nx_worker
+from repro.distributed import (
+    LayerCut,
+    LayerPartitionModel,
+    SystemThroughputModel,
+)
+
+
+@pytest.fixture(scope="module")
+def both_models(bench_net):
+    master, worker, comm = jetson_nx_master(), jetson_nx_worker(), CommLatencyModel()
+    return (
+        SystemThroughputModel(bench_net, master, worker, comm),
+        LayerPartitionModel(bench_net, master, worker, comm),
+    )
+
+
+def full_comparison(bench_net, tm, lp):
+    ws = bench_net.width_spec
+    spec = ws.full()
+    rows = {
+        "width_ha": tm.ha_throughput(spec).throughput_ips,
+        "width_ht": tm.ht_throughput(ws.find("lower50"), ws.find("upper50")).throughput_ips,
+        "depth_seq_best": lp.best_cut(spec, pipelined=False)[1],
+        "depth_pipe_best": lp.best_cut(spec, pipelined=True)[1],
+    }
+    rows["depth_cuts_seq"] = {
+        c: lp.latency(spec, LayerCut(c, 4)).throughput_ips for c in range(1, 4)
+    }
+    return rows
+
+
+def test_width_vs_depth_partitioning(benchmark, bench_net, both_models):
+    tm, lp = both_models
+    rows = benchmark(full_comparison, bench_net, tm, lp)
+    # Per-image latency: width-parallel beats the best sequential depth cut.
+    assert rows["width_ha"] > rows["depth_seq_best"]
+    # Fluid HT dominates even the best overlapped pipeline.
+    assert rows["width_ht"] > rows["depth_pipe_best"]
+    # Depth pipelining helps but stays in the expected band.
+    assert rows["depth_seq_best"] < rows["depth_pipe_best"] < rows["width_ht"]
+
+
+def test_depth_split_reliability(benchmark, both_models):
+    """No depth cut survives a single failure — structural, not statistical."""
+    _, lp = both_models
+    survives = benchmark(LayerPartitionModel.survives_single_failure)
+    assert survives is False
+
+
+def test_best_depth_cut_minimises_the_bottleneck(benchmark, bench_net, both_models):
+    """The search picks the cut whose slowest stage (incl. the cut transfer)
+    is fastest — perfect balance is impossible with 4 coarse layers, where
+    conv2 alone is ~66% of the FLOPs."""
+    _, lp = both_models
+    spec = bench_net.width_spec.full()
+    cut, best_ips = benchmark(lp.best_cut, spec, True)
+    for other in range(1, 4):
+        ips = lp.pipelined_throughput(spec, LayerCut(other, 4))
+        assert best_ips >= ips - 1e-12
+    # And the chosen bottleneck genuinely beats the sequential execution.
+    assert best_ips > lp.latency(spec, cut).throughput_ips

@@ -1,0 +1,97 @@
+"""Ablation: nested incremental training vs the naive alternatives.
+
+Algorithm 1 shares one weight store between the base family and the upper
+models, reconciling them with iterated fine-tuning.  The two naive
+alternatives it beats are both measured here:
+
+* **Dynamic-only** (no upper phase): the upper slices stay at chance, so
+  the Worker can never survive a Master failure — reliability lost.
+* **Disjoint uppers** (a separate standalone model for the Worker, on its
+  own weights): reliability works, but the Worker must now store its
+  partition rows *plus* the extra model — beyond the paper's device memory
+  budget, and the extra weights contribute nothing to the combined
+  75%/100% models.
+
+Fluid training keeps both properties in one weight store.
+"""
+
+import pytest
+
+from repro.data import SynthMNISTConfig, load_synth_mnist
+from repro.device import subnet_param_count
+from repro.device.profiles import jetson_nx_worker
+from repro.models import build_model
+from repro.training import (
+    IncrementalTrainer,
+    NestedIncrementalTrainer,
+    NestedTrainConfig,
+    TrainConfig,
+)
+from repro.utils import make_rng
+
+DATA = SynthMNISTConfig(num_train=2500, num_test=600, seed=2)
+STAGE = TrainConfig(epochs=1, lr=0.05)
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    train_set, test_set = load_synth_mnist(DATA)
+    results = {}
+
+    # (a) Full Algorithm 1.
+    fluid = build_model("fluid", rng=make_rng(0))
+    NestedIncrementalTrainer().fit(
+        fluid, train_set, NestedTrainConfig(base=STAGE, niters=2), rng=make_rng(1)
+    )
+    results["fluid"] = fluid.evaluate_all(test_set)
+    results["fluid_model"] = fluid
+
+    # (b) Dynamic-only: same budget, no upper phase.
+    dynamic = build_model("dynamic", rng=make_rng(0))
+    trainer = IncrementalTrainer()
+    for i in range(2):
+        trainer.fit(
+            dynamic, train_set, STAGE.scaled_lr(0.5**i), rng=make_rng(1),
+            stage_prefix=f"iter{i}/",
+        )
+    results["dynamic_only"] = dynamic.evaluate_all(test_set)
+    results["dynamic_model"] = dynamic
+    return results
+
+
+def test_fluid_keeps_uppers_and_combined(benchmark, ablation_results):
+    accs = benchmark(lambda: ablation_results["fluid"])
+    assert accs["upper50"] > 0.7
+    assert accs["lower100"] > 0.9
+
+
+def test_dynamic_only_loses_reliability(benchmark, ablation_results):
+    """Without the nested phase the upper slice is useless — the Fig. 1c
+    failure is a training-procedure property, not bad luck."""
+    accs = benchmark(lambda: ablation_results["dynamic_only"])
+    assert accs["upper50"] < 0.3
+    assert accs["lower100"] > 0.9  # combined quality was never the issue
+
+
+def test_disjoint_uppers_break_the_memory_budget(benchmark, ablation_results):
+    """The naive fix for Dynamic's reliability gap — give the Worker its own
+    separate standalone model next to its partition rows — does not fit the
+    device: partition rows (~half the full model) plus a standalone 50%
+    model exceed the worker's capacity, while the Fluid worker's rows ARE
+    its standalone model (zero extra parameters)."""
+    fluid = ablation_results["fluid_model"]
+    net = fluid.net
+
+    def footprints():
+        full = subnet_param_count(net, net.width_spec.full())
+        standalone_50 = subnet_param_count(net, net.width_spec.find("upper50"))
+        partition_rows = full // 2  # the worker's share of the joint model
+        return {
+            "disjoint_worker": partition_rows + standalone_50,
+            "fluid_worker": partition_rows,
+            "capacity": jetson_nx_worker().memory_capacity_params,
+        }
+
+    result = benchmark(footprints)
+    assert result["fluid_worker"] <= result["capacity"]
+    assert result["disjoint_worker"] > result["capacity"]

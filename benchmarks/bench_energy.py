@@ -1,0 +1,68 @@
+"""Extension bench: energy per image across execution modes.
+
+The paper's evaluation stops at throughput and accuracy; the authors'
+research programme (EPSRC "Optimising Resource Management for Embedded
+ML") also optimises energy, so this bench extends Fig. 2 with a
+joules-per-image column and asserts the ordering the model implies:
+Fluid HT is the most energy-efficient way to use two devices, the parked
+Worker of the Dynamic "HT" burns idle power for nothing, and HA pays both
+radio energy and idle gaps.
+"""
+
+import pytest
+
+from repro.comm import CommLatencyModel
+from repro.device import EnergyModel, jetson_nx_master, jetson_nx_power, jetson_nx_worker
+from repro.distributed import MASTER, SystemThroughputModel
+
+
+@pytest.fixture(scope="module")
+def models(bench_net):
+    tm = SystemThroughputModel(
+        bench_net, jetson_nx_master(), jetson_nx_worker(), CommLatencyModel()
+    )
+    return tm, EnergyModel(jetson_nx_power(), jetson_nx_power())
+
+
+def all_modes(bench_net, tm, em):
+    ws = bench_net.width_spec
+    ha = tm.ha_throughput(ws.full())
+    ht = tm.ht_throughput(ws.find("lower50"), ws.find("upper50"))
+    solo = tm.standalone_throughput(MASTER, ws.find("lower50"))
+    return {
+        "fluid_ht": em.joules_per_image(ht),
+        "parked_worker": em.joules_per_image(solo, devices_online=2),
+        "ha": em.joules_per_image(ha),
+        "lone_survivor": em.joules_per_image(solo, devices_online=1),
+    }
+
+
+def test_energy_ordering(benchmark, bench_net, models):
+    tm, em = models
+    joules = benchmark(all_modes, bench_net, tm, em)
+    # Fluid HT beats both alternative two-device deployments...
+    assert joules["fluid_ht"] < joules["parked_worker"] < joules["ha"]
+    # ...and costs about the same per image as a single busy device.
+    assert joules["fluid_ht"] == pytest.approx(joules["lone_survivor"], rel=0.05)
+
+
+def test_ha_energy_breakdown(benchmark, bench_net, models):
+    tm, em = models
+    breakdown = tm.ha_throughput(bench_net.width_spec.full())
+    energy = benchmark(em.for_breakdown, breakdown)
+    assert energy.compute_j > energy.comm_j  # compute-bound, paper regime
+    assert energy.comm_j > 0
+    assert energy.total_j == pytest.approx(
+        energy.compute_j + energy.comm_j + energy.idle_j
+    )
+
+
+def test_efficiency_tracks_throughput_for_ht(benchmark, bench_net, models):
+    """In HT, energy per image is rate-independent (both devices saturated),
+    so efficiency scales exactly with throughput."""
+    tm, em = models
+    ws = bench_net.width_spec
+    ht = tm.ht_throughput(ws.find("lower50"), ws.find("upper50"))
+    eff = benchmark(em.efficiency_images_per_joule, ht)
+    power_total = 2 * jetson_nx_power().active_w  # both devices saturated
+    assert eff == pytest.approx(ht.throughput_ips / power_total, rel=1e-6)

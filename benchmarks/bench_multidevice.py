@@ -1,0 +1,72 @@
+"""Extension bench: scaling the Fluid scheme beyond two devices.
+
+The paper notes its training "is applicable to any number" of
+sub-networks.  This bench evaluates the analytical N-device generalisation:
+HT throughput scales with device count, reliability degrades gracefully
+(losing k of N devices costs exactly the k streams), and the HA all-gather
+becomes relatively more expensive as blocks multiply.
+"""
+
+import pytest
+
+from repro.comm import CommLatencyModel
+from repro.device import jetson_nx_master
+from repro.distributed.multidevice import BlockPartition, MultiDeviceModel
+from repro.slimmable import SlimmableConvNet, WidthSpec
+from repro.utils import make_rng
+
+
+def make_model(num_blocks: int, max_width: int = 16) -> MultiDeviceModel:
+    spec = WidthSpec(
+        max_width=max_width,
+        lower_widths=tuple(
+            max_width * k // num_blocks for k in range(1, num_blocks + 1)
+        ),
+        split=max_width // num_blocks,
+        num_convs=3,
+    )
+    net = SlimmableConvNet(spec, rng=make_rng(0))
+    return MultiDeviceModel(
+        net,
+        [jetson_nx_master()] * num_blocks,
+        CommLatencyModel(),
+        BlockPartition.even(num_blocks, max_width),
+    )
+
+
+def scaling_sweep():
+    results = {}
+    for n in (2, 4, 8):
+        model = make_model(n)
+        results[n] = {
+            "ht": model.ht_throughput(range(n)),
+            "ha": model.ha_throughput(range(n)),
+            "reliability": model.reliability_profile(),
+        }
+    return results
+
+
+def test_ht_scales_with_devices(benchmark):
+    results = benchmark(scaling_sweep)
+    ht = {n: results[n]["ht"] for n in results}
+    # More devices -> more independent streams -> more throughput.
+    assert ht[2] < ht[4] < ht[8]
+
+
+def test_reliability_degrades_gracefully(benchmark):
+    results = benchmark(scaling_sweep)
+    for n, res in results.items():
+        profile = res["reliability"]
+        # Any single failure leaves the system serving.
+        assert profile[1] > 0
+        # Monotone decay to zero only when every device is gone.
+        values = [profile[k] for k in sorted(profile)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert profile[n] == 0.0
+
+
+def test_ha_all_gather_penalty_grows(benchmark):
+    """Relative HA cost grows with block count: the HT/HA ratio widens."""
+    results = benchmark(scaling_sweep)
+    ratios = {n: results[n]["ht"] / results[n]["ha"] for n in results}
+    assert ratios[2] < ratios[4] < ratios[8]

@@ -1,0 +1,70 @@
+"""Benchmarks of the live master/worker protocol (in-process channel).
+
+Times end-to-end HA/HT rounds through the real codec and protocol state
+machine, and asserts the numerical contract: the distributed result matches
+the monolithic forward.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm import InProcChannel
+from repro.device import EmulatedDevice, jetson_nx_master, jetson_nx_worker
+from repro.distributed import MasterRuntime, WorkerServer
+from repro.slimmable import SlimmableConvNet, paper_width_spec
+from repro.utils import make_rng
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    net = SlimmableConvNet(paper_width_spec(), rng=make_rng(0))
+    chan = InProcChannel()
+    server = WorkerServer(
+        EmulatedDevice(jetson_nx_worker(), net), chan.b, partition_split=8
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    master = MasterRuntime(
+        EmulatedDevice(jetson_nx_master(), net), chan.a, partition_split=8
+    )
+    yield master, net
+    master.shutdown_worker()
+    thread.join(timeout=5.0)
+
+
+def test_ha_round(benchmark, protocol):
+    master, net = protocol
+    spec = net.width_spec.full()
+    x = make_rng(1).standard_normal((16, 1, 28, 28))
+    logits = benchmark(master.run_ha, spec, x)
+    view = net.view(spec)
+    view.train(False)
+    np.testing.assert_allclose(logits, view(x), atol=1e-4)
+
+
+def test_ht_round(benchmark, protocol):
+    master, net = protocol
+    ws = net.width_spec
+    x = make_rng(2).standard_normal((16, 1, 28, 28))
+
+    def run():
+        return master.run_ht(ws.find("lower50"), ws.find("upper50"), x, x)
+
+    logits_m, logits_w = benchmark(run)
+    assert logits_m.shape == (16, 10)
+    assert logits_w.shape == (16, 10)
+
+
+def test_remote_subnet_round(benchmark, protocol):
+    master, net = protocol
+    spec = net.width_spec.find("upper50")
+    x = make_rng(3).standard_normal((16, 1, 28, 28))
+    logits = benchmark(master.run_remote, spec, x)
+    assert logits.shape == (16, 10)
+
+
+def test_heartbeat(benchmark, protocol):
+    master, _ = protocol
+    assert benchmark(master.ping_worker)

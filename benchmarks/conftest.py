@@ -1,0 +1,44 @@
+"""Benchmark fixtures.
+
+The trained-model fixture uses the full-fidelity recipe (the one
+EXPERIMENTS.md records); it takes a few minutes once per benchmark session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import SynthMNISTConfig, load_synth_mnist
+from repro.slimmable import SlimmableConvNet, paper_width_spec
+from repro.training import RecipeConfig, TrainConfig, train_family
+from repro.utils import make_rng
+
+FIG2_DATA = SynthMNISTConfig(num_train=4000, num_test=1000, seed=0)
+FIG2_RECIPE = RecipeConfig(
+    stage=TrainConfig(epochs=1, batch_size=64, lr=0.05, momentum=0.9),
+    niters=2,
+)
+FIG2_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def fig2_data():
+    return load_synth_mnist(FIG2_DATA)
+
+
+@pytest.fixture(scope="session")
+def fig2_models(fig2_data):
+    """All three families trained at full fidelity (several minutes, once)."""
+    train_set, _ = fig2_data
+    models = {}
+    for family in ("static", "dynamic", "fluid"):
+        models[family], _ = train_family(
+            family, train_set, rng=make_rng(FIG2_SEED), config=FIG2_RECIPE
+        )
+    return models
+
+
+@pytest.fixture(scope="session")
+def bench_net():
+    """An untrained paper-architecture net (throughput benches need only shape)."""
+    return SlimmableConvNet(paper_width_spec(), rng=make_rng(0))

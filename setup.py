@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The build environment has no ``wheel`` package (offline), so PEP 517
+editable installs fail; this shim lets ``pip install -e .`` use the legacy
+``setup.py develop`` path.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro train --family fluid --out model.npz
+    python -m repro evaluate --family fluid --weights model.npz
+    python -m repro fig2 [--fast]
+    python -m repro simulate --family fluid --fail worker:10 --recover worker:25
+    python -m repro calibration
+
+All commands are deterministic per ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.comm import CommLatencyModel
+from repro.data import SynthMNISTConfig, load_synth_mnist
+from repro.device import (
+    FailureEvent,
+    FailureSchedule,
+    jetson_nx_master,
+    jetson_nx_worker,
+)
+from repro.distributed import SystemThroughputModel
+from repro.experiments import (
+    calibration_points,
+    format_fig2_table,
+    format_shape_checks,
+    run_fig2,
+    shape_checks,
+)
+from repro.models import build_model
+from repro.nn.checkpoint import load_state, save_state
+from repro.runtime import AdaptationPolicy, SystemController
+from repro.slimmable import SlimmableConvNet, paper_width_spec
+from repro.training import RecipeConfig, TrainConfig, train_family
+from repro.utils import make_rng
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train one model family")
+    train.add_argument("--family", choices=("static", "dynamic", "fluid"), required=True)
+    train.add_argument("--out", required=True, help="npz checkpoint output path")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--train-size", type=int, default=4000)
+    train.add_argument("--epochs", type=int, default=1)
+    train.add_argument("--niters", type=int, default=2)
+    train.add_argument("--lr", type=float, default=0.05)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a checkpoint's sub-networks")
+    evaluate.add_argument("--family", choices=("static", "dynamic", "fluid"), required=True)
+    evaluate.add_argument("--weights", required=True)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--test-size", type=int, default=1000)
+
+    fig2 = sub.add_parser("fig2", help="regenerate the paper's Fig. 2")
+    fig2.add_argument("--fast", action="store_true")
+    fig2.add_argument("--seed", type=int, default=7)
+
+    simulate = sub.add_parser("simulate", help="replay a failure timeline")
+    simulate.add_argument("--family", choices=("static", "dynamic", "fluid"), required=True)
+    simulate.add_argument(
+        "--fail", action="append", default=[], metavar="DEVICE:T",
+        help="crash DEVICE at time T seconds (repeatable)",
+    )
+    simulate.add_argument(
+        "--recover", action="append", default=[], metavar="DEVICE:T",
+        help="recover DEVICE at time T seconds (repeatable)",
+    )
+    simulate.add_argument("--horizon", type=float, default=60.0)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("calibration", help="show emulated-testbed calibration vs paper")
+    return parser
+
+
+def _parse_events(fails: List[str], recovers: List[str]) -> FailureSchedule:
+    events = []
+    for kind, entries in (("crash", fails), ("recover", recovers)):
+        for entry in entries:
+            try:
+                device, t = entry.split(":")
+                events.append(FailureEvent(float(t), device, kind))
+            except ValueError as exc:
+                raise SystemExit(f"bad --{kind} spec {entry!r} (expected DEVICE:T)") from exc
+    return FailureSchedule(events)
+
+
+def cmd_train(args) -> int:
+    data = SynthMNISTConfig(num_train=args.train_size, num_test=500, seed=args.seed)
+    train_set, test_set = load_synth_mnist(data)
+    recipe = RecipeConfig(
+        stage=TrainConfig(epochs=args.epochs, lr=args.lr), niters=args.niters
+    )
+    started = time.time()
+    model, history = train_family(
+        args.family, train_set, rng=make_rng(args.seed), config=recipe
+    )
+    save_state(args.out, model.state_dict())
+    print(f"trained {args.family} in {time.time() - started:.0f}s "
+          f"({len(history)} stage-epochs) -> {args.out}")
+    for name, acc in model.evaluate_all(test_set).items():
+        print(f"  {name:10s} {acc:.4f}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    data = SynthMNISTConfig(num_train=10, num_test=args.test_size, seed=args.seed)
+    _, test_set = load_synth_mnist(data)
+    model = build_model(args.family, rng=make_rng(args.seed))
+    model.load_state_dict(load_state(args.weights))
+    print(f"{args.family} checkpoint {args.weights}:")
+    for name, acc in model.evaluate_all(test_set).items():
+        certified = "standalone" if model.is_standalone_certified(name) else "combined-only"
+        print(f"  {name:10s} {acc:.4f}  ({certified})")
+    return 0
+
+
+def cmd_fig2(args) -> int:
+    if args.fast:
+        data = SynthMNISTConfig(num_train=2000, num_test=500, seed=0)
+        recipe = RecipeConfig(stage=TrainConfig(epochs=1, lr=0.05), niters=2)
+    else:
+        data = SynthMNISTConfig(num_train=6000, num_test=1500, seed=0)
+        recipe = RecipeConfig(stage=TrainConfig(epochs=2, lr=0.05), niters=3)
+    train_set, test_set = load_synth_mnist(data)
+    models = {}
+    for family in ("static", "dynamic", "fluid"):
+        started = time.time()
+        models[family], _ = train_family(
+            family, train_set, rng=make_rng(args.seed), config=recipe
+        )
+        print(f"trained {family} in {time.time() - started:.0f}s")
+    result = run_fig2(models, test_set)
+    print()
+    print(format_fig2_table(result))
+    print()
+    print(format_shape_checks(shape_checks(result)))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    schedule = _parse_events(args.fail, args.recover)
+    model = build_model(args.family, rng=make_rng(args.seed))
+    tm = SystemThroughputModel(
+        model.net, jetson_nx_master(), jetson_nx_worker(), CommLatencyModel()
+    )
+    controller = SystemController(AdaptationPolicy(model, tm), tm)
+    timeline = controller.simulate(schedule, horizon_s=args.horizon)
+    for t in timeline.transitions:
+        alive = ",".join(sorted(t.alive)) or "none"
+        print(
+            f"t={t.time_s:6.1f}s alive=[{alive:13s}] {t.plan.describe():50s} "
+            f"{t.throughput.throughput_ips:5.1f} img/s"
+        )
+    print(f"downtime: {timeline.downtime():.1f}s of {args.horizon:.1f}s")
+    return 0
+
+
+def cmd_calibration(_args) -> int:
+    net = SlimmableConvNet(paper_width_spec(), rng=make_rng(0))
+    print(f"{'operating point':24s} {'paper':>7s} {'emulated':>9s} {'error':>7s}")
+    for point in calibration_points(net).values():
+        print(
+            f"{point.name:24s} {point.paper_ips:7.1f} {point.predicted_ips:9.2f} "
+            f"{100 * point.relative_error:6.2f}%"
+        )
+    return 0
+
+
+COMMANDS = {
+    "train": cmd_train,
+    "evaluate": cmd_evaluate,
+    "fig2": cmd_fig2,
+    "simulate": cmd_simulate,
+    "calibration": cmd_calibration,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

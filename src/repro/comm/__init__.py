@@ -1,0 +1,31 @@
+"""Communication substrate: wire codec, protocol messages, transports."""
+
+from repro.comm.latency_model import CommLatencyModel
+from repro.comm.message import Message, MessageKind, error_message, result_message
+from repro.comm.tcp import TcpListener, TcpTransport, connect
+from repro.comm.transport import (
+    InProcChannel,
+    Transport,
+    TransportClosed,
+    TransportError,
+)
+from repro.comm.wire import WireError, decode_frame, encode_frame, frame_payload_bytes
+
+__all__ = [
+    "encode_frame",
+    "decode_frame",
+    "frame_payload_bytes",
+    "WireError",
+    "Message",
+    "MessageKind",
+    "error_message",
+    "result_message",
+    "Transport",
+    "TransportError",
+    "TransportClosed",
+    "InProcChannel",
+    "TcpTransport",
+    "TcpListener",
+    "connect",
+    "CommLatencyModel",
+]

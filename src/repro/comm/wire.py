@@ -1,0 +1,101 @@
+"""Binary wire format for ndarray exchange (pickle-free).
+
+Frame layout::
+
+    MAGIC (4B)  |  header_len (4B, big-endian)  |  header (JSON, utf-8)  |  payload
+
+The header describes each array's dtype/shape plus arbitrary JSON metadata;
+the payload is the arrays' raw bytes concatenated in header order.  Arrays
+are transmitted little-endian; dtypes are restricted to an allowlist so a
+malicious peer cannot smuggle object arrays.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+MAGIC = b"FDN1"
+_HEADER_STRUCT = struct.Struct(">I")
+MAX_HEADER_BYTES = 1 << 20
+MAX_PAYLOAD_BYTES = 1 << 30
+
+_ALLOWED_DTYPES = {"float32", "float64", "int64", "int32", "uint8", "bool"}
+
+
+class WireError(ValueError):
+    """Raised on malformed frames."""
+
+
+def encode_frame(arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -> bytes:
+    """Serialise named arrays + JSON-safe metadata into one frame."""
+    entries = []
+    blobs = []
+    for name, arr in arrays.items():
+        arr = np.asarray(arr)
+        shape = arr.shape  # before ascontiguousarray, which promotes 0-d to (1,)
+        dtype = arr.dtype.name
+        if dtype not in _ALLOWED_DTYPES:
+            raise WireError(f"dtype {dtype!r} not allowed on the wire (array {name!r})")
+        arr = np.ascontiguousarray(arr)
+        blob = arr.astype(arr.dtype.newbyteorder("<"), copy=False).tobytes()
+        entries.append({"name": name, "dtype": dtype, "shape": list(shape)})
+        blobs.append(blob)
+    header = json.dumps({"meta": meta, "arrays": entries}).encode("utf-8")
+    if len(header) > MAX_HEADER_BYTES:
+        raise WireError(f"header too large ({len(header)} bytes)")
+    payload = b"".join(blobs)
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise WireError(f"payload too large ({len(payload)} bytes)")
+    return MAGIC + _HEADER_STRUCT.pack(len(header)) + header + payload
+
+
+def decode_frame(frame: bytes) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Parse a frame produced by :func:`encode_frame`."""
+    if len(frame) < len(MAGIC) + _HEADER_STRUCT.size:
+        raise WireError("frame truncated before header")
+    if frame[: len(MAGIC)] != MAGIC:
+        raise WireError("bad magic")
+    (header_len,) = _HEADER_STRUCT.unpack_from(frame, len(MAGIC))
+    if header_len > MAX_HEADER_BYTES:
+        raise WireError(f"declared header length {header_len} exceeds limit")
+    header_start = len(MAGIC) + _HEADER_STRUCT.size
+    header_end = header_start + header_len
+    if len(frame) < header_end:
+        raise WireError("frame truncated inside header")
+    try:
+        header = json.loads(frame[header_start:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"bad header: {exc}") from exc
+    if not isinstance(header, dict) or "arrays" not in header or "meta" not in header:
+        raise WireError("header missing required keys")
+
+    arrays: Dict[str, np.ndarray] = {}
+    offset = header_end
+    for entry in header["arrays"]:
+        try:
+            name, dtype, shape = entry["name"], entry["dtype"], tuple(entry["shape"])
+        except (KeyError, TypeError) as exc:
+            raise WireError(f"bad array entry: {entry!r}") from exc
+        if dtype not in _ALLOWED_DTYPES:
+            raise WireError(f"dtype {dtype!r} not allowed on the wire")
+        if any((not isinstance(d, int)) or d < 0 for d in shape):
+            raise WireError(f"bad shape {shape!r}")
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * np.dtype(dtype).itemsize
+        if offset + nbytes > len(frame):
+            raise WireError(f"frame truncated inside array {name!r}")
+        flat = np.frombuffer(frame, dtype=np.dtype(dtype).newbyteorder("<"), count=count, offset=offset)
+        arrays[name] = flat.reshape(shape).astype(dtype)
+        offset += nbytes
+    if offset != len(frame):
+        raise WireError(f"{len(frame) - offset} trailing bytes after last array")
+    return arrays, header["meta"]
+
+
+def frame_payload_bytes(arrays: Dict[str, np.ndarray]) -> int:
+    """Payload size an array dict would occupy on the wire."""
+    return int(sum(np.ascontiguousarray(a).nbytes for a in arrays.values()))

@@ -1,0 +1,41 @@
+"""Datasets and loaders (synthetic MNIST substitute — see DESIGN.md §2)."""
+
+from repro.data.dataset import ArrayDataset
+from repro.data.io import load_dataset, load_synth_mnist_cached, save_dataset
+from repro.data.loader import DataLoader
+from repro.data.synth_mnist import (
+    IMAGE_SIZE,
+    SynthMNISTConfig,
+    generate_images,
+    load_synth_mnist,
+    render_digit,
+)
+from repro.data.transforms import (
+    AdditiveNoise,
+    Compose,
+    ContrastJitter,
+    ElasticDistortion,
+    GaussianBlur,
+    RandomAffine,
+    default_augmentation,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "save_dataset",
+    "load_dataset",
+    "load_synth_mnist_cached",
+    "SynthMNISTConfig",
+    "load_synth_mnist",
+    "generate_images",
+    "render_digit",
+    "IMAGE_SIZE",
+    "Compose",
+    "RandomAffine",
+    "GaussianBlur",
+    "AdditiveNoise",
+    "ElasticDistortion",
+    "ContrastJitter",
+    "default_augmentation",
+]

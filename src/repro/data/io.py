@@ -1,0 +1,59 @@
+"""Dataset persistence and caching.
+
+Synthetic MNIST generation costs a few seconds per run; experiment scripts
+that iterate on training parameters cache the generated arrays as npz
+archives keyed by the generation config, so a config is rendered once per
+machine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.data.synth_mnist import SynthMNISTConfig, load_synth_mnist
+
+
+def save_dataset(path: str, dataset: ArrayDataset) -> None:
+    """Write a dataset to an npz archive (no pickle)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, images=dataset.images, labels=dataset.labels)
+
+
+def load_dataset(path: str) -> ArrayDataset:
+    with np.load(path, allow_pickle=False) as archive:
+        return ArrayDataset(archive["images"].copy(), archive["labels"].copy())
+
+
+def _cache_name(config: SynthMNISTConfig, split: str) -> str:
+    return (
+        f"synth_mnist-{split}-n{config.num_train}x{config.num_test}"
+        f"-s{config.seed}-i{config.image_size}.npz"
+    )
+
+
+def load_synth_mnist_cached(
+    config: Optional[SynthMNISTConfig] = None,
+    cache_dir: Optional[str] = None,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Like :func:`load_synth_mnist`, but cached on disk per config.
+
+    ``cache_dir`` defaults to ``~/.cache/repro-fluid-dydnn``; set it
+    explicitly in tests.
+    """
+    cfg = config or SynthMNISTConfig()
+    cache_dir = cache_dir or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-fluid-dydnn"
+    )
+    train_path = os.path.join(cache_dir, _cache_name(cfg, "train"))
+    test_path = os.path.join(cache_dir, _cache_name(cfg, "test"))
+    if os.path.exists(train_path) and os.path.exists(test_path):
+        return load_dataset(train_path), load_dataset(test_path)
+    train, test = load_synth_mnist(cfg)
+    save_dataset(train_path, train)
+    save_dataset(test_path, test)
+    return train, test

@@ -1,0 +1,52 @@
+"""Edge-device emulation: profiles, cost model, failure injection."""
+
+from repro.device.cost import (
+    LayerCost,
+    WIRE_BYTES_PER_VALUE,
+    input_image_bytes,
+    partitioned_device_costs,
+    subnet_flops,
+    subnet_layer_costs,
+    subnet_num_layers,
+    subnet_param_count,
+)
+from repro.device.emulated import DeviceFailed, EmulatedDevice
+from repro.device.energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    PowerProfile,
+    jetson_nx_power,
+)
+from repro.device.failure import (
+    CrashCounter,
+    FailureEvent,
+    FailureSchedule,
+    no_failures,
+    single_failure,
+)
+from repro.device.profiles import DeviceProfile, jetson_nx_master, jetson_nx_worker
+
+__all__ = [
+    "DeviceProfile",
+    "jetson_nx_master",
+    "jetson_nx_worker",
+    "LayerCost",
+    "WIRE_BYTES_PER_VALUE",
+    "subnet_layer_costs",
+    "subnet_flops",
+    "subnet_num_layers",
+    "subnet_param_count",
+    "partitioned_device_costs",
+    "input_image_bytes",
+    "EmulatedDevice",
+    "DeviceFailed",
+    "PowerProfile",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "jetson_nx_power",
+    "FailureEvent",
+    "FailureSchedule",
+    "single_failure",
+    "no_failures",
+    "CrashCounter",
+]

@@ -1,0 +1,140 @@
+"""Per-layer cost accounting for sub-networks and partitions.
+
+Everything the latency and throughput models need to know about a
+sub-network's execution: per-layer FLOPs, layer count, and the activation
+tensor sizes that cross the device boundary in partitioned (High-Accuracy)
+mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.nn import functional as F
+from repro.slimmable.slim_net import SlimmableConvNet
+from repro.slimmable.spec import SubNetSpec
+
+WIRE_BYTES_PER_VALUE = 4  # activations cross the wire as float32
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost facts for one layer of an activated sub-network."""
+
+    name: str
+    flops: int
+    out_channels: int
+    out_spatial: int  # H*W of the layer output after pooling (1 for FC)
+
+    @property
+    def activation_values(self) -> int:
+        return self.out_channels * self.out_spatial
+
+    @property
+    def activation_bytes(self) -> int:
+        return self.activation_values * WIRE_BYTES_PER_VALUE
+
+
+def subnet_layer_costs(net: SlimmableConvNet, spec: SubNetSpec) -> List[LayerCost]:
+    """Per-layer costs of running ``spec`` end-to-end on one device."""
+    net.set_active(spec)
+    costs: List[LayerCost] = []
+    size = net.image_size
+    for i, conv in enumerate(net.convs):
+        flops = conv.flops_per_image(size, size)
+        if i in net.pools:
+            size //= 2
+        costs.append(
+            LayerCost(
+                name=f"conv{i}",
+                flops=flops,
+                out_channels=conv.out_slice.width,
+                out_spatial=size * size,
+            )
+        )
+    costs.append(
+        LayerCost(
+            name="fc",
+            flops=net.classifier.flops_per_image(),
+            out_channels=net.classifier.out_features,
+            out_spatial=1,
+        )
+    )
+    return costs
+
+
+def subnet_flops(net: SlimmableConvNet, spec: SubNetSpec) -> int:
+    return sum(c.flops for c in subnet_layer_costs(net, spec))
+
+
+def subnet_num_layers(net: SlimmableConvNet) -> int:
+    """Executable layer count (convs + classifier) for overhead accounting."""
+    return len(net.convs) + 1
+
+
+def partitioned_device_costs(
+    net: SlimmableConvNet, spec: SubNetSpec, split: int
+) -> Tuple[List[LayerCost], List[LayerCost], List[int]]:
+    """Costs of width-partitioned (High-Accuracy) execution of ``spec``.
+
+    The Master computes output channels ``[0, split)`` of every conv and the
+    lower feature half of the classifier; the Worker computes channels
+    ``[split, stop)`` and the upper half.  Both read the *full* input
+    activation of each layer, which is what forces the per-layer exchange.
+
+    Returns ``(master_costs, worker_costs, exchange_bytes)`` where
+    ``exchange_bytes[i]`` is the number of bytes device *i*'s half of layer
+    *i*'s output occupies on the wire (each device sends its half and
+    receives the other's; the final entry is the Worker's partial logits).
+    """
+    full = spec.conv_slices[0]
+    if not (full.start == 0 and split < full.stop):
+        raise ValueError(
+            f"partition split {split} must fall inside the combined slice {full}"
+        )
+    total = subnet_layer_costs(net, spec)
+    master: List[LayerCost] = []
+    worker: List[LayerCost] = []
+    exchange: List[int] = []
+    for cost in total:
+        if cost.name == "fc":
+            # Each side multiplies its half of the features; the Worker ships
+            # its partial logits (out_channels values) to the Master.
+            half_flops = cost.flops // 2
+            master.append(LayerCost("fc", half_flops, cost.out_channels, 1))
+            worker.append(LayerCost("fc", cost.flops - half_flops, cost.out_channels, 1))
+            exchange.append(cost.out_channels * WIRE_BYTES_PER_VALUE)
+        else:
+            out_low = split
+            out_high = cost.out_channels - split
+            if out_high <= 0:
+                raise ValueError(
+                    f"layer {cost.name} has {cost.out_channels} channels; "
+                    f"cannot split at {split}"
+                )
+            flops_low = cost.flops * out_low // cost.out_channels
+            master.append(LayerCost(cost.name, flops_low, out_low, cost.out_spatial))
+            worker.append(
+                LayerCost(cost.name, cost.flops - flops_low, out_high, cost.out_spatial)
+            )
+            # All-gather: the larger half bounds the (full-duplex) exchange.
+            half_values = max(out_low, out_high) * cost.out_spatial
+            exchange.append(half_values * WIRE_BYTES_PER_VALUE)
+    return master, worker, exchange
+
+
+def subnet_param_count(net: SlimmableConvNet, spec: SubNetSpec) -> int:
+    """Parameter count of a standalone sub-network (for memory-capacity checks)."""
+    net.set_active(spec)
+    total = 0
+    for conv, s in zip(net.convs, spec.conv_slices):
+        total += s.width * conv.in_slice.width * conv.kernel_size**2 + s.width
+    feat = net.feature_slice_for(spec.last_slice)
+    total += net.classifier.out_features * (feat.width + 1)
+    return total
+
+
+def input_image_bytes(net: SlimmableConvNet) -> int:
+    """Wire size of one input image."""
+    return net.in_channels * net.image_size**2 * WIRE_BYTES_PER_VALUE

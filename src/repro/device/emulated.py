@@ -1,0 +1,92 @@
+"""A live emulated edge device.
+
+Wraps a model residency (which weight rows the device holds), a
+:class:`~repro.device.profiles.DeviceProfile` for latency accounting, and
+failure triggers.  The distributed runtime talks to devices only through
+:meth:`execute` — from the outside an :class:`EmulatedDevice` behaves like
+a board that computes, takes time, and sometimes dies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.device.cost import subnet_flops, subnet_num_layers
+from repro.device.failure import CrashCounter
+from repro.device.profiles import DeviceProfile
+from repro.slimmable.slim_net import SlimmableConvNet
+from repro.slimmable.spec import SubNetSpec
+
+
+class DeviceFailed(RuntimeError):
+    """Raised when an emulated device is asked to work after crashing."""
+
+
+class EmulatedDevice:
+    """One emulated edge device hosting (part of) a slimmable model."""
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        net: SlimmableConvNet,
+        *,
+        crash_counter: Optional[CrashCounter] = None,
+    ) -> None:
+        self.profile = profile
+        self.net = net
+        self.crash_counter = crash_counter or CrashCounter()
+        self.alive = True
+        self.busy_time_s = 0.0
+        self.requests_served = 0
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def crash(self) -> None:
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise DeviceFailed(f"device {self.name!r} is down")
+        if self.crash_counter.record_request():
+            self.alive = False
+            raise DeviceFailed(f"device {self.name!r} crashed mid-stream")
+
+    def can_host(self, spec: SubNetSpec) -> bool:
+        """Whether the sub-network's parameter count fits device memory."""
+        self.net.set_active(spec)
+        resident = 0
+        for conv, s in zip(self.net.convs, spec.conv_slices):
+            in_width = conv.in_slice.width
+            resident += s.width * in_width * conv.kernel_size**2 + s.width
+        feat = self.net.feature_slice_for(spec.last_slice)
+        resident += self.net.classifier.out_features * (feat.width + 1)
+        return resident <= self.profile.memory_capacity_params
+
+    def execute_subnet(self, spec: SubNetSpec, x: np.ndarray) -> np.ndarray:
+        """Run a standalone sub-network on a batch; accounts emulated time."""
+        self._check_alive()
+        view = self.net.view(spec)
+        view.train(False)
+        logits = view(x)
+        flops = subnet_flops(self.net, spec) * x.shape[0]
+        layers = subnet_num_layers(self.net) * x.shape[0]
+        self.busy_time_s += self.profile.compute_time(flops, layers)
+        self.requests_served += 1
+        return logits
+
+    def estimated_latency(self, spec: SubNetSpec) -> float:
+        """Per-image latency of a standalone sub-network on this device."""
+        return self.profile.compute_time(
+            subnet_flops(self.net, spec), subnet_num_layers(self.net)
+        )
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "DOWN"
+        return f"EmulatedDevice({self.name}, {state}, served={self.requests_served})"

@@ -1,0 +1,120 @@
+"""Energy model for the emulated edge devices.
+
+The paper evaluates throughput and accuracy; energy is the third axis its
+research programme optimises (the authors' EPSRC project is on resource
+management for embedded ML), so the library models it as an extension: a
+classic three-state power model
+
+    E(inference) = P_active * t_compute + P_comm * t_comm + P_idle * t_idle
+
+with Jetson-Xavier-NX-class constants.  The energy benches use it to show
+the modes' efficiency ordering (HT amortises the always-on baseline across
+two streams; HA pays radio power for every layer exchange).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.distributed.throughput import ThroughputBreakdown
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Power draw (watts) of one device in each state."""
+
+    name: str
+    idle_w: float
+    active_w: float
+    comm_w: float
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.active_w <= 0 or self.comm_w < 0:
+            raise ValueError("power values must be non-negative (active positive)")
+        if self.active_w < self.idle_w:
+            raise ValueError("active power cannot be below idle power")
+
+
+def jetson_nx_power() -> PowerProfile:
+    """Jetson Xavier NX CPU-mode class constants (10W envelope)."""
+    return PowerProfile(name="jetson-nx", idle_w=2.5, active_w=7.5, comm_w=1.2)
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy accounting for one image through a deployment."""
+
+    mode: str
+    compute_j: float
+    comm_j: float
+    idle_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.comm_j + self.idle_j
+
+    def joules_per_image(self) -> float:
+        return self.total_j
+
+
+class EnergyModel:
+    """Energy per image for each execution mode, on top of the latency model.
+
+    Both devices are powered whenever they are online; a device that is not
+    computing during the system's per-image window burns idle power for the
+    remainder — which is exactly why parking the Worker (the Dynamic DNN's
+    "HT") is less efficient than using it (the Fluid HT mode).
+    """
+
+    def __init__(self, master: PowerProfile, worker: PowerProfile) -> None:
+        self.power: Dict[str, PowerProfile] = {"master": master, "worker": worker}
+
+    def for_breakdown(
+        self, breakdown: ThroughputBreakdown, devices_online: int = 2
+    ) -> EnergyBreakdown:
+        """Energy of one *system image* under a throughput breakdown.
+
+        Args:
+            breakdown: latency components from the throughput model.
+            devices_online: how many devices are powered (a dead device
+                draws nothing).
+        """
+        if breakdown.throughput_ips == 0:
+            return EnergyBreakdown(breakdown.mode, 0.0, 0.0, 0.0)
+        window = breakdown.latency_s
+        p_m, p_w = self.power["master"], self.power["worker"]
+
+        if breakdown.mode == "HT":
+            # Both devices stream independently; per system-image window we
+            # normalise to the combined rate: each device contributes its
+            # active power for its share of the window.
+            compute = (p_m.active_w + p_w.active_w) * window
+            # Per-image window at the combined rate — no idle gap, no comm.
+            return EnergyBreakdown("HT", compute, 0.0, 0.0)
+
+        compute = p_m.active_w * breakdown.compute_master_s
+        idle = p_m.idle_w * max(0.0, window - breakdown.compute_master_s)
+        comm = 0.0
+        if devices_online == 2:
+            compute += p_w.active_w * breakdown.compute_worker_s
+            idle += p_w.idle_w * max(0.0, window - breakdown.compute_worker_s)
+            comm = (p_m.comm_w + p_w.comm_w) * breakdown.comm_s
+        return EnergyBreakdown(breakdown.mode, compute, comm, idle)
+
+    def joules_per_image(
+        self, breakdown: ThroughputBreakdown, devices_online: int = 2
+    ) -> float:
+        """Energy per image = power over one system-image window.
+
+        ``latency_s`` is already the per-image window at the system rate
+        (for HT that is the *combined* rate), so the window energy is the
+        per-image energy in every mode.
+        """
+        return self.for_breakdown(breakdown, devices_online).total_j
+
+    def efficiency_images_per_joule(
+        self, breakdown: ThroughputBreakdown, devices_online: int = 2
+    ) -> float:
+        jpi = self.joules_per_image(breakdown, devices_online)
+        return 1.0 / jpi if jpi > 0 else 0.0

@@ -1,0 +1,89 @@
+"""Failure injection.
+
+Physical devices "could completely fail due to factors such as power
+outages and hardware/software failures" (paper §I).  A
+:class:`FailureSchedule` scripts such events for the emulated cluster and
+the analytical scenarios; the runtime monitor observes only their effect
+(missed heartbeats / dead sockets), never the schedule itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A scripted device failure (or recovery)."""
+
+    time_s: float
+    device: str
+    kind: str = "crash"  # "crash" | "recover"
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("event time must be non-negative")
+        if self.kind not in ("crash", "recover"):
+            raise ValueError(f"unknown failure kind {self.kind!r}")
+
+
+@dataclass
+class FailureSchedule:
+    """Ordered failure/recovery script consulted by emulated devices."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.time_s)
+
+    def add(self, event: FailureEvent) -> None:
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.time_s)
+
+    def is_alive(self, device: str, now_s: float) -> bool:
+        """Device liveness at time ``now_s`` after replaying the script."""
+        alive = True
+        for event in self.events:
+            if event.time_s > now_s:
+                break
+            if event.device == device:
+                alive = event.kind == "recover"
+        return alive
+
+    def crash_time(self, device: str) -> Optional[float]:
+        """First crash time for ``device``, or None if it never crashes."""
+        for event in self.events:
+            if event.device == device and event.kind == "crash":
+                return event.time_s
+        return None
+
+
+def single_failure(device: str, at_s: float = 0.0) -> FailureSchedule:
+    """Schedule in which exactly one device crashes and never recovers."""
+    return FailureSchedule([FailureEvent(at_s, device, "crash")])
+
+
+def no_failures() -> FailureSchedule:
+    return FailureSchedule([])
+
+
+class CrashCounter:
+    """Crash-on-Nth-request trigger for the live emulated device.
+
+    Used by integration tests to make a worker die mid-stream
+    deterministically, without wall-clock dependence.
+    """
+
+    def __init__(self, crash_after_requests: Optional[int] = None) -> None:
+        if crash_after_requests is not None and crash_after_requests < 0:
+            raise ValueError("crash_after_requests must be non-negative")
+        self.crash_after_requests = crash_after_requests
+        self.requests_seen = 0
+
+    def record_request(self) -> bool:
+        """Count a request; returns True if the device should now crash."""
+        self.requests_seen += 1
+        if self.crash_after_requests is None:
+            return False
+        return self.requests_seen > self.crash_after_requests

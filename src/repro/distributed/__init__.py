@@ -1,0 +1,54 @@
+"""Distributed inference: partitioning, protocol, modes, throughput model."""
+
+from repro.distributed.cluster import LocalCluster, WorkerProcess
+from repro.distributed.layer_partition import LayerCut, LayerPartitionModel
+from repro.distributed.master import EmulatedTimeLedger, MasterRuntime, WorkerUnavailable
+from repro.distributed.multidevice import BlockPartition, MultiDeviceModel
+from repro.distributed.modes import ALL_SCENARIOS, ExecutionMode, Scenario
+from repro.distributed.partition import MASTER, ROLES, WORKER, WidthPartition
+from repro.distributed.partitioned import (
+    conv_block_half,
+    fc_partial,
+    partitioned_forward_reference,
+)
+from repro.distributed.plan import (
+    Assignment,
+    DeploymentPlan,
+    failed_plan,
+    ha_plan,
+    ht_plan,
+    solo_plan,
+)
+from repro.distributed.throughput import SystemThroughputModel, ThroughputBreakdown
+from repro.distributed.worker import WorkerServer
+
+__all__ = [
+    "ExecutionMode",
+    "Scenario",
+    "ALL_SCENARIOS",
+    "WidthPartition",
+    "MASTER",
+    "WORKER",
+    "ROLES",
+    "conv_block_half",
+    "fc_partial",
+    "partitioned_forward_reference",
+    "Assignment",
+    "DeploymentPlan",
+    "failed_plan",
+    "solo_plan",
+    "ht_plan",
+    "ha_plan",
+    "SystemThroughputModel",
+    "LayerCut",
+    "LayerPartitionModel",
+    "BlockPartition",
+    "MultiDeviceModel",
+    "ThroughputBreakdown",
+    "MasterRuntime",
+    "WorkerServer",
+    "WorkerUnavailable",
+    "EmulatedTimeLedger",
+    "LocalCluster",
+    "WorkerProcess",
+]

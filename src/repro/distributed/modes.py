@@ -1,0 +1,39 @@
+"""Execution modes and availability scenarios (paper §II-B / Fig. 2)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ExecutionMode(Enum):
+    """How the system is currently running inference."""
+
+    HIGH_ACCURACY = "HA"    # devices jointly run the combined model on the same input
+    HIGH_THROUGHPUT = "HT"  # devices run independent sub-networks on different inputs
+    SOLO = "solo"           # one device runs a standalone sub-network
+    FAILED = "failed"       # no certified deployment exists
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Scenario(Enum):
+    """Device availability scenarios evaluated in Fig. 2."""
+
+    BOTH = "master_and_worker"
+    ONLY_MASTER = "only_master"
+    ONLY_WORKER = "only_worker"
+
+    @property
+    def alive(self) -> frozenset:
+        return {
+            Scenario.BOTH: frozenset({"master", "worker"}),
+            Scenario.ONLY_MASTER: frozenset({"master"}),
+            Scenario.ONLY_WORKER: frozenset({"worker"}),
+        }[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+ALL_SCENARIOS = (Scenario.BOTH, Scenario.ONLY_MASTER, Scenario.ONLY_WORKER)

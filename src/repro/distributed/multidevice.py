@@ -1,0 +1,176 @@
+"""N-device generalisation of the Fluid scheme.
+
+The paper evaluates two devices but states its training algorithm "is
+applicable to any number" of sub-networks.  This module generalises the
+width partition to ``N`` channel *blocks*, one per device:
+
+* block ``k`` holds output-channel rows ``[b_k, b_{k+1})`` of every layer;
+* a Fluid-N model certifies each block's slice standalone, so any single
+  surviving device keeps serving;
+* HT mode runs all alive blocks as independent streams (rates add);
+* HA mode width-partitions the combined model over the alive devices with
+  an all-gather per layer (the exchange grows with the block count).
+
+The analytical model mirrors :class:`SystemThroughputModel`; training for
+block families reuses the nested incremental machinery (each block is an
+"upper"-style slice with its own revival pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.comm.latency_model import CommLatencyModel
+from repro.device.cost import subnet_layer_costs, subnet_num_layers
+from repro.device.profiles import DeviceProfile
+from repro.slimmable.slim_net import SlimmableConvNet
+from repro.slimmable.spec import ChannelSlice, SubNetSpec, uniform_spec
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Channel blocks ``[boundaries[k], boundaries[k+1])`` per device."""
+
+    boundaries: Tuple[int, ...]  # strictly increasing, starts at 0
+
+    def __post_init__(self) -> None:
+        b = self.boundaries
+        if len(b) < 3:
+            raise ValueError("need at least two blocks (three boundaries)")
+        if b[0] != 0:
+            raise ValueError("boundaries must start at 0")
+        if list(b) != sorted(set(b)):
+            raise ValueError("boundaries must be strictly increasing")
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.boundaries) - 1
+
+    @property
+    def max_width(self) -> int:
+        return self.boundaries[-1]
+
+    def block_slice(self, index: int) -> ChannelSlice:
+        if not 0 <= index < self.num_blocks:
+            raise ValueError(f"block index {index} out of range")
+        return ChannelSlice(self.boundaries[index], self.boundaries[index + 1])
+
+    def block_spec(self, index: int, num_convs: int) -> SubNetSpec:
+        s = self.block_slice(index)
+        return uniform_spec(f"block{index}", s.start, s.stop, num_convs)
+
+    def combined_spec(self, num_convs: int) -> SubNetSpec:
+        return uniform_spec("combined", 0, self.max_width, num_convs)
+
+    @classmethod
+    def even(cls, num_blocks: int, max_width: int) -> "BlockPartition":
+        if num_blocks <= 1:
+            raise ValueError("need at least two blocks")
+        if max_width % num_blocks:
+            raise ValueError(f"{max_width} channels do not split into {num_blocks} blocks")
+        step = max_width // num_blocks
+        return cls(tuple(range(0, max_width + 1, step)))
+
+
+class MultiDeviceModel:
+    """Analytical throughput of an N-device Fluid deployment."""
+
+    def __init__(
+        self,
+        net: SlimmableConvNet,
+        profiles: Sequence[DeviceProfile],
+        comm: CommLatencyModel,
+        partition: BlockPartition,
+    ) -> None:
+        if len(profiles) != partition.num_blocks:
+            raise ValueError(
+                f"{len(profiles)} devices for {partition.num_blocks} blocks"
+            )
+        if partition.max_width != net.width_spec.max_width:
+            raise ValueError("partition width does not match the network")
+        self.net = net
+        self.profiles = list(profiles)
+        self.comm = comm
+        self.partition = partition
+
+    # -- standalone / HT -------------------------------------------------------
+
+    def block_latency(self, device_index: int) -> float:
+        """Per-image latency of device ``i`` running its own block."""
+        spec = self.partition.block_spec(device_index, len(self.net.convs))
+        flops = sum(c.flops for c in subnet_layer_costs(self.net, spec))
+        return self.profiles[device_index].compute_time(
+            flops, subnet_num_layers(self.net)
+        )
+
+    def ht_throughput(self, alive: Sequence[int]) -> float:
+        """Independent streams on every alive device (rates add)."""
+        alive = self._check_alive(alive)
+        return sum(1.0 / self.block_latency(i) for i in alive)
+
+    # -- HA over all alive devices -----------------------------------------------
+
+    def ha_throughput(self, alive: Sequence[int]) -> float:
+        """Joint combined-model inference over the alive devices.
+
+        Only defined when *all* devices are alive (the combined model needs
+        every block's rows); each device computes its rows from the full
+        activation, then the blocks are all-gathered.  With N devices the
+        per-layer exchange is bounded by the largest block each device must
+        receive: ``(N-1)/N`` of the activation in the symmetric case.
+        """
+        alive = self._check_alive(alive)
+        if len(alive) != self.partition.num_blocks:
+            return 0.0
+        spec = self.partition.combined_spec(len(self.net.convs))
+        costs = subnet_layer_costs(self.net, spec)
+        layers = subnet_num_layers(self.net)
+
+        device_times = []
+        for i in alive:
+            share = self.partition.block_slice(i).width / self.partition.max_width
+            flops = sum(c.flops * share for c in costs)
+            device_times.append(self.profiles[i].compute_time(flops, layers))
+
+        comm_total = 0.0
+        for cost in costs[:-1]:
+            # Each device must receive every other block: (N-1)/N of the layer.
+            other = cost.activation_bytes * (self.partition.num_blocks - 1)
+            comm_total += self.comm.transfer_time(other // self.partition.num_blocks)
+        comm_total += self.comm.transfer_time(costs[-1].activation_bytes)
+        return 1.0 / (max(device_times) + comm_total)
+
+    # -- survivability ---------------------------------------------------------------
+
+    def survivor_throughput(self, alive: Sequence[int]) -> float:
+        """Best available throughput for an arbitrary alive set: HA when all
+        devices are up, otherwise HT over the survivors (every block is
+        standalone-certified in a Fluid-N model)."""
+        alive = self._check_alive(alive)
+        if not alive:
+            return 0.0
+        if len(alive) == self.partition.num_blocks:
+            return max(self.ha_throughput(alive), self.ht_throughput(alive))
+        return self.ht_throughput(alive)
+
+    def reliability_profile(self) -> Dict[int, float]:
+        """Worst-case throughput after ``k`` device failures, for each k.
+
+        The worst case loses the fastest devices first.
+        """
+        n = self.partition.num_blocks
+        rates = sorted(
+            (1.0 / self.block_latency(i) for i in range(n)), reverse=True
+        )
+        profile: Dict[int, float] = {0: self.survivor_throughput(range(n))}
+        for k in range(1, n + 1):
+            profile[k] = sum(rates[k:])
+        return profile
+
+    def _check_alive(self, alive: Sequence[int]) -> List[int]:
+        alive = sorted(set(alive))
+        for i in alive:
+            if not 0 <= i < self.partition.num_blocks:
+                raise ValueError(f"device index {i} out of range")
+        return alive

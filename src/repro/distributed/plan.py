@@ -1,0 +1,93 @@
+"""Deployment plans: what each device runs right now."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.distributed.modes import ExecutionMode
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One device's job under a plan."""
+
+    device: str
+    subnet: str
+    role: str  # "standalone" | "partition_lower" | "partition_upper"
+
+    VALID_ROLES = ("standalone", "partition_lower", "partition_upper")
+
+    def __post_init__(self) -> None:
+        if self.role not in self.VALID_ROLES:
+            raise ValueError(f"unknown assignment role {self.role!r}")
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """The runtime's current answer to "who runs what, and how"."""
+
+    mode: ExecutionMode
+    assignments: Tuple[Assignment, ...] = ()
+    combined_subnet: Optional[str] = None  # the jointly-produced model in HA mode
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        devices = [a.device for a in self.assignments]
+        if len(devices) != len(set(devices)):
+            raise ValueError("a device may hold only one assignment per plan")
+        if self.mode == ExecutionMode.HIGH_ACCURACY and self.combined_subnet is None:
+            raise ValueError("HA plans must name the combined sub-network")
+        if self.mode == ExecutionMode.FAILED and self.assignments:
+            raise ValueError("failed plans cannot carry assignments")
+
+    def assignment_for(self, device: str) -> Optional[Assignment]:
+        for a in self.assignments:
+            if a.device == device:
+                return a
+        return None
+
+    def devices(self) -> List[str]:
+        return [a.device for a in self.assignments]
+
+    def describe(self) -> str:
+        if self.mode == ExecutionMode.FAILED:
+            return f"FAILED ({self.reason})" if self.reason else "FAILED"
+        parts = [f"{a.device}:{a.subnet}[{a.role}]" for a in self.assignments]
+        combined = f" -> {self.combined_subnet}" if self.combined_subnet else ""
+        return f"{self.mode.value} {' + '.join(parts)}{combined}"
+
+
+def failed_plan(reason: str) -> DeploymentPlan:
+    return DeploymentPlan(mode=ExecutionMode.FAILED, reason=reason)
+
+
+def solo_plan(device: str, subnet: str) -> DeploymentPlan:
+    return DeploymentPlan(
+        mode=ExecutionMode.SOLO,
+        assignments=(Assignment(device, subnet, "standalone"),),
+        reason=f"only {device} alive",
+    )
+
+
+def ht_plan(master_subnet: str, worker_subnet: str) -> DeploymentPlan:
+    return DeploymentPlan(
+        mode=ExecutionMode.HIGH_THROUGHPUT,
+        assignments=(
+            Assignment("master", master_subnet, "standalone"),
+            Assignment("worker", worker_subnet, "standalone"),
+        ),
+        reason="independent sub-networks on parallel input streams",
+    )
+
+
+def ha_plan(combined_subnet: str) -> DeploymentPlan:
+    return DeploymentPlan(
+        mode=ExecutionMode.HIGH_ACCURACY,
+        assignments=(
+            Assignment("master", combined_subnet, "partition_lower"),
+            Assignment("worker", combined_subnet, "partition_upper"),
+        ),
+        combined_subnet=combined_subnet,
+        reason="width-partitioned joint inference",
+    )

@@ -1,0 +1,158 @@
+"""Worker-side protocol server.
+
+A Worker owns the full slimmable weight store (models are small; what
+matters for the paper's reliability argument is which *certified* slices it
+may run, not artificial weight withholding) and serves the Master's
+requests: standalone sub-network inference (HT mode), partitioned layer
+steps (HA mode), and heartbeats.
+
+Failure injection: a :class:`~repro.device.failure.CrashCounter` makes the
+worker die after N requests — it stops responding and closes its transport,
+exactly what a power failure looks like from the Master's side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.comm.message import Message, MessageKind, error_message, result_message
+from repro.comm.transport import Transport, TransportError
+from repro.device.cost import partitioned_device_costs, subnet_num_layers
+from repro.device.emulated import DeviceFailed, EmulatedDevice
+from repro.distributed.partitioned import (
+    conv_block_half,
+    fc_partial,
+    feature_slice_for_block,
+    flatten_channel_block,
+)
+from repro.slimmable.spec import ChannelSlice, SubNetSpec
+from repro.utils.logging import get_logger
+
+
+class WorkerServer:
+    """Serves one Master over one transport until shutdown or crash."""
+
+    def __init__(
+        self,
+        device: EmulatedDevice,
+        transport: Transport,
+        *,
+        partition_split: int,
+    ) -> None:
+        self.device = device
+        self.transport = transport
+        self.split = partition_split
+        self.logger = get_logger(f"worker.{device.name}")
+        self._ha_half: Optional[np.ndarray] = None
+        self._ha_spec: Optional[SubNetSpec] = None
+
+    # -- main loop -------------------------------------------------------------
+
+    def serve_forever(self, poll_timeout: float = 0.5) -> None:
+        """Handle requests until SHUTDOWN, CRASH, or transport loss."""
+        while True:
+            try:
+                message = self.transport.recv(timeout=poll_timeout)
+            except TransportError:
+                if self.transport.closed:
+                    return
+                continue
+            if not self._handle(message):
+                return
+
+    def _handle(self, message: Message) -> bool:
+        """Dispatch one message; returns False when the loop should stop."""
+        if message.kind == MessageKind.SHUTDOWN:
+            self.transport.close()
+            return False
+        if message.kind == MessageKind.CRASH:
+            # Simulated power failure: vanish without a reply.
+            self.device.crash()
+            self.transport.close()
+            return False
+        try:
+            reply = self._dispatch(message)
+        except DeviceFailed:
+            self.transport.close()
+            return False
+        except (ValueError, KeyError) as exc:
+            reply = error_message(f"{type(exc).__name__}: {exc}")
+        try:
+            self.transport.send(reply)
+        except TransportError:
+            return False
+        return True
+
+    def _dispatch(self, message: Message) -> Message:
+        if message.kind == MessageKind.PING:
+            self.device._check_alive()
+            return Message(MessageKind.PONG, fields={"device": self.device.name})
+        if message.kind == MessageKind.RUN_SUBNET:
+            return self._run_subnet(message)
+        if message.kind == MessageKind.PARTIAL_FORWARD:
+            return self._partial_forward(message)
+        return error_message(f"unsupported message kind {message.kind!r}")
+
+    # -- handlers -----------------------------------------------------------------
+
+    def _run_subnet(self, message: Message) -> Message:
+        spec = self.device.net.width_spec.find(message.fields["spec"])
+        x = message.arrays["x"]
+        logits = self.device.execute_subnet(spec, x)
+        compute_s = self.device.estimated_latency(spec) * x.shape[0]
+        return result_message(
+            {"logits": logits.astype(np.float32)},
+            spec=spec.name,
+            compute_s=compute_s,
+        )
+
+    def _partial_forward(self, message: Message) -> Message:
+        self.device._check_alive()
+        op = message.fields["op"]
+        spec = self.device.net.width_spec.find(message.fields["spec"])
+        if op == "layer":
+            return self._partial_layer(message, spec)
+        if op == "fc":
+            return self._partial_fc(spec)
+        raise ValueError(f"unknown partial_forward op {op!r}")
+
+    def _partial_layer(self, message: Message, spec: SubNetSpec) -> Message:
+        layer = int(message.fields["layer"])
+        net = self.device.net
+        if layer == 0:
+            full = message.arrays["input"]
+            self._ha_spec = spec
+            in_slice = None
+        else:
+            if self._ha_half is None or self._ha_spec is None or self._ha_spec != spec:
+                raise ValueError("partitioned session out of order: no stored half")
+            master_half = message.arrays["master_half"].astype(np.float64)
+            full = np.concatenate([master_half, self._ha_half], axis=1)
+            in_slice = spec.conv_slices[layer - 1]
+        out_slice = spec.conv_slices[layer]
+        upper = ChannelSlice(self.split, out_slice.stop)
+        half = conv_block_half(net, layer, full, upper, in_slice)
+        self._ha_half = half
+        self._account_partial_compute(spec, layer)
+        return result_message({"half": half.astype(np.float32)}, layer=layer)
+
+    def _partial_fc(self, spec: SubNetSpec) -> Message:
+        if self._ha_half is None or self._ha_spec != spec:
+            raise ValueError("partitioned session out of order: no stored features")
+        net = self.device.net
+        upper = ChannelSlice(self.split, spec.last_slice.stop)
+        feats = flatten_channel_block(self._ha_half)
+        logits = fc_partial(net, feats, feature_slice_for_block(net, upper), include_bias=False)
+        self._account_partial_compute(spec, len(spec.conv_slices))
+        self._ha_half = None
+        self._ha_spec = None
+        return result_message({"partial_logits": logits.astype(np.float32)})
+
+    def _account_partial_compute(self, spec: SubNetSpec, layer: int) -> None:
+        _, worker_costs, _ = partitioned_device_costs(self.device.net, spec, self.split)
+        flops = worker_costs[layer].flops
+        per_layer_overhead = self.device.profile.layer_overhead_s
+        self.device.busy_time_s += self.device.profile.compute_time(flops, 0) + per_layer_overhead
+        self.device.requests_served += 1

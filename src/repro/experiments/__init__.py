@@ -1,0 +1,41 @@
+"""Experiment harnesses: Fig. 2 regeneration, calibration, reporting."""
+
+from repro.experiments.calibration import (
+    PAPER_FIG2,
+    PAPER_HT_VS_DYNAMIC,
+    PAPER_HT_VS_STATIC,
+    OperatingPoint,
+    calibration_points,
+    check_calibration,
+)
+from repro.experiments.fig2 import Fig2Cell, Fig2Result, plan_accuracy, run_fig2
+from repro.experiments.io import load_result, result_from_dict, result_to_dict, save_result
+from repro.experiments.report import (
+    ShapeCheck,
+    format_fig2_table,
+    format_shape_checks,
+    shape_checks,
+    subnet_accuracy_table,
+)
+
+__all__ = [
+    "PAPER_FIG2",
+    "PAPER_HT_VS_STATIC",
+    "PAPER_HT_VS_DYNAMIC",
+    "OperatingPoint",
+    "calibration_points",
+    "check_calibration",
+    "Fig2Cell",
+    "Fig2Result",
+    "run_fig2",
+    "plan_accuracy",
+    "save_result",
+    "load_result",
+    "result_to_dict",
+    "result_from_dict",
+    "ShapeCheck",
+    "shape_checks",
+    "format_fig2_table",
+    "format_shape_checks",
+    "subnet_accuracy_table",
+]

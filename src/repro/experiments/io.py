@@ -1,0 +1,62 @@
+"""Persistence for experiment results.
+
+Fig. 2 results round-trip through plain JSON so runs can be archived,
+diffed across commits, and re-rendered without re-training.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+from repro.experiments.fig2 import Fig2Cell, Fig2Result
+
+_SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: Fig2Result) -> Dict:
+    return {
+        "schema": _SCHEMA_VERSION,
+        "cells": [
+            {
+                "family": c.family,
+                "scenario": c.scenario,
+                "mode": c.mode,
+                "throughput_ips": c.throughput_ips,
+                "accuracy_pct": c.accuracy_pct,
+                "plan": c.plan,
+            }
+            for c in result.cells
+        ],
+    }
+
+
+def result_from_dict(payload: Dict) -> Fig2Result:
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported result schema {payload.get('schema')!r}")
+    result = Fig2Result()
+    for entry in payload["cells"]:
+        result.add(
+            Fig2Cell(
+                family=entry["family"],
+                scenario=entry["scenario"],
+                mode=entry["mode"],
+                throughput_ips=float(entry["throughput_ips"]),
+                accuracy_pct=float(entry["accuracy_pct"]),
+                plan=entry.get("plan", ""),
+            )
+        )
+    return result
+
+
+def save_result(path: str, result: Fig2Result) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
+
+
+def load_result(path: str) -> Fig2Result:
+    with open(path, encoding="utf-8") as handle:
+        return result_from_dict(json.load(handle))

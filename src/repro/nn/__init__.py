@@ -1,0 +1,48 @@
+"""A from-scratch numpy DNN framework.
+
+This package substitutes for PyTorch in the reproduction (see DESIGN.md §2):
+explicit forward/backward modules, im2col convolutions, SGD/Adam optimizers
+and npz checkpointing — everything the paper's training algorithms need.
+"""
+
+from repro.nn import functional
+from repro.nn.checkpoint import load_model, load_state, save_model, save_state
+from repro.nn.layers import Conv2d, Dropout, Flatten, GlobalAvgPool2d, Linear, MaxPool2d, ReLU, Tanh
+from repro.nn.loss import MSELoss, SoftmaxCrossEntropy
+from repro.nn.metrics import accuracy, confusion_matrix, per_class_accuracy, top_k_accuracy
+from repro.nn.module import Identity, Module, Sequential
+from repro.nn.optim import SGD, Adam, ConstantLR, CosineLR, LRScheduler, Optimizer, StepLR
+from repro.nn.parameter import Parameter
+
+__all__ = [
+    "functional",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Identity",
+    "Conv2d",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "SoftmaxCrossEntropy",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CosineLR",
+    "ConstantLR",
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "save_state",
+    "load_state",
+    "save_model",
+    "load_model",
+]

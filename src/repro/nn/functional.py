@@ -1,0 +1,204 @@
+"""Stateless numerical kernels used by the layer classes.
+
+The convolution kernels use the im2col/col2im formulation: a convolution is
+lowered to a single GEMM, and its backward pass is two GEMMs plus a col2im
+scatter.  For the paper's model sizes (28x28 inputs, <=16 channels) this is
+comfortably fast in numpy.
+
+All kernels operate on NCHW-ordered float64 arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold sliding windows of ``x`` into a matrix.
+
+    Args:
+        x: input of shape ``(N, C, H, W)``.
+        kernel: ``(kh, kw)`` window size.
+        stride: window stride (same in both dims).
+        padding: zero padding (same on all sides).
+
+    Returns:
+        ``(cols, (out_h, out_w))`` where ``cols`` has shape
+        ``(N * out_h * out_w, C * kh * kw)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_out_size(h, kh, stride, padding)
+    out_w = conv_out_size(w, kw, stride, padding)
+
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    # Strided view: (N, C, out_h, out_w, kh, kw)
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # -> (N, out_h, out_w, C, kh, kw) -> (N*out_h*out_w, C*kh*kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to image layout."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    out_h = conv_out_size(h, kh, stride, padding)
+    out_w = conv_out_size(w, kw, stride, padding)
+
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols6[:, :, :, :, i, j]
+
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, stride: int, padding: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Convolution forward pass.
+
+    Args:
+        x: ``(N, C_in, H, W)`` input.
+        weight: ``(C_out, C_in, kh, kw)`` kernels.
+        bias: ``(C_out,)`` bias.
+
+    Returns:
+        ``(y, cols)`` where ``y`` is ``(N, C_out, out_h, out_w)`` and ``cols``
+        is the im2col matrix cached for the backward pass.
+    """
+    n = x.shape[0]
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[1] != c_in:
+        raise ValueError(f"input has {x.shape[1]} channels, weight expects {c_in}")
+    cols, (out_h, out_w) = im2col(x, (kh, kw), stride, padding)
+    w_mat = weight.reshape(c_out, c_in * kh * kw)
+    y = cols @ w_mat.T + bias
+    y = y.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    return np.ascontiguousarray(y), cols
+
+
+def conv2d_backward(
+    grad_y: np.ndarray,
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    weight: np.ndarray,
+    stride: int,
+    padding: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convolution backward pass.
+
+    Returns ``(grad_x, grad_weight, grad_bias)``.
+    """
+    n, c_out = grad_y.shape[0], grad_y.shape[1]
+    c_out_w, c_in, kh, kw = weight.shape
+    if c_out != c_out_w:
+        raise ValueError(f"grad has {c_out} channels, weight has {c_out_w}")
+    # (N, C_out, oh, ow) -> (N*oh*ow, C_out)
+    grad_mat = grad_y.transpose(0, 2, 3, 1).reshape(-1, c_out)
+    grad_bias = grad_mat.sum(axis=0)
+    grad_weight = (grad_mat.T @ cols).reshape(c_out, c_in, kh, kw)
+    w_mat = weight.reshape(c_out, c_in * kh * kw)
+    grad_cols = grad_mat @ w_mat
+    grad_x = col2im(grad_cols, x_shape, (kh, kw), stride, padding)
+    return grad_x, grad_weight, grad_bias
+
+
+def maxpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling forward; returns ``(y, argmax)`` with flat window indices."""
+    n, c, h, w = x.shape
+    out_h = conv_out_size(h, kernel, stride, 0)
+    out_w = conv_out_size(w, kernel, stride, 0)
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
+    argmax = flat.argmax(axis=-1)
+    y = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+    return np.ascontiguousarray(y), argmax
+
+
+def maxpool2d_backward(
+    grad_y: np.ndarray,
+    argmax: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Max pooling backward: route gradients to winning window positions."""
+    n, c, h, w = x_shape
+    out_h, out_w = grad_y.shape[2], grad_y.shape[3]
+    grad_x = np.zeros(x_shape, dtype=grad_y.dtype)
+    # Decompose flat window index into (di, dj) offsets.
+    di = argmax // kernel
+    dj = argmax % kernel
+    oh_idx, ow_idx = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+    rows = oh_idx[None, None] * stride + di
+    cols = ow_idx[None, None] * stride + dj
+    n_idx = np.arange(n)[:, None, None, None]
+    c_idx = np.arange(c)[None, :, None, None]
+    np.add.at(grad_x, (n_idx, c_idx, rows, cols), grad_y)
+    return grad_x
+
+
+def relu_forward(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    mask = x > 0
+    return x * mask, mask
+
+
+def relu_backward(grad_y: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    return grad_y * mask
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

@@ -1,0 +1,48 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Elementwise rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y, self._mask = F.relu_forward(x)
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return F.relu_backward(grad_output, self._mask)
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._y**2)
+
+    def __repr__(self) -> str:
+        return "Tanh()"

@@ -1,0 +1,41 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import check_rng
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    At train time each activation is zeroed with probability ``p`` and the
+    survivors are scaled by ``1/(1-p)`` so that eval mode is the identity.
+    """
+
+    def __init__(self, p: float, *, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        check_rng(rng, "Dropout")
+        self.p = p
+        self.rng = rng
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,54 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling with square windows (no padding)."""
+
+    def __init__(self, kernel_size: int, stride: int = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape = None
+        self._argmax = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        y, self._argmax = F.maxpool2d_forward(x, self.kernel_size, self.stride)
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None:
+            raise RuntimeError("backward called before forward")
+        return F.maxpool2d_backward(grad_output, self._argmax, self._x_shape, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions: ``(N, C, H, W) -> (N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._x_shape
+        scale = 1.0 / (h * w)
+        return np.broadcast_to(grad_output[:, :, None, None], self._x_shape) * scale
+
+    def __repr__(self) -> str:
+        return "GlobalAvgPool2d()"

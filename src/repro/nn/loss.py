@@ -1,0 +1,45 @@
+"""Loss functions.
+
+Losses are not Modules: they return ``(loss_value, grad_wrt_logits)`` in one
+call because the framework has no autograd tape — the trainer feeds the
+returned gradient straight into ``model.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + mean cross-entropy over integer class labels."""
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, classes), got {logits.shape}")
+        if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+            raise ValueError(f"labels shape {labels.shape} incompatible with logits {logits.shape}")
+        n, num_classes = logits.shape
+        if labels.min() < 0 or labels.max() >= num_classes:
+            raise ValueError("labels out of range")
+        log_probs = F.log_softmax(logits, axis=1)
+        loss = -log_probs[np.arange(n), labels].mean()
+        grad = F.softmax(logits, axis=1)
+        grad[np.arange(n), labels] -= 1.0
+        grad /= n
+        return float(loss), grad
+
+
+class MSELoss:
+    """Mean squared error against dense targets (utility, used in tests)."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+        diff = pred - target
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad

@@ -1,0 +1,181 @@
+"""Module base class: the spine of the numpy DNN framework.
+
+Modules implement explicit ``forward``/``backward`` passes (no autograd
+tape).  ``forward`` caches whatever the matching ``backward`` needs on
+``self``; ``backward`` receives the gradient w.r.t. the module output and
+must (a) accumulate parameter gradients and (b) return the gradient w.r.t.
+the module input.  This mirrors the classic layer-wise design and keeps the
+memory model obvious — important because slimmable layers alias weight
+storage between sub-networks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class for all network components."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # -- registration ------------------------------------------------------
+
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        if name in self._parameters:
+            raise ValueError(f"duplicate parameter name {name!r}")
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        if name in self._modules:
+            raise ValueError(f"duplicate module name {name!r}")
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value) -> None:
+        # Auto-register Parameters and Modules assigned as attributes.
+        if isinstance(value, Parameter):
+            params = self.__dict__.get("_parameters")
+            if params is None:
+                raise AttributeError("call Module.__init__ before assigning parameters")
+            params[name] = value
+        elif isinstance(value, Module):
+            modules = self.__dict__.get("_modules")
+            if modules is None:
+                raise AttributeError("call Module.__init__ before assigning sub-modules")
+            modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal ----------------------------------------------------------
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters in definition order (depth-first, no duplicates)."""
+        seen: set = set()
+        out: List[Parameter] = []
+        for _, p in self.named_parameters():
+            if id(p) not in seen:
+                seen.add(id(p))
+                out.append(p)
+        return out
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    # -- train/eval and gradient state --------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- state I/O -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameter arrays keyed by dotted path."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own = dict(self.named_parameters())
+        missing = [k for k in own if k not in state]
+        unexpected = [k for k in state if k not in own]
+        if strict and (missing or unexpected):
+            raise KeyError(f"state mismatch: missing={missing}, unexpected={unexpected}")
+        for name, param in own.items():
+            if name in state:
+                if state[name].shape != param.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: "
+                        f"checkpoint {state[name].shape} vs model {param.data.shape}"
+                    )
+                np.copyto(param.data, state[name])
+
+    # -- compute -------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:
+        child_repr = ", ".join(f"{k}={v!r}" for k, v in self._modules.items())
+        return f"{type(self).__name__}({child_repr})"
+
+
+class Sequential(Module):
+    """Chain of modules executed in order; backward runs in reverse."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers: List[Module] = []
+        for i, layer in enumerate(layers):
+            self.register_module(str(i), layer)
+            self.layers.append(layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.register_module(str(len(self.layers)), layer)
+        self.layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential({inner})"
+
+
+class Identity(Module):
+    """No-op module (useful as a placeholder in partition plans)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output

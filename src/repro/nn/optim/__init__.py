@@ -1,0 +1,8 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.base import Optimizer
+from repro.nn.optim.scheduler import ConstantLR, CosineLR, LRScheduler, StepLR
+from repro.nn.optim.sgd import SGD
+
+__all__ = ["Optimizer", "SGD", "Adam", "LRScheduler", "StepLR", "CosineLR", "ConstantLR"]

@@ -1,0 +1,31 @@
+"""Optimizer base class.
+
+Optimizers consume ``Parameter.effective_grad()`` (gradient after the freeze
+mask) so incremental training's per-slice freezing works with every
+optimizer for free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the current learning rate."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

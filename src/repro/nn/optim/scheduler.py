@@ -1,0 +1,68 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim.base import Optimizer
+
+
+class LRScheduler:
+    """Base class: mutates ``optimizer.lr`` on each ``step()``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        lr = self.compute_lr(self.epoch)
+        if lr <= 0:
+            raise ValueError(f"schedule produced non-positive lr {lr}")
+        self.optimizer.lr = lr
+        return lr
+
+    def compute_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(LRScheduler):
+    """Cosine annealing from ``base_lr`` to ``min_lr`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 1e-5) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        if min_lr <= 0:
+            raise ValueError("min_lr must be positive")
+        self.t_max = t_max
+        self.min_lr = min_lr
+
+    def compute_lr(self, epoch: int) -> float:
+        t = min(epoch, self.t_max)
+        cos = (1 + math.cos(math.pi * t / self.t_max)) / 2
+        return self.min_lr + (self.base_lr - self.min_lr) * cos
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the learning rate fixed (explicit no-op schedule)."""
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr

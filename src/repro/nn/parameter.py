@@ -1,0 +1,77 @@
+"""Trainable parameters.
+
+A :class:`Parameter` owns a dense float array plus its gradient accumulator.
+Slimmable layers (:mod:`repro.slimmable`) never copy parameter storage — they
+take numpy *views* into ``Parameter.data`` so that sub-networks share weights,
+which is the mechanism both incremental training (Xun et al., MLCAD 2019) and
+the paper's Algorithm 1 rely on.
+
+Gradient masking: ``Parameter.grad_mask`` (same shape, float 0/1) supports
+freezing arbitrary weight regions, which incremental training uses to train
+only the newly added channel group of each wider sub-network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with a gradient buffer and optional freeze mask."""
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        if not isinstance(data, np.ndarray):
+            raise TypeError(f"Parameter data must be an ndarray, got {type(data).__name__}")
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = True
+        self.grad_mask: Optional[np.ndarray] = None
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the gradient buffer (respects ``requires_grad``)."""
+        if not self.requires_grad:
+            return
+        if grad.shape != self.grad.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name} shape {self.grad.shape}"
+            )
+        self.grad += grad
+
+    def effective_grad(self) -> np.ndarray:
+        """Gradient after applying the freeze mask (used by optimizers)."""
+        if self.grad_mask is None:
+            return self.grad
+        return self.grad * self.grad_mask
+
+    def set_freeze_mask(self, mask: Optional[np.ndarray]) -> None:
+        """Install a 0/1 mask; entries with 0 never receive updates."""
+        if mask is None:
+            self.grad_mask = None
+            return
+        if mask.shape != self.data.shape:
+            raise ValueError(f"mask shape {mask.shape} != parameter shape {self.data.shape}")
+        self.grad_mask = mask.astype(np.float64)
+
+    def copy_(self, other: "Parameter") -> None:
+        """In-place copy of another parameter's values (shapes must match)."""
+        if other.data.shape != self.data.shape:
+            raise ValueError(f"cannot copy {other.data.shape} into {self.data.shape}")
+        np.copyto(self.data, other.data)
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

@@ -1,0 +1,121 @@
+"""Post-training weight quantization.
+
+Edge deployments ship compressed weights (the paper's ref [2], NetAdapt,
+motivates static compression as the complementary lever to dynamic width).
+This module provides symmetric int8 per-tensor / per-channel weight
+quantization with on-load dequantisation, so a checkpoint can be shipped at
+~4x smaller size and re-materialised into any :class:`repro.nn.Module` —
+including the slimmable store, where the quantisation error is what the
+quantization bench measures per sub-network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """Symmetric int8 quantisation of one weight array.
+
+    ``scale`` has shape ``()`` for per-tensor mode or ``(channels, 1...)``
+    broadcastable over the array for per-channel mode.
+    """
+
+    values: np.ndarray  # int8
+    scale: np.ndarray   # float64, broadcastable over values
+
+    def __post_init__(self) -> None:
+        if self.values.dtype != np.int8:
+            raise TypeError("quantized values must be int8")
+        if np.any(self.scale < 0):
+            raise ValueError("scales must be non-negative")
+
+    def dequantize(self) -> np.ndarray:
+        return self.values.astype(np.float64) * self.scale
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes + self.scale.nbytes
+
+
+def quantize_tensor(array: np.ndarray, per_channel: bool = False) -> QuantizedTensor:
+    """Symmetric int8 quantisation.
+
+    Args:
+        array: float weights.
+        per_channel: scale per output channel (axis 0) instead of per tensor.
+            Per-channel is meaningfully better for slimmable weights because
+            channel magnitude varies across the width families.
+    """
+    array = np.asarray(array, dtype=np.float64)
+    if per_channel and array.ndim >= 2:
+        reduce_axes = tuple(range(1, array.ndim))
+        max_abs = np.abs(array).max(axis=reduce_axes, keepdims=True)
+    else:
+        max_abs = np.abs(array).max(keepdims=True) if array.ndim else np.abs(array)
+    scale = np.where(max_abs > 0, max_abs / INT8_MAX, 1.0)
+    values = np.clip(np.round(array / scale), -INT8_MAX, INT8_MAX).astype(np.int8)
+    return QuantizedTensor(values=values, scale=scale)
+
+
+def quantization_error(array: np.ndarray, per_channel: bool = False) -> float:
+    """RMS error introduced by quantise->dequantise."""
+    q = quantize_tensor(array, per_channel)
+    return float(np.sqrt(np.mean((q.dequantize() - array) ** 2)))
+
+
+def quantize_state_dict(
+    state: Dict[str, np.ndarray], per_channel: bool = True
+) -> Dict[str, QuantizedTensor]:
+    """Quantise every array of a state dict."""
+    return {name: quantize_tensor(arr, per_channel) for name, arr in state.items()}
+
+
+def dequantize_state_dict(
+    quantized: Dict[str, QuantizedTensor]
+) -> Dict[str, np.ndarray]:
+    return {name: q.dequantize() for name, q in quantized.items()}
+
+
+def state_dict_bytes(state: Dict[str, np.ndarray]) -> int:
+    return int(sum(a.nbytes for a in state.values()))
+
+
+def quantized_bytes(quantized: Dict[str, QuantizedTensor]) -> int:
+    return int(sum(q.nbytes for q in quantized.values()))
+
+
+def compression_ratio(state: Dict[str, np.ndarray], per_channel: bool = True) -> float:
+    """float64-store-to-int8-wire compression factor."""
+    quantized = quantize_state_dict(state, per_channel)
+    return state_dict_bytes(state) / quantized_bytes(quantized)
+
+
+def save_quantized(path: str, quantized: Dict[str, QuantizedTensor]) -> None:
+    """Persist a quantised state dict as an npz archive (no pickle)."""
+    import os
+
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    flat: Dict[str, np.ndarray] = {}
+    for name, q in quantized.items():
+        flat[f"{name}::values"] = q.values
+        flat[f"{name}::scale"] = q.scale
+    np.savez_compressed(path, **flat)
+
+
+def load_quantized(path: str) -> Dict[str, QuantizedTensor]:
+    with np.load(path, allow_pickle=False) as archive:
+        names = sorted({key.rsplit("::", 1)[0] for key in archive.files})
+        return {
+            name: QuantizedTensor(
+                values=archive[f"{name}::values"].copy(),
+                scale=archive[f"{name}::scale"].copy(),
+            )
+            for name in names
+        }

@@ -1,0 +1,26 @@
+"""Runtime adaptation: failure monitoring, policy, reliability state machine."""
+
+from repro.runtime.controller import SystemController, Timeline, Transition
+from repro.runtime.live import LiveLog, LiveSystem, ServedBatch
+from repro.runtime.monitor import HeartbeatMonitor, ScheduleMonitor
+from repro.runtime.policy import (
+    TARGET_ACCURACY,
+    TARGET_THROUGHPUT,
+    TARGETS,
+    AdaptationPolicy,
+)
+
+__all__ = [
+    "AdaptationPolicy",
+    "TARGET_ACCURACY",
+    "TARGET_THROUGHPUT",
+    "TARGETS",
+    "HeartbeatMonitor",
+    "LiveSystem",
+    "LiveLog",
+    "ServedBatch",
+    "ScheduleMonitor",
+    "SystemController",
+    "Timeline",
+    "Transition",
+]

@@ -1,0 +1,134 @@
+"""Live serving loop: adaptation policy driving the real protocol.
+
+:class:`LiveSystem` is the piece that closes the loop the paper describes:
+a Master serving an inference stream in HA or HT mode over a real
+transport, detecting Worker death through failed requests/heartbeats, and
+re-planning onto its certified standalone sub-network without dropping the
+stream.  The analytical controller (:mod:`repro.runtime.controller`)
+replays scripted timelines; this one reacts to actual transport failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.distributed.master import MasterRuntime, WorkerUnavailable
+from repro.distributed.modes import ExecutionMode
+from repro.distributed.plan import DeploymentPlan
+from repro.runtime.policy import AdaptationPolicy
+from repro.utils.logging import get_logger
+
+
+@dataclass
+class ServedBatch:
+    """Outcome of one batch served by the live system."""
+
+    batch_index: int
+    mode: ExecutionMode
+    logits: Optional[np.ndarray]
+    failed_over: bool = False
+
+
+@dataclass
+class LiveLog:
+    """Per-batch record of a live serving session."""
+
+    batches: List[ServedBatch] = field(default_factory=list)
+
+    def modes(self) -> List[ExecutionMode]:
+        return [b.mode for b in self.batches]
+
+    def failover_points(self) -> List[int]:
+        return [b.batch_index for b in self.batches if b.failed_over]
+
+    def served_count(self) -> int:
+        return sum(1 for b in self.batches if b.logits is not None)
+
+
+class LiveSystem:
+    """Serves batches under the current plan; re-plans on worker failure."""
+
+    def __init__(self, master: MasterRuntime, policy: AdaptationPolicy) -> None:
+        self.master = master
+        self.policy = policy
+        self.logger = get_logger("runtime.live")
+        self._worker_alive = master.worker_attached()
+        self.plan: DeploymentPlan = self._replan()
+
+    def _alive_set(self) -> frozenset:
+        devices = {"master"}
+        if self._worker_alive:
+            devices.add("worker")
+        return frozenset(devices)
+
+    def _replan(self) -> DeploymentPlan:
+        plan = self.policy.plan(self._alive_set())
+        self.logger.info("plan: %s", plan.describe())
+        return plan
+
+    def declare_worker_dead(self) -> None:
+        if self._worker_alive:
+            self._worker_alive = False
+            self.plan = self._replan()
+
+    def heartbeat(self) -> bool:
+        """Ping the worker; on failure, re-plan. Returns worker liveness."""
+        if self._worker_alive and not self.master.ping_worker():
+            self.declare_worker_dead()
+        return self._worker_alive
+
+    def serve_batch(self, index: int, x: np.ndarray) -> ServedBatch:
+        """Serve one batch under the current plan; fail over transparently.
+
+        On a worker failure mid-batch the batch is retried once under the
+        new (solo or failed) plan, so the caller never sees the exception —
+        only the mode change.
+        """
+        for attempt in range(2):
+            plan = self.plan
+            try:
+                logits = self._execute(plan, x)
+                return ServedBatch(
+                    batch_index=index,
+                    mode=plan.mode,
+                    logits=logits,
+                    failed_over=(attempt > 0),
+                )
+            except WorkerUnavailable:
+                self.logger.warning("worker lost while serving batch %d", index)
+                self.declare_worker_dead()
+        # Second attempt also failed (no worker involved => plan is FAILED).
+        return ServedBatch(index, self.plan.mode, None, failed_over=True)
+
+    def _execute(self, plan: DeploymentPlan, x: np.ndarray) -> Optional[np.ndarray]:
+        ws = self.policy.model.width_spec
+        if plan.mode is ExecutionMode.FAILED:
+            return None
+        if plan.mode is ExecutionMode.HIGH_ACCURACY:
+            return self.master.run_ha(ws.find(plan.combined_subnet), x)
+        if plan.mode is ExecutionMode.HIGH_THROUGHPUT:
+            by_device = {a.device: a.subnet for a in plan.assignments}
+            half = x.shape[0] // 2
+            logits_m, logits_w = self.master.run_ht(
+                ws.find(by_device["master"]),
+                ws.find(by_device["worker"]),
+                x[:half],
+                x[half:],
+            )
+            return np.concatenate([logits_m, logits_w], axis=0)
+        # SOLO
+        (assignment,) = plan.assignments
+        if assignment.device != "master":
+            # The master process cannot execute on a dead worker's behalf.
+            return None
+        return self.master.run_local(ws.find(assignment.subnet), x)
+
+    def serve_stream(self, batches) -> LiveLog:
+        """Serve an iterable of input batches end to end."""
+        log = LiveLog()
+        for index, x in enumerate(batches):
+            log.batches.append(self.serve_batch(index, x))
+        return log

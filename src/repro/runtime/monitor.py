@@ -1,0 +1,69 @@
+"""Failure detection.
+
+Two flavours:
+
+* :class:`HeartbeatMonitor` — live: pings a worker through the Master's
+  transport and declares death after consecutive missed heartbeats.
+* :class:`ScheduleMonitor` — analytical: replays a scripted
+  :class:`~repro.device.failure.FailureSchedule` over simulated time (the
+  Fig. 2 scenarios are its three fixed points).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Optional
+
+from repro.device.failure import FailureSchedule
+from repro.distributed.partition import MASTER, WORKER
+from repro.utils.logging import get_logger
+
+
+class HeartbeatMonitor:
+    """Declares a peer dead after ``threshold`` consecutive failed pings."""
+
+    def __init__(self, ping: Callable[[], bool], threshold: int = 2) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self._ping = ping
+        self.threshold = threshold
+        self.consecutive_failures = 0
+        self.declared_dead = False
+        self.logger = get_logger("monitor")
+
+    def check(self) -> bool:
+        """Run one heartbeat; returns current liveness verdict."""
+        if self.declared_dead:
+            return False
+        if self._ping():
+            self.consecutive_failures = 0
+            return True
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            self.declared_dead = True
+            self.logger.warning(
+                "peer declared dead after %d missed heartbeats", self.consecutive_failures
+            )
+        return not self.declared_dead
+
+    def reset(self) -> None:
+        self.consecutive_failures = 0
+        self.declared_dead = False
+
+
+class ScheduleMonitor:
+    """Liveness view over a scripted failure schedule at simulated time."""
+
+    def __init__(self, schedule: FailureSchedule, devices=(MASTER, WORKER)) -> None:
+        self.schedule = schedule
+        self.devices = tuple(devices)
+
+    def alive_at(self, now_s: float) -> FrozenSet[str]:
+        return frozenset(
+            d for d in self.devices if self.schedule.is_alive(d, now_s)
+        )
+
+    def next_event_after(self, now_s: float) -> Optional[float]:
+        for event in self.schedule.events:
+            if event.time_s > now_s:
+                return event.time_s
+        return None

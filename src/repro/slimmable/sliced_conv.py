@@ -1,0 +1,140 @@
+"""Width-sliceable convolution.
+
+The layer owns full-width weight storage; every forward/backward call
+operates on the currently *active* ``(in_slice, out_slice)`` sub-block.
+Sub-networks therefore share weights by construction — "copy trained weights
+to the next model" in the paper's Algorithm 1 is the aliasing itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.slimmable.spec import ChannelSlice
+from repro.utils.rng import check_rng
+
+
+class SlicedConv2d(Module):
+    """Conv2d whose in/out channel ranges are selected at call time.
+
+    Args:
+        max_in_channels: full-width input channel count.
+        max_out_channels: full-width output channel count.
+        kernel_size / stride / padding: as in :class:`repro.nn.Conv2d`.
+        slice_input: if False the layer always consumes the full input range
+            (used for the first conv, which reads the raw image).
+    """
+
+    def __init__(
+        self,
+        max_in_channels: int,
+        max_out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        *,
+        slice_input: bool = True,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if max_in_channels <= 0 or max_out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        check_rng(rng, "SlicedConv2d")
+        self.max_in_channels = max_in_channels
+        self.max_out_channels = max_out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.slice_input = slice_input
+
+        shape = (max_out_channels, max_in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng), name="weight")
+        fan_in = max_in_channels * kernel_size * kernel_size
+        self.bias = Parameter(init.bias_uniform((max_out_channels,), fan_in, rng), name="bias")
+
+        self._in_slice = ChannelSlice(0, max_in_channels)
+        self._out_slice = ChannelSlice(0, max_out_channels)
+        self._x_shape = None
+        self._cols = None
+
+    # -- slice management ----------------------------------------------------
+
+    def set_slices(self, in_slice: Optional[ChannelSlice], out_slice: ChannelSlice) -> None:
+        """Select the active weight sub-block.
+
+        ``in_slice`` is ignored when ``slice_input`` is False (first layer).
+        """
+        if not self.slice_input or in_slice is None:
+            in_slice = ChannelSlice(0, self.max_in_channels)
+        if in_slice.stop > self.max_in_channels:
+            raise ValueError(f"in_slice {in_slice} exceeds {self.max_in_channels} channels")
+        if out_slice.stop > self.max_out_channels:
+            raise ValueError(f"out_slice {out_slice} exceeds {self.max_out_channels} channels")
+        self._in_slice = in_slice
+        self._out_slice = out_slice
+
+    @property
+    def in_slice(self) -> ChannelSlice:
+        return self._in_slice
+
+    @property
+    def out_slice(self) -> ChannelSlice:
+        return self._out_slice
+
+    def active_weight(self) -> np.ndarray:
+        """View of the currently active weight block (no copy)."""
+        return self.weight.data[self._out_slice.as_slice(), self._in_slice.as_slice()]
+
+    def active_bias(self) -> np.ndarray:
+        return self.bias.data[self._out_slice.as_slice()]
+
+    # -- compute ---------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        expected_in = self._in_slice.width
+        if x.shape[1] != expected_in:
+            raise ValueError(
+                f"active in_slice {self._in_slice} expects {expected_in} channels, "
+                f"input has {x.shape[1]}"
+            )
+        self._x_shape = x.shape
+        w = np.ascontiguousarray(self.active_weight())
+        b = self.active_bias()
+        y, self._cols = F.conv2d_forward(x, w, b, self.stride, self.padding)
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None:
+            raise RuntimeError("backward called before forward")
+        w = np.ascontiguousarray(self.active_weight())
+        grad_x, grad_w, grad_b = F.conv2d_backward(
+            grad_output, self._cols, self._x_shape, w, self.stride, self.padding
+        )
+        full_grad_w = np.zeros_like(self.weight.data)
+        full_grad_w[self._out_slice.as_slice(), self._in_slice.as_slice()] = grad_w
+        self.weight.accumulate_grad(full_grad_w)
+        full_grad_b = np.zeros_like(self.bias.data)
+        full_grad_b[self._out_slice.as_slice()] = grad_b
+        self.bias.accumulate_grad(full_grad_b)
+        return grad_x
+
+    def flops_per_image(self, in_h: int, in_w: int) -> int:
+        """MAC cost of the *active* sub-block for one image."""
+        out_h = F.conv_out_size(in_h, self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_out_size(in_w, self.kernel_size, self.stride, self.padding)
+        macs = (
+            out_h * out_w * self._out_slice.width * self._in_slice.width * self.kernel_size**2
+        )
+        return 2 * macs
+
+    def __repr__(self) -> str:
+        return (
+            f"SlicedConv2d(max_in={self.max_in_channels}, max_out={self.max_out_channels}, "
+            f"k={self.kernel_size}, active={self._in_slice}->{self._out_slice})"
+        )

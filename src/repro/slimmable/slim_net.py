@@ -1,0 +1,253 @@
+"""Slimmable convolutional network and sub-network views.
+
+:class:`SlimmableConvNet` is the weight container: a stack of
+``SlicedConv2d (+ReLU, +optional MaxPool)`` blocks followed by a
+:class:`SlicedLinear` classifier.  A :class:`SubNetworkView` binds the
+container to one :class:`~repro.slimmable.spec.SubNetSpec`; activating the
+view selects the corresponding weight sub-blocks in place.  All views alias
+the same storage — that aliasing is the paper's weight sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.pooling import MaxPool2d
+from repro.nn.layers.reshape import Flatten
+from repro.nn.module import Module
+from repro.slimmable.masks import RegionTracker, conv_region, linear_region, vector_region
+from repro.slimmable.spec import ChannelSlice, SubNetSpec, WidthSpec
+from repro.slimmable.sliced_conv import SlicedConv2d
+from repro.slimmable.sliced_linear import SlicedLinear
+from repro.utils.rng import check_rng
+
+
+class SlimmableConvNet(Module):
+    """The paper's 3-conv + 1-FC CNN with width-sliceable layers.
+
+    Architecture (28x28 single-channel input, paper §III)::
+
+        conv1 3x3 pad1 (1 -> w)   ReLU  maxpool2
+        conv2 3x3 pad1 (w -> w)   ReLU  maxpool2
+        conv3 3x3 pad1 (w -> w)   ReLU
+        flatten -> linear (w*7*7 -> 10)
+
+    where ``w`` is selected per sub-network from ``width_spec``.
+    """
+
+    def __init__(
+        self,
+        width_spec: WidthSpec,
+        *,
+        in_channels: int = 1,
+        image_size: int = 28,
+        num_classes: int = 10,
+        pool_after: Sequence[int] = (0, 1),
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        check_rng(rng, "SlimmableConvNet")
+        self.width_spec = width_spec
+        self.in_channels = in_channels
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.pool_after = tuple(pool_after)
+
+        w = width_spec.max_width
+        self.convs: List[SlicedConv2d] = []
+        self.relus: List[ReLU] = []
+        self.pools: Dict[int, MaxPool2d] = {}
+        for i in range(width_spec.num_convs):
+            conv = SlicedConv2d(
+                in_channels if i == 0 else w,
+                w,
+                kernel_size=3,
+                padding=1,
+                slice_input=(i > 0),
+                rng=rng,
+            )
+            self.register_module(f"conv{i}", conv)
+            self.convs.append(conv)
+            relu = ReLU()
+            self.register_module(f"relu{i}", relu)
+            self.relus.append(relu)
+            if i in self.pool_after:
+                pool = MaxPool2d(2)
+                self.register_module(f"pool{i}", pool)
+                self.pools[i] = pool
+
+        spatial = image_size
+        for i in range(width_spec.num_convs):
+            if i in self.pools:
+                spatial //= 2
+        if spatial <= 0:
+            raise ValueError("too much pooling for the given image size")
+        self.feature_spatial = spatial * spatial
+        self.flatten = Flatten()
+        self.classifier = SlicedLinear(w * self.feature_spatial, num_classes, rng=rng)
+
+        self._active: Optional[SubNetSpec] = None
+        self.set_active(width_spec.full())
+
+    # -- activation of sub-networks ------------------------------------------
+
+    def feature_slice_for(self, channel_slice: ChannelSlice) -> ChannelSlice:
+        """Map the last conv's channel slice to classifier feature columns."""
+        return ChannelSlice(
+            channel_slice.start * self.feature_spatial,
+            channel_slice.stop * self.feature_spatial,
+        )
+
+    def set_active(self, spec: SubNetSpec) -> None:
+        """Select the sub-network used by subsequent forward/backward calls."""
+        if len(spec.conv_slices) != len(self.convs):
+            raise ValueError(
+                f"spec has {len(spec.conv_slices)} conv slices, net has {len(self.convs)}"
+            )
+        prev: Optional[ChannelSlice] = None
+        for conv, out_slice in zip(self.convs, spec.conv_slices):
+            conv.set_slices(prev, out_slice)
+            prev = out_slice
+        self.classifier.set_feature_slice(self.feature_slice_for(spec.last_slice))
+        self._active = spec
+
+    @property
+    def active_spec(self) -> SubNetSpec:
+        if self._active is None:
+            raise RuntimeError("no active sub-network")
+        return self._active
+
+    def view(self, spec: SubNetSpec) -> "SubNetworkView":
+        return SubNetworkView(self, spec)
+
+    def views(self) -> Dict[str, "SubNetworkView"]:
+        """Views for the entire sub-network family, keyed by name."""
+        return {spec.name: self.view(spec) for spec in self.width_spec.all_specs()}
+
+    # -- compute ---------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for i, (conv, relu) in enumerate(zip(self.convs, self.relus)):
+            x = relu(conv(x))
+            if i in self.pools:
+                x = self.pools[i](x)
+        return self.classifier(self.flatten(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.flatten.backward(self.classifier.backward(grad_output))
+        for i in reversed(range(len(self.convs))):
+            if i in self.pools:
+                grad = self.pools[i].backward(grad)
+            grad = self.convs[i].backward(self.relus[i].backward(grad))
+        return grad
+
+    # -- regions (for incremental freezing) -------------------------------------
+
+    def region_masks(self, spec: SubNetSpec) -> List[Tuple[object, np.ndarray]]:
+        """(parameter, coverage-mask) pairs for every weight ``spec`` touches."""
+        pairs: List[Tuple[object, np.ndarray]] = []
+        prev: Optional[ChannelSlice] = None
+        for i, (conv, out_slice) in enumerate(zip(self.convs, spec.conv_slices)):
+            if i == 0 or not conv.slice_input:
+                in_slice = ChannelSlice(0, conv.max_in_channels)
+            else:
+                in_slice = prev
+            pairs.append((conv.weight, conv_region(conv.weight.shape, out_slice, in_slice)))
+            pairs.append((conv.bias, vector_region(conv.bias.shape, out_slice)))
+            prev = out_slice
+        feat = self.feature_slice_for(spec.last_slice)
+        pairs.append((self.classifier.weight, linear_region(self.classifier.weight.shape, feat)))
+        pairs.append((self.classifier.bias, np.ones_like(self.classifier.bias.data)))
+        return pairs
+
+    def apply_freeze(self, spec: SubNetSpec, tracker: RegionTracker) -> None:
+        """Freeze everything previous stages covered; train the rest of ``spec``.
+
+        Installs per-parameter masks equal to ``region(spec) - covered`` so
+        only this stage's new weights receive updates.
+        """
+        for param, region in self.region_masks(spec):
+            param.set_freeze_mask(tracker.trainable_mask(param, region))
+
+    def mark_trained(self, spec: SubNetSpec, tracker: RegionTracker) -> None:
+        """Record ``spec``'s region as covered after its stage completes."""
+        for param, region in self.region_masks(spec):
+            tracker.mark(param, region)
+
+    def clear_freeze(self) -> None:
+        for param in self.parameters():
+            param.set_freeze_mask(None)
+
+    # -- cost model hooks ---------------------------------------------------------
+
+    def flops_per_image(self) -> int:
+        """FLOPs for one image through the *active* sub-network."""
+        total = 0
+        size = self.image_size
+        for i, conv in enumerate(self.convs):
+            total += conv.flops_per_image(size, size)
+            if i in self.pools:
+                size //= 2
+        total += self.classifier.flops_per_image()
+        return total
+
+
+class SubNetworkView(Module):
+    """A sub-network of a :class:`SlimmableConvNet`, usable as a model.
+
+    Forward/backward activate the bound spec first, so views can be freely
+    interleaved (the trainer trains one view per batch).  Parameter traversal
+    delegates to the parent container, meaning optimizers built on a view see
+    the full shared storage — combined with freeze masks this gives
+    incremental training its semantics.
+    """
+
+    def __init__(self, net: SlimmableConvNet, spec: SubNetSpec) -> None:
+        super().__init__()
+        # Intentionally NOT registered as a child module: the view borrows
+        # the container's parameters rather than owning a copy.
+        object.__setattr__(self, "net", net)
+        self.spec = spec
+
+    def activate(self) -> None:
+        self.net.set_active(self.spec)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.activate()
+        return self.net.forward(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.net.active_spec is not self.spec:
+            raise RuntimeError(
+                f"backward for view {self.spec.name!r} but active spec is "
+                f"{self.net.active_spec.name!r}"
+            )
+        return self.net.backward(grad_output)
+
+    def parameters(self):
+        return self.net.parameters()
+
+    def named_parameters(self, prefix: str = ""):
+        return self.net.named_parameters(prefix=prefix)
+
+    def train(self, mode: bool = True) -> "SubNetworkView":
+        self.net.train(mode)
+        self.training = mode
+        return self
+
+    def zero_grad(self) -> None:
+        self.net.zero_grad()
+
+    def flops_per_image(self) -> int:
+        self.activate()
+        return self.net.flops_per_image()
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __repr__(self) -> str:
+        return f"SubNetworkView({self.spec.name})"

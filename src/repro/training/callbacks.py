@@ -1,0 +1,72 @@
+"""Trainer callbacks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.training.history import EpochRecord
+from repro.utils.logging import get_logger
+
+
+class Callback:
+    """Hook interface; return ``True`` from ``on_epoch_end`` to stop early."""
+
+    def on_stage_start(self, stage: str) -> None:
+        pass
+
+    def on_epoch_end(self, record: EpochRecord) -> bool:
+        return False
+
+    def on_stage_end(self, stage: str) -> None:
+        pass
+
+
+class LoggingCallback(Callback):
+    """Logs per-epoch metrics through the repro logger."""
+
+    def __init__(self, name: str = "train") -> None:
+        self.logger = get_logger(f"training.{name}")
+
+    def on_epoch_end(self, record: EpochRecord) -> bool:
+        val = f" val_acc={record.val_accuracy:.4f}" if record.val_accuracy is not None else ""
+        self.logger.info(
+            "stage=%s epoch=%d loss=%.4f acc=%.4f%s",
+            record.stage,
+            record.epoch,
+            record.train_loss,
+            record.train_accuracy,
+            val,
+        )
+        return False
+
+
+class EarlyStopping(Callback):
+    """Stops a stage when validation accuracy plateaus.
+
+    Requires the trainer to be given a validation set; epochs without a
+    validation score never trigger stopping.
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 1e-4) -> None:
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self._best: Optional[float] = None
+        self._bad_epochs = 0
+
+    def on_stage_start(self, stage: str) -> None:
+        self._best = None
+        self._bad_epochs = 0
+
+    def on_epoch_end(self, record: EpochRecord) -> bool:
+        if record.val_accuracy is None:
+            return False
+        if self._best is None or record.val_accuracy > self._best + self.min_delta:
+            self._best = record.val_accuracy
+            self._bad_epochs = 0
+            return False
+        self._bad_epochs += 1
+        return self._bad_epochs >= self.patience

@@ -1,0 +1,57 @@
+"""Training history records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EpochRecord:
+    """Metrics for one epoch of one training stage."""
+
+    stage: str
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    val_accuracy: Optional[float] = None
+    lr: Optional[float] = None
+
+
+@dataclass
+class History:
+    """Accumulated epoch records across stages (and Algorithm 1 iterations)."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def add(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, other: "History") -> None:
+        self.records.extend(other.records)
+
+    def stages(self) -> List[str]:
+        seen: List[str] = []
+        for rec in self.records:
+            if rec.stage not in seen:
+                seen.append(rec.stage)
+        return seen
+
+    def for_stage(self, stage: str) -> List[EpochRecord]:
+        return [rec for rec in self.records if rec.stage == stage]
+
+    def final_loss(self, stage: Optional[str] = None) -> float:
+        recs = self.for_stage(stage) if stage else self.records
+        if not recs:
+            raise ValueError("no records")
+        return recs[-1].train_loss
+
+    def best_val_accuracy(self) -> Optional[float]:
+        vals = [rec.val_accuracy for rec in self.records if rec.val_accuracy is not None]
+        return max(vals) if vals else None
+
+    def to_dicts(self) -> List[Dict]:
+        return [vars(rec) for rec in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)

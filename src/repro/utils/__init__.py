@@ -1,0 +1,12 @@
+"""Shared utilities: deterministic RNG plumbing, configuration, logging.
+
+Everything stochastic in :mod:`repro` takes an explicit
+:class:`numpy.random.Generator`; :func:`repro.utils.rng.make_rng` is the one
+place generators are created so experiments are reproducible per seed.
+"""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.config import Config
+from repro.utils.logging import get_logger
+
+__all__ = ["make_rng", "spawn_rngs", "Config", "get_logger"]

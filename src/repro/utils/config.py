@@ -1,0 +1,80 @@
+"""A small immutable configuration record with validation helpers.
+
+Experiments and trainers accept plain keyword arguments, but the experiment
+harness (:mod:`repro.experiments`) passes structured configs around and needs
+round-tripping to/from plain dicts (for JSON reports).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class Config:
+    """Immutable string-keyed configuration mapping.
+
+    Supports attribute-style reads for convenience::
+
+        cfg = Config({"epochs": 3, "lr": 0.1})
+        cfg.epochs  # 3
+        cfg["lr"]   # 0.1
+    """
+
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key in self.values:
+            if not isinstance(key, str):
+                raise TypeError(f"Config keys must be strings, got {key!r}")
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def __getattr__(self, key: str) -> Any:
+        # Only called when normal attribute lookup fails.
+        try:
+            return self.values[key]
+        except KeyError:
+            raise AttributeError(key) from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.values.get(key, default)
+
+    def updated(self, **overrides: Any) -> "Config":
+        """Return a new Config with ``overrides`` applied."""
+        merged = dict(self.values)
+        merged.update(overrides)
+        return Config(merged)
+
+    def require(self, *keys: str) -> "Config":
+        """Raise ``KeyError`` listing any missing required keys."""
+        missing = [k for k in keys if k not in self.values]
+        if missing:
+            raise KeyError(f"Config missing required keys: {missing}")
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.values)
+
+    def to_json(self) -> str:
+        return json.dumps(self.values, sort_keys=True)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "Config":
+        return cls(dict(mapping))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Config":
+        return cls(json.loads(text))

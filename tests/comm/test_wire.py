@@ -1,0 +1,129 @@
+"""Tests for the binary wire format, including adversarial frames."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import WireError, decode_frame, encode_frame, frame_payload_bytes
+from repro.utils import make_rng
+
+
+class TestRoundTrip:
+    def test_basic(self, rng):
+        arrays = {"x": rng.standard_normal((2, 3)), "y": np.arange(4, dtype=np.int64)}
+        meta = {"kind": "test", "nested": {"a": 1}}
+        out_arrays, out_meta = decode_frame(encode_frame(arrays, meta))
+        assert out_meta == meta
+        np.testing.assert_array_equal(out_arrays["x"], arrays["x"])
+        np.testing.assert_array_equal(out_arrays["y"], arrays["y"])
+
+    def test_empty_arrays(self):
+        out_arrays, out_meta = decode_frame(encode_frame({}, {"m": 1}))
+        assert out_arrays == {}
+        assert out_meta == {"m": 1}
+
+    def test_zero_size_array(self):
+        arrays, _ = decode_frame(encode_frame({"e": np.zeros((0, 3))}, {}))
+        assert arrays["e"].shape == (0, 3)
+
+    def test_scalar_array(self):
+        arrays, _ = decode_frame(encode_frame({"s": np.array(3.5)}, {}))
+        assert arrays["s"].shape == ()
+        assert float(arrays["s"]) == 3.5
+
+    def test_preserves_dtype(self):
+        for dtype in ("float32", "float64", "int32", "int64", "uint8", "bool"):
+            src = np.ones((2, 2), dtype=dtype)
+            arrays, _ = decode_frame(encode_frame({"a": src}, {}))
+            assert arrays["a"].dtype == np.dtype(dtype)
+
+    def test_non_contiguous_input(self, rng):
+        base = rng.standard_normal((4, 6))
+        view = base[:, ::2]  # non-contiguous
+        arrays, _ = decode_frame(encode_frame({"v": view}, {}))
+        np.testing.assert_array_equal(arrays["v"], view)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(1, 5),
+        shape=st.lists(st.integers(1, 6), min_size=1, max_size=4),
+    )
+    def test_roundtrip_randomised(self, seed, n, shape):
+        rng = make_rng(seed)
+        arrays = {f"a{i}": rng.standard_normal(tuple(shape)) for i in range(n)}
+        decoded, _ = decode_frame(encode_frame(arrays, {"seed": seed}))
+        for name, arr in arrays.items():
+            np.testing.assert_array_equal(decoded[name], arr)
+
+
+class TestRejections:
+    def test_object_dtype_rejected(self):
+        with pytest.raises(WireError):
+            encode_frame({"bad": np.array([object()])}, {})
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame({"x": np.zeros(2)}, {}))
+        frame[0] = ord("X")
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_truncated_header(self):
+        frame = encode_frame({"x": np.zeros(2)}, {})
+        with pytest.raises(WireError):
+            decode_frame(frame[:6])
+
+    def test_truncated_payload(self):
+        frame = encode_frame({"x": np.zeros(100)}, {})
+        with pytest.raises(WireError, match="truncated"):
+            decode_frame(frame[:-10])
+
+    def test_trailing_garbage(self):
+        frame = encode_frame({"x": np.zeros(2)}, {})
+        with pytest.raises(WireError, match="trailing"):
+            decode_frame(frame + b"junk")
+
+    def test_header_not_json(self):
+        import struct
+
+        header = b"not json at all"
+        frame = b"FDN1" + struct.pack(">I", len(header)) + header
+        with pytest.raises(WireError):
+            decode_frame(frame)
+
+    def test_smuggled_dtype_rejected(self):
+        # Craft a header claiming an object dtype.
+        import json
+        import struct
+
+        header = json.dumps(
+            {"meta": {}, "arrays": [{"name": "x", "dtype": "object", "shape": [1]}]}
+        ).encode()
+        frame = b"FDN1" + struct.pack(">I", len(header)) + header + b"\x00" * 8
+        with pytest.raises(WireError, match="not allowed"):
+            decode_frame(frame)
+
+    def test_negative_shape_rejected(self):
+        import json
+        import struct
+
+        header = json.dumps(
+            {"meta": {}, "arrays": [{"name": "x", "dtype": "float64", "shape": [-1]}]}
+        ).encode()
+        frame = b"FDN1" + struct.pack(">I", len(header)) + header
+        with pytest.raises(WireError):
+            decode_frame(frame)
+
+    def test_oversized_declared_header(self):
+        import struct
+
+        frame = b"FDN1" + struct.pack(">I", 1 << 24) + b"x"
+        with pytest.raises(WireError):
+            decode_frame(frame)
+
+
+class TestPayloadBytes:
+    def test_counts(self, rng):
+        arrays = {"a": np.zeros((2, 3)), "b": np.zeros(5, dtype=np.float32)}
+        assert frame_payload_bytes(arrays) == 2 * 3 * 8 + 5 * 4

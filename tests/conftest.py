@@ -1,0 +1,76 @@
+"""Shared fixtures.
+
+Training-dependent fixtures are session-scoped and use deliberately tiny
+configurations so the whole suite stays fast; accuracy-sensitive assertions
+live in the benchmarks, not here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, SynthMNISTConfig, load_synth_mnist
+from repro.slimmable import SlimmableConvNet, WidthSpec, paper_width_spec
+from repro.training import RecipeConfig, TrainConfig, train_family
+from repro.utils import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return make_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def paper_spec() -> WidthSpec:
+    return paper_width_spec()
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> WidthSpec:
+    """A reduced sub-network family for fast structural tests."""
+    return WidthSpec(max_width=8, lower_widths=(2, 4, 6, 8), split=4, num_convs=3)
+
+
+@pytest.fixture
+def paper_net(paper_spec) -> SlimmableConvNet:
+    return SlimmableConvNet(paper_spec, rng=make_rng(0))
+
+
+@pytest.fixture
+def small_net(small_spec) -> SlimmableConvNet:
+    return SlimmableConvNet(small_spec, rng=make_rng(0))
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """(train, test) synthetic MNIST pair small enough for in-test training."""
+    return load_synth_mnist(SynthMNISTConfig(num_train=1500, num_test=300, seed=11))
+
+
+@pytest.fixture(scope="session")
+def tiny_recipe() -> RecipeConfig:
+    return RecipeConfig(
+        stage=TrainConfig(epochs=1, batch_size=64, lr=0.05, momentum=0.9),
+        niters=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_models(tiny_data, tiny_recipe):
+    """All three families trained on the tiny dataset (session-cached)."""
+    train, _ = tiny_data
+    models = {}
+    for family in ("static", "dynamic", "fluid"):
+        model, _ = train_family(family, train, rng=make_rng(5), config=tiny_recipe)
+        models[family] = model
+    return models
+
+
+@pytest.fixture(scope="session")
+def fluid_model(trained_models):
+    return trained_models["fluid"]
+
+
+def random_images(rng: np.random.Generator, n: int = 4, size: int = 28) -> np.ndarray:
+    return rng.standard_normal((n, 1, size, size))

@@ -1,0 +1,42 @@
+"""Tests for the digit glyph artwork."""
+
+import numpy as np
+import pytest
+
+from repro.data.glyphs import GLYPH_HEIGHT, GLYPH_WIDTH, NUM_CLASSES, all_glyphs, glyph, upsample
+
+
+class TestGlyphs:
+    def test_all_digits_present(self):
+        stack = all_glyphs()
+        assert stack.shape == (NUM_CLASSES, GLYPH_HEIGHT, GLYPH_WIDTH)
+
+    def test_binary_values(self):
+        stack = all_glyphs()
+        assert set(np.unique(stack)) <= {0.0, 1.0}
+
+    def test_every_glyph_has_ink(self):
+        for d in range(10):
+            assert glyph(d).sum() >= 7, f"digit {d} too sparse"
+
+    def test_glyphs_are_distinct(self):
+        stack = all_glyphs()
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert not np.array_equal(stack[a], stack[b]), f"{a} == {b}"
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ValueError):
+            glyph(10)
+        with pytest.raises(ValueError):
+            glyph(-1)
+
+    def test_upsample(self):
+        up = upsample(glyph(1), 3)
+        assert up.shape == (21, 15)
+        # Ink mass scales with factor^2.
+        assert up.sum() == glyph(1).sum() * 9
+
+    def test_upsample_invalid_factor(self):
+        with pytest.raises(ValueError):
+            upsample(glyph(0), 0)

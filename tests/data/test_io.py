@@ -1,0 +1,52 @@
+"""Tests for dataset persistence and caching."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import SynthMNISTConfig
+from repro.data.io import load_dataset, load_synth_mnist_cached, save_dataset
+from repro.data.dataset import ArrayDataset
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, rng):
+        ds = ArrayDataset(rng.standard_normal((5, 1, 8, 8)), rng.integers(0, 3, 5))
+        path = str(tmp_path / "ds.npz")
+        save_dataset(path, ds)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.images, ds.images)
+        np.testing.assert_array_equal(loaded.labels, ds.labels)
+
+    def test_creates_directories(self, tmp_path, rng):
+        ds = ArrayDataset(rng.standard_normal((2, 1, 4, 4)), rng.integers(0, 2, 2))
+        path = str(tmp_path / "a" / "b" / "ds.npz")
+        save_dataset(path, ds)
+        assert len(load_dataset(path)) == 2
+
+
+class TestCachedLoading:
+    def test_cache_hit_is_identical(self, tmp_path):
+        cfg = SynthMNISTConfig(num_train=30, num_test=10, seed=5)
+        cache = str(tmp_path / "cache")
+        train1, test1 = load_synth_mnist_cached(cfg, cache_dir=cache)
+        files_after_first = set(os.listdir(cache))
+        train2, test2 = load_synth_mnist_cached(cfg, cache_dir=cache)
+        assert set(os.listdir(cache)) == files_after_first  # no regeneration
+        np.testing.assert_array_equal(train1.images, train2.images)
+        np.testing.assert_array_equal(test1.labels, test2.labels)
+
+    def test_different_configs_get_different_cache_entries(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        load_synth_mnist_cached(SynthMNISTConfig(num_train=20, num_test=10, seed=1), cache_dir=cache)
+        load_synth_mnist_cached(SynthMNISTConfig(num_train=20, num_test=10, seed=2), cache_dir=cache)
+        assert len(os.listdir(cache)) == 4  # 2 configs x (train, test)
+
+    def test_cached_matches_uncached(self, tmp_path):
+        from repro.data import load_synth_mnist
+
+        cfg = SynthMNISTConfig(num_train=25, num_test=10, seed=9)
+        cached_train, _ = load_synth_mnist_cached(cfg, cache_dir=str(tmp_path))
+        direct_train, _ = load_synth_mnist(cfg)
+        np.testing.assert_array_equal(cached_train.images, direct_train.images)

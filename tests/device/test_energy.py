@@ -1,0 +1,79 @@
+"""Tests for the energy model extension."""
+
+import pytest
+
+from repro.comm import CommLatencyModel
+from repro.device import EnergyModel, PowerProfile, jetson_nx_master, jetson_nx_power, jetson_nx_worker
+from repro.distributed import MASTER, SystemThroughputModel, ThroughputBreakdown
+
+
+@pytest.fixture
+def energy():
+    return EnergyModel(jetson_nx_power(), jetson_nx_power())
+
+
+@pytest.fixture
+def tm(paper_net):
+    return SystemThroughputModel(
+        paper_net, jetson_nx_master(), jetson_nx_worker(), CommLatencyModel()
+    )
+
+
+class TestPowerProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerProfile("p", idle_w=-1, active_w=5, comm_w=1)
+        with pytest.raises(ValueError):
+            PowerProfile("p", idle_w=5, active_w=4, comm_w=1)
+        with pytest.raises(ValueError):
+            PowerProfile("p", idle_w=1, active_w=0, comm_w=1)
+
+
+class TestEnergyModel:
+    def test_failed_deployment_draws_nothing(self, energy):
+        dead = ThroughputBreakdown("failed", 0, 0, 0, 0)
+        assert energy.joules_per_image(dead) == 0.0
+
+    def test_ht_is_most_efficient_two_device_mode(self, energy, tm, paper_net):
+        """The extension's headline: Fluid HT uses both devices' active time
+        productively, so it costs the least energy per image of any
+        two-device deployment."""
+        ws = paper_net.width_spec
+        ha = energy.joules_per_image(tm.ha_throughput(ws.full()))
+        ht = energy.joules_per_image(
+            tm.ht_throughput(ws.find("lower50"), ws.find("upper50"))
+        )
+        parked = energy.joules_per_image(
+            tm.standalone_throughput(MASTER, ws.find("lower50")), devices_online=2
+        )
+        assert ht < parked < ha
+
+    def test_ht_matches_lone_device_per_image(self, energy, tm, paper_net):
+        """Two saturated devices cost about the same per image as one."""
+        ws = paper_net.width_spec
+        ht = energy.joules_per_image(
+            tm.ht_throughput(ws.find("lower50"), ws.find("upper50"))
+        )
+        solo = energy.joules_per_image(
+            tm.standalone_throughput(MASTER, ws.find("lower50")), devices_online=1
+        )
+        assert ht == pytest.approx(solo, rel=0.05)
+
+    def test_ha_breakdown_components(self, energy, tm, paper_net):
+        ha = energy.for_breakdown(tm.ha_throughput(paper_net.width_spec.full()))
+        assert ha.compute_j > 0
+        assert ha.comm_j > 0
+        assert ha.idle_j >= 0
+        assert ha.total_j == pytest.approx(ha.compute_j + ha.comm_j + ha.idle_j)
+
+    def test_dead_worker_saves_idle_power(self, energy, tm, paper_net):
+        solo = tm.standalone_throughput(MASTER, paper_net.width_spec.find("lower50"))
+        one = energy.joules_per_image(solo, devices_online=1)
+        two = energy.joules_per_image(solo, devices_online=2)
+        assert one < two
+
+    def test_efficiency_inverse_of_joules(self, energy, tm, paper_net):
+        ha = tm.ha_throughput(paper_net.width_spec.full())
+        assert energy.efficiency_images_per_joule(ha) == pytest.approx(
+            1.0 / energy.joules_per_image(ha)
+        )

@@ -1,0 +1,24 @@
+"""Tests for the emulated-time ledger."""
+
+import pytest
+
+from repro.distributed import EmulatedTimeLedger
+
+
+class TestEmulatedTimeLedger:
+    def test_empty_ledger(self):
+        ledger = EmulatedTimeLedger()
+        assert ledger.total_s == 0.0
+        assert ledger.throughput_ips() == 0.0
+
+    def test_throughput(self):
+        ledger = EmulatedTimeLedger(compute_s=0.8, comm_s=0.2, images=10)
+        assert ledger.total_s == pytest.approx(1.0)
+        assert ledger.throughput_ips() == pytest.approx(10.0)
+
+    def test_accumulation(self):
+        ledger = EmulatedTimeLedger()
+        ledger.compute_s += 0.5
+        ledger.comm_s += 0.1
+        ledger.images += 5
+        assert ledger.throughput_ips() == pytest.approx(5 / 0.6)

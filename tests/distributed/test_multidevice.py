@@ -1,0 +1,105 @@
+"""Tests for the N-device generalisation."""
+
+import pytest
+
+from repro.comm import CommLatencyModel
+from repro.device import jetson_nx_master
+from repro.distributed.multidevice import BlockPartition, MultiDeviceModel
+from repro.slimmable import SlimmableConvNet, WidthSpec
+from repro.utils import make_rng
+
+
+@pytest.fixture(scope="module")
+def quad_net():
+    spec = WidthSpec(max_width=16, lower_widths=(4, 8, 12, 16), split=8, num_convs=3)
+    return SlimmableConvNet(spec, rng=make_rng(0))
+
+
+@pytest.fixture(scope="module")
+def quad_model(quad_net):
+    partition = BlockPartition.even(4, 16)
+    profiles = [jetson_nx_master()] * 4
+    return MultiDeviceModel(quad_net, profiles, CommLatencyModel(), partition)
+
+
+class TestBlockPartition:
+    def test_even_split(self):
+        p = BlockPartition.even(4, 16)
+        assert p.num_blocks == 4
+        assert p.block_slice(0).width == 4
+        assert p.block_slice(3).start == 12
+
+    def test_uneven_boundaries(self):
+        p = BlockPartition((0, 4, 16))
+        assert p.num_blocks == 2
+        assert p.block_slice(1).width == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockPartition((0, 16))  # one block
+        with pytest.raises(ValueError):
+            BlockPartition((2, 8, 16))  # does not start at 0
+        with pytest.raises(ValueError):
+            BlockPartition((0, 8, 8, 16))  # not strictly increasing
+        with pytest.raises(ValueError):
+            BlockPartition.even(3, 16)  # 16 % 3 != 0
+        with pytest.raises(ValueError):
+            BlockPartition.even(4, 16).block_slice(4)
+
+
+class TestMultiDeviceModel:
+    def test_device_count_must_match_blocks(self, quad_net):
+        with pytest.raises(ValueError):
+            MultiDeviceModel(
+                quad_net, [jetson_nx_master()] * 3, CommLatencyModel(),
+                BlockPartition.even(4, 16),
+            )
+
+    def test_ht_rates_add(self, quad_model):
+        one = quad_model.ht_throughput([0])
+        assert quad_model.ht_throughput([0, 1]) == pytest.approx(
+            one + quad_model.ht_throughput([1])
+        )
+        assert quad_model.ht_throughput(range(4)) > 3 * one
+
+    def test_ha_requires_all_devices(self, quad_model):
+        assert quad_model.ha_throughput([0, 1, 2]) == 0.0
+        assert quad_model.ha_throughput(range(4)) > 0.0
+
+    def test_graceful_degradation(self, quad_model):
+        """Each lost device removes exactly its stream, never the system."""
+        throughputs = [
+            quad_model.survivor_throughput(range(k)) for k in range(5)
+        ]
+        assert throughputs[0] == 0.0
+        assert all(a < b for a, b in zip(throughputs, throughputs[1:]))
+
+    def test_reliability_profile_monotone(self, quad_model):
+        profile = quad_model.reliability_profile()
+        assert profile[4] == 0.0
+        assert all(profile[k] >= profile[k + 1] for k in range(4))
+        # No single failure kills the system.
+        assert profile[1] > 0.0
+
+    def test_ht_beats_ha_in_paper_regime(self, quad_model):
+        """The paper's comm-dominated regime persists at N=4: independent
+        streams outrun the all-gather pipeline."""
+        assert quad_model.ht_throughput(range(4)) > quad_model.ha_throughput(range(4))
+
+    def test_two_block_case_matches_width_partition_shape(self, quad_net):
+        """N=2 with even blocks reproduces the paper's two-device structure."""
+        model = MultiDeviceModel(
+            quad_net,
+            [jetson_nx_master()] * 2,
+            CommLatencyModel(),
+            BlockPartition.even(2, 16),
+        )
+        ht = model.ht_throughput([0, 1])
+        ha = model.ha_throughput([0, 1])
+        solo = model.survivor_throughput([0])
+        assert ht == pytest.approx(2 * solo, rel=1e-9)
+        assert ha < solo < ht
+
+    def test_alive_index_validation(self, quad_model):
+        with pytest.raises(ValueError):
+            quad_model.ht_throughput([5])

@@ -1,0 +1,50 @@
+"""Tests for experiment-result persistence."""
+
+import pytest
+
+from repro.experiments.fig2 import Fig2Cell, Fig2Result
+from repro.experiments.io import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+def sample_result() -> Fig2Result:
+    result = Fig2Result()
+    result.add(Fig2Cell("static", "master_and_worker", "HA", 11.1, 98.9, "HA ..."))
+    result.add(Fig2Cell("fluid", "master_and_worker", "HT", 28.3, 97.6, "HT ..."))
+    result.add(Fig2Cell("fluid", "only_worker", "solo", 13.9, 98.9, "solo ..."))
+    return result
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        original = sample_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert len(restored.cells) == len(original.cells)
+        cell = restored.get("fluid", "master_and_worker", "HT")
+        assert cell.throughput_ips == 28.3
+        assert cell.accuracy_pct == 97.6
+
+    def test_file_roundtrip(self, tmp_path):
+        original = sample_result()
+        path = str(tmp_path / "runs" / "fig2.json")
+        save_result(path, original)
+        restored = load_result(path)
+        for cell in original.cells:
+            again = restored.get(cell.family, cell.scenario, cell.mode)
+            assert again.throughput_ips == pytest.approx(cell.throughput_ips)
+            assert again.plan == cell.plan
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            result_from_dict({"schema": 99, "cells": []})
+
+    def test_json_is_stable(self, tmp_path):
+        path_a = str(tmp_path / "a.json")
+        path_b = str(tmp_path / "b.json")
+        save_result(path_a, sample_result())
+        save_result(path_b, sample_result())
+        assert open(path_a).read() == open(path_b).read()

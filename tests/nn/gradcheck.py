@@ -1,0 +1,46 @@
+"""Central-difference gradient checking helpers shared by nn tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_grad_wrt_array(f, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``array`` in place."""
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        f_plus = f()
+        array[idx] = original - eps
+        f_minus = f()
+        array[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_layer_gradients(layer, x: np.ndarray, rng, atol: float = 1e-6) -> None:
+    """Validate a layer's input and parameter gradients numerically.
+
+    Uses the scalar objective ``sum(forward(x) * g)`` for a fixed random
+    ``g``, whose gradient through ``backward`` is exactly ``g``.
+    """
+    out = layer(x)
+    g = rng.standard_normal(out.shape)
+
+    def objective() -> float:
+        return float((layer(x) * g).sum())
+
+    layer.zero_grad()
+    layer(x)
+    grad_x = layer.backward(g)
+
+    num_grad_x = numerical_grad_wrt_array(objective, x)
+    np.testing.assert_allclose(grad_x, num_grad_x, atol=atol, rtol=1e-4)
+
+    for param in layer.parameters():
+        num_grad = numerical_grad_wrt_array(objective, param.data)
+        np.testing.assert_allclose(param.grad, num_grad, atol=atol, rtol=1e-4)

@@ -1,0 +1,51 @@
+"""Tests for npz checkpoint I/O."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential, load_model, load_state, save_model, save_state
+from repro.utils import make_rng
+
+
+class TestStateIO:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        state = {"a": np.arange(6, dtype=float).reshape(2, 3), "b": np.ones(4)}
+        save_state(path, state)
+        loaded = load_state(path)
+        assert set(loaded) == {"a", "b"}
+        np.testing.assert_array_equal(loaded["a"], state["a"])
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "ckpt.npz")
+        save_state(path, {"x": np.zeros(2)})
+        assert load_state(path)["x"].shape == (2,)
+
+    def test_loaded_arrays_are_owned_copies(self, tmp_path):
+        path = str(tmp_path / "c.npz")
+        save_state(path, {"x": np.zeros(3)})
+        loaded = load_state(path)
+        loaded["x"][0] = 5  # must not raise (writable copy)
+        assert loaded["x"][0] == 5
+
+
+class TestModelIO:
+    def test_model_roundtrip(self, tmp_path):
+        rng = make_rng(0)
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        path = str(tmp_path / "model.npz")
+        save_model(path, model)
+
+        fresh = Sequential(Linear(4, 8, rng=make_rng(1)), ReLU(), Linear(8, 2, rng=make_rng(2)))
+        load_model(path, fresh)
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_array_equal(model(x), fresh(x))
+
+    def test_strict_load_rejects_wrong_architecture(self, tmp_path):
+        rng = make_rng(0)
+        model = Sequential(Linear(4, 8, rng=rng))
+        path = str(tmp_path / "m.npz")
+        save_model(path, model)
+        other = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        with pytest.raises(KeyError):
+            load_model(path, other)

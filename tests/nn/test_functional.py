@@ -1,0 +1,159 @@
+"""Tests for the stateless numerical kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.utils import make_rng
+
+
+class TestConvOutSize:
+    def test_basic(self):
+        assert F.conv_out_size(28, 3, 1, 1) == 28
+        assert F.conv_out_size(28, 3, 1, 0) == 26
+        assert F.conv_out_size(28, 2, 2, 0) == 14
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            F.conv_out_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = make_rng(0).standard_normal((2, 3, 8, 8))
+        cols, (oh, ow) = F.im2col(x, (3, 3), stride=1, padding=1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 64, 3 * 9)
+
+    def test_values_match_naive_window(self):
+        rng = make_rng(1)
+        x = rng.standard_normal((1, 2, 5, 5))
+        cols, (oh, ow) = F.im2col(x, (3, 3), stride=1, padding=0)
+        # Window at (i, j) = x[:, :, i:i+3, j:j+3] flattened channel-major.
+        for i in range(oh):
+            for j in range(ow):
+                expected = x[0, :, i : i + 3, j : j + 3].reshape(-1)
+                np.testing.assert_array_equal(cols[i * ow + j], expected)
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        # <im2col(x), c> == <x, col2im(c)> for all c: the defining property
+        # of the backward scatter.
+        rng = make_rng(2)
+        x = rng.standard_normal((2, 3, 6, 6))
+        cols, _ = F.im2col(x, (3, 3), 1, 1)
+        c = rng.standard_normal(cols.shape)
+        lhs = float((cols * c).sum())
+        back = F.col2im(c, x.shape, (3, 3), 1, 1)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 2),
+        size=st.integers(5, 9),
+        kernel=st.integers(1, 3),
+    )
+    def test_adjoint_property_randomised(self, stride, padding, size, kernel):
+        if size + 2 * padding < kernel:
+            return
+        rng = make_rng(stride * 100 + padding * 10 + size)
+        x = rng.standard_normal((1, 2, size, size))
+        cols, _ = F.im2col(x, (kernel, kernel), stride, padding)
+        c = rng.standard_normal(cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * F.col2im(c, x.shape, (kernel, kernel), stride, padding)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestConv2d:
+    def test_matches_naive_convolution(self):
+        rng = make_rng(3)
+        x = rng.standard_normal((2, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 3, 3))
+        b = rng.standard_normal(3)
+        y, _ = F.conv2d_forward(x, w, b, stride=1, padding=1)
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros_like(y)
+        for n in range(2):
+            for co in range(3):
+                for i in range(5):
+                    for j in range(5):
+                        patch = xp[n, :, i : i + 3, j : j + 3]
+                        naive[n, co, i, j] = (patch * w[co]).sum() + b[co]
+        np.testing.assert_allclose(y, naive, atol=1e-12)
+
+    def test_channel_mismatch_raises(self):
+        rng = make_rng(0)
+        x = rng.standard_normal((1, 3, 5, 5))
+        w = rng.standard_normal((2, 2, 3, 3))
+        with pytest.raises(ValueError):
+            F.conv2d_forward(x, w, np.zeros(2), 1, 1)
+
+    def test_backward_shapes(self):
+        rng = make_rng(4)
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = rng.standard_normal((4, 3, 3, 3))
+        y, cols = F.conv2d_forward(x, w, np.zeros(4), 1, 1)
+        gx, gw, gb = F.conv2d_backward(np.ones_like(y), cols, x.shape, w, 1, 1)
+        assert gx.shape == x.shape
+        assert gw.shape == w.shape
+        assert gb.shape == (4,)
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y, _ = F.maxpool2d_forward(x, 2, 2)
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y, argmax = F.maxpool2d_forward(x, 2, 2)
+        gx = F.maxpool2d_backward(np.ones_like(y), argmax, x.shape, 2, 2)
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_array_equal(gx[0, 0], expected)
+
+    def test_gradient_sum_preserved(self):
+        rng = make_rng(5)
+        x = rng.standard_normal((2, 3, 8, 8))
+        y, argmax = F.maxpool2d_forward(x, 2, 2)
+        g = rng.standard_normal(y.shape)
+        gx = F.maxpool2d_backward(g, argmax, x.shape, 2, 2)
+        assert gx.sum() == pytest.approx(g.sum(), rel=1e-10)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = make_rng(6)
+        probs = F.softmax(rng.standard_normal((5, 10)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_shift_invariance(self):
+        logits = make_rng(7).standard_normal((3, 4))
+        np.testing.assert_allclose(F.softmax(logits), F.softmax(logits + 100.0))
+
+    def test_extreme_values_stable(self):
+        logits = np.array([[1e4, 0.0, -1e4]])
+        probs = F.softmax(logits)
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistency(self):
+        logits = make_rng(8).standard_normal((4, 6))
+        np.testing.assert_allclose(
+            np.exp(F.log_softmax(logits)), F.softmax(logits), atol=1e-12
+        )
+
+
+class TestRelu:
+    def test_forward_and_mask(self):
+        x = np.array([[-1.0, 0.0, 2.0]])
+        y, mask = F.relu_forward(x)
+        np.testing.assert_array_equal(y, [[0.0, 0.0, 2.0]])
+        np.testing.assert_array_equal(
+            F.relu_backward(np.ones_like(x), mask), [[0.0, 0.0, 1.0]]
+        )

@@ -1,0 +1,82 @@
+"""Tests for loss functions, including numerical gradient verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import MSELoss, SoftmaxCrossEntropy
+from repro.nn import functional as F
+from repro.utils import make_rng
+from tests.nn.gradcheck import numerical_grad_wrt_array
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = SoftmaxCrossEntropy()(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_prediction_log_k(self):
+        k = 10
+        logits = np.zeros((4, k))
+        loss, _ = SoftmaxCrossEntropy()(logits, np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(k))
+
+    def test_gradient_matches_numerical(self):
+        rng = make_rng(0)
+        logits = rng.standard_normal((3, 5))
+        labels = np.array([0, 2, 4])
+        loss_fn = SoftmaxCrossEntropy()
+        _, grad = loss_fn(logits, labels)
+        num = numerical_grad_wrt_array(lambda: loss_fn(logits, labels)[0], logits)
+        np.testing.assert_allclose(grad, num, atol=1e-7)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = make_rng(1)
+        logits = rng.standard_normal((6, 4))
+        _, grad = SoftmaxCrossEntropy()(logits, np.array([0, 1, 2, 3, 0, 1]))
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(6), atol=1e-12)
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(np.zeros((2, 3, 1)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(np.zeros((2, 3)), np.array([0, 1, 2]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 8), k=st.integers(2, 12))
+    def test_loss_is_negative_log_prob(self, seed, n, k):
+        rng = make_rng(seed)
+        logits = rng.standard_normal((n, k)) * 3
+        labels = rng.integers(0, k, n)
+        loss, _ = SoftmaxCrossEntropy()(logits, labels)
+        probs = F.softmax(logits, axis=1)
+        expected = -np.log(probs[np.arange(n), labels]).mean()
+        assert loss == pytest.approx(expected, rel=1e-9)
+        assert loss >= 0.0
+
+
+class TestMSELoss:
+    def test_zero_for_identical(self):
+        x = make_rng(2).standard_normal((3, 3))
+        loss, grad = MSELoss()(x, x.copy())
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(x))
+
+    def test_gradient_matches_numerical(self):
+        rng = make_rng(3)
+        pred = rng.standard_normal((2, 4))
+        target = rng.standard_normal((2, 4))
+        loss_fn = MSELoss()
+        _, grad = loss_fn(pred, target)
+        num = numerical_grad_wrt_array(lambda: loss_fn(pred, target)[0], pred)
+        np.testing.assert_allclose(grad, num, atol=1e-7)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))

@@ -1,0 +1,146 @@
+"""Tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, ConstantLR, CosineLR, StepLR
+from repro.nn.parameter import Parameter
+
+
+def make_param(values) -> Parameter:
+    return Parameter(np.array(values, dtype=float))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad[:] = [0.5, -0.5]
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad[:] = [1.0]
+        opt.step()  # v=1, w=-1
+        p.grad[:] = [1.0]
+        opt.step()  # v=1.5, w=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_weight_decay_pulls_toward_zero(self):
+        p = make_param([10.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        p.grad[:] = [0.0]
+        opt.step()
+        assert 0 < p.data[0] < 10.0
+
+    def test_freeze_mask_blocks_update(self):
+        p = make_param([1.0, 1.0])
+        p.set_freeze_mask(np.array([1.0, 0.0]))
+        p.grad[:] = [1.0, 1.0]
+        SGD([p], lr=0.5).step()
+        np.testing.assert_allclose(p.data, [0.5, 1.0])
+
+    def test_freeze_mask_blocks_weight_decay_too(self):
+        p = make_param([2.0, 2.0])
+        p.set_freeze_mask(np.array([0.0, 1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad[:] = [0.0, 0.0]
+        opt.step()
+        assert p.data[0] == 2.0
+        assert p.data[1] < 2.0
+
+    def test_requires_grad_false_skips(self):
+        p = make_param([1.0])
+        p.requires_grad = False
+        p.grad[:] = [1.0]
+        SGD([p], lr=1.0).step()
+        assert p.data[0] == 1.0
+
+    def test_validation(self):
+        p = make_param([1.0])
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+
+    def test_converges_on_quadratic(self):
+        # Minimise f(w) = ||w - target||^2 by explicit gradient steps.
+        target = np.array([3.0, -2.0])
+        p = make_param([0.0, 0.0])
+        opt = SGD([p], lr=0.05, momentum=0.8)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad[:] = 2 * (p.data - target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        target = np.array([1.0, -1.0, 0.5])
+        p = make_param([0.0, 0.0, 0.0])
+        opt = Adam([p], lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad[:] = 2 * (p.data - target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, |first update| ~= lr regardless of grad scale.
+        p = make_param([0.0])
+        opt = Adam([p], lr=0.01)
+        p.grad[:] = [1e-3]
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_freeze_mask_blocks_update(self):
+        p = make_param([1.0, 1.0])
+        p.set_freeze_mask(np.array([0.0, 1.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(5):
+            p.zero_grad()
+            p.grad[:] = [1.0, 1.0]
+            opt.step()
+        assert p.data[0] == 1.0
+        assert p.data[1] < 1.0
+
+    def test_validation(self):
+        p = make_param([1.0])
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, betas=(1.0, 0.9))
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, eps=0.0)
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([make_param([0.0])], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = CosineLR(opt, t_max=10, min_lr=0.01)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert lrs[-1] == pytest.approx(0.01)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_constant(self):
+        opt = self._opt()
+        sched = ConstantLR(opt)
+        assert [sched.step() for _ in range(3)] == [1.0, 1.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineLR(self._opt(), t_max=0)

@@ -1,0 +1,79 @@
+"""Tests for Parameter semantics (grads, masks, copies)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.parameter import Parameter
+
+
+class TestParameter:
+    def test_data_is_float64_contiguous(self):
+        p = Parameter(np.array([[1, 2], [3, 4]], dtype=np.int32))
+        assert p.data.dtype == np.float64
+        assert p.data.flags["C_CONTIGUOUS"]
+
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert not p.grad.any()
+        assert p.grad.shape == (2, 3)
+
+    def test_accumulate_adds(self):
+        p = Parameter(np.zeros(3))
+        p.accumulate_grad(np.ones(3))
+        p.accumulate_grad(np.ones(3))
+        np.testing.assert_array_equal(p.grad, [2.0, 2.0, 2.0])
+
+    def test_accumulate_shape_mismatch_raises(self):
+        p = Parameter(np.zeros(3))
+        with pytest.raises(ValueError):
+            p.accumulate_grad(np.ones(4))
+
+    def test_requires_grad_false_ignores(self):
+        p = Parameter(np.zeros(2))
+        p.requires_grad = False
+        p.accumulate_grad(np.ones(2))
+        assert not p.grad.any()
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        p.accumulate_grad(np.ones(2))
+        p.zero_grad()
+        assert not p.grad.any()
+
+    def test_non_array_rejected(self):
+        with pytest.raises(TypeError):
+            Parameter([1, 2, 3])
+
+
+class TestFreezeMask:
+    def test_effective_grad_applies_mask(self):
+        p = Parameter(np.zeros(4))
+        p.accumulate_grad(np.ones(4))
+        p.set_freeze_mask(np.array([1.0, 0.0, 1.0, 0.0]))
+        np.testing.assert_array_equal(p.effective_grad(), [1, 0, 1, 0])
+
+    def test_clearing_mask(self):
+        p = Parameter(np.zeros(2))
+        p.set_freeze_mask(np.zeros(2))
+        p.set_freeze_mask(None)
+        p.accumulate_grad(np.ones(2))
+        np.testing.assert_array_equal(p.effective_grad(), [1, 1])
+
+    def test_mask_shape_mismatch_raises(self):
+        p = Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            p.set_freeze_mask(np.zeros(3))
+
+
+class TestCopy:
+    def test_copy_in_place(self):
+        a = Parameter(np.zeros(3))
+        b = Parameter(np.arange(3, dtype=float))
+        storage = a.data
+        a.copy_(b)
+        assert a.data is storage  # in-place, keeps aliases valid
+        np.testing.assert_array_equal(a.data, [0, 1, 2])
+
+    def test_copy_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Parameter(np.zeros(2)).copy_(Parameter(np.zeros(3)))

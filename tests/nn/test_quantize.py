@@ -1,0 +1,101 @@
+"""Tests for post-training int8 quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.quantize import (
+    QuantizedTensor,
+    compression_ratio,
+    dequantize_state_dict,
+    load_quantized,
+    quantization_error,
+    quantize_state_dict,
+    quantize_tensor,
+    save_quantized,
+    state_dict_bytes,
+)
+from repro.utils import make_rng
+
+
+class TestQuantizeTensor:
+    def test_roundtrip_error_bounded(self):
+        rng = make_rng(0)
+        w = rng.standard_normal((16, 8, 3, 3))
+        q = quantize_tensor(w)
+        err = np.abs(q.dequantize() - w).max()
+        # Max error is half a quantisation step.
+        step = np.abs(w).max() / 127
+        assert err <= step / 2 + 1e-12
+
+    def test_values_are_int8(self):
+        q = quantize_tensor(np.linspace(-1, 1, 100))
+        assert q.values.dtype == np.int8
+        assert q.values.max() <= 127 and q.values.min() >= -127
+
+    def test_zero_tensor(self):
+        q = quantize_tensor(np.zeros((4, 4)))
+        np.testing.assert_array_equal(q.dequantize(), np.zeros((4, 4)))
+
+    def test_per_channel_beats_per_tensor_on_skewed_scales(self):
+        rng = make_rng(1)
+        w = rng.standard_normal((4, 10))
+        w[0] *= 100.0  # one loud channel ruins the shared scale
+        assert quantization_error(w, per_channel=True) < quantization_error(
+            w, per_channel=False
+        )
+
+    def test_extremes_preserved(self):
+        w = np.array([[-2.0, 0.0, 2.0]])
+        deq = quantize_tensor(w).dequantize()
+        assert deq[0, 0] == pytest.approx(-2.0)
+        assert deq[0, 2] == pytest.approx(2.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500), per_channel=st.booleans())
+    def test_idempotent(self, seed, per_channel):
+        """Quantising an already-dequantised tensor changes nothing."""
+        w = make_rng(seed).standard_normal((3, 5))
+        once = quantize_tensor(w, per_channel).dequantize()
+        twice = quantize_tensor(once, per_channel).dequantize()
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            QuantizedTensor(values=np.zeros(3), scale=np.ones(1))
+
+
+class TestStateDictQuantization:
+    def test_compression_ratio_near_8x(self, paper_net):
+        # float64 store -> int8 wire: ~8x minus scale overhead.
+        ratio = compression_ratio(paper_net.state_dict())
+        assert 6.0 < ratio <= 8.0
+
+    def test_quantized_model_still_works(self, trained_models, tiny_data):
+        """Accuracy after int8 round-trip stays within a point."""
+        _, test = tiny_data
+        model = trained_models["fluid"]
+        baseline = model.evaluate("lower100", test)
+        state = model.state_dict()
+        quantized = quantize_state_dict(state, per_channel=True)
+        model.load_state_dict(dequantize_state_dict(quantized))
+        try:
+            degraded = model.evaluate("lower100", test)
+            assert degraded >= baseline - 0.02
+        finally:
+            model.load_state_dict(state)  # restore for other tests
+
+    def test_save_load_roundtrip(self, tmp_path, paper_net):
+        quantized = quantize_state_dict(paper_net.state_dict())
+        path = str(tmp_path / "q.npz")
+        save_quantized(path, quantized)
+        loaded = load_quantized(path)
+        assert set(loaded) == set(quantized)
+        for name in quantized:
+            np.testing.assert_array_equal(loaded[name].values, quantized[name].values)
+            np.testing.assert_array_equal(loaded[name].scale, quantized[name].scale)
+
+    def test_state_dict_bytes(self, paper_net):
+        state = paper_net.state_dict()
+        assert state_dict_bytes(state) == sum(a.nbytes for a in state.values())

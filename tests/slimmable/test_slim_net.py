@@ -1,0 +1,158 @@
+"""Tests for the slimmable network container and sub-network views."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SoftmaxCrossEntropy
+from repro.slimmable import ChannelSlice, SlimmableConvNet, paper_width_spec
+from repro.utils import make_rng
+
+
+class TestArchitecture:
+    def test_paper_parameter_count(self, paper_net):
+        # conv1: 16*1*9+16; conv2/3: 16*16*9+16; fc: 10*784+10
+        expected = (16 * 9 + 16) + 2 * (16 * 16 * 9 + 16) + (10 * 784 + 10)
+        assert paper_net.num_parameters() == expected
+
+    def test_all_subnets_produce_logits(self, paper_net, rng):
+        x = rng.standard_normal((3, 1, 28, 28))
+        for spec in paper_net.width_spec.all_specs():
+            logits = paper_net.view(spec)(x)
+            assert logits.shape == (3, 10)
+            assert np.isfinite(logits).all()
+
+    def test_feature_slice_mapping(self, paper_net):
+        fs = paper_net.feature_slice_for(ChannelSlice(8, 16))
+        assert fs.start == 8 * 49 and fs.stop == 16 * 49
+
+    def test_spec_length_mismatch_rejected(self, paper_net):
+        from repro.slimmable import uniform_spec
+
+        with pytest.raises(ValueError):
+            paper_net.set_active(uniform_spec("bad", 0, 4, 5))
+
+    def test_too_much_pooling_rejected(self, paper_spec):
+        with pytest.raises(ValueError):
+            SlimmableConvNet(paper_spec, image_size=4, pool_after=(0, 1, 2), rng=make_rng(0))
+
+
+class TestWeightSharing:
+    def test_lower_subnet_shares_weights_with_full(self, paper_net, rng):
+        """Changing the full model's lower block changes the lower subnet."""
+        ws = paper_net.width_spec
+        x = rng.standard_normal((2, 1, 28, 28))
+        before = paper_net.view(ws.find("lower50"))(x)
+        paper_net.convs[0].weight.data[:8] += 0.5
+        after = paper_net.view(ws.find("lower50"))(x)
+        assert not np.allclose(before, after)
+
+    def test_upper_subnet_independent_of_lower_weights(self, paper_net, rng):
+        """The paper's reliability mechanism: upper subnets never read the
+        lower channels' weights, so scrambling them must not change upper
+        outputs (this is what lets the Worker survive a Master failure)."""
+        ws = paper_net.width_spec
+        x = rng.standard_normal((2, 1, 28, 28))
+        before = paper_net.view(ws.find("upper50"))(x)
+        # Scramble everything the master holds: rows [0, 8) of each conv,
+        # and the classifier columns for channels [0, 8).
+        for conv in paper_net.convs:
+            conv.weight.data[:8] = rng.standard_normal(conv.weight.data[:8].shape)
+            conv.bias.data[:8] = rng.standard_normal(8)
+        paper_net.classifier.weight.data[:, : 8 * 49] = rng.standard_normal((10, 8 * 49))
+        after = paper_net.view(ws.find("upper50"))(x)
+        np.testing.assert_allclose(before, after)
+
+    def test_lower_subnet_independent_of_upper_weights(self, paper_net, rng):
+        ws = paper_net.width_spec
+        x = rng.standard_normal((2, 1, 28, 28))
+        before = paper_net.view(ws.find("lower50"))(x)
+        for conv in paper_net.convs:
+            conv.weight.data[8:] = rng.standard_normal(conv.weight.data[8:].shape)
+        after = paper_net.view(ws.find("lower50"))(x)
+        np.testing.assert_allclose(before, after)
+
+    def test_combined_model_uses_cross_blocks(self, paper_net, rng):
+        """The 100% model must read lower->upper cross weights (dense)."""
+        ws = paper_net.width_spec
+        x = rng.standard_normal((2, 1, 28, 28))
+        before = paper_net.view(ws.find("lower100"))(x)
+        # Perturb only a cross block: conv2 rows 8:16, cols 0:8.
+        paper_net.convs[1].weight.data[8:, :8] += 0.5
+        after = paper_net.view(ws.find("lower100"))(x)
+        assert not np.allclose(before, after)
+        # But the standalone halves are untouched by that cross block.
+        np.testing.assert_allclose(
+            paper_net.view(ws.find("lower50"))(x), paper_net.view(ws.find("lower50"))(x)
+        )
+
+
+class TestViews:
+    def test_view_activates_on_forward(self, paper_net, rng):
+        ws = paper_net.width_spec
+        lower = paper_net.view(ws.find("lower25"))
+        upper = paper_net.view(ws.find("upper25"))
+        x = rng.standard_normal((1, 1, 28, 28))
+        lower(x)
+        assert paper_net.active_spec.name == "lower25"
+        upper(x)
+        assert paper_net.active_spec.name == "upper25"
+
+    def test_backward_guards_against_stale_spec(self, paper_net, rng):
+        ws = paper_net.width_spec
+        view_a = paper_net.view(ws.find("lower25"))
+        view_b = paper_net.view(ws.find("lower50"))
+        x = rng.standard_normal((1, 1, 28, 28))
+        y = view_a(x)
+        view_b(x)  # switches active spec
+        with pytest.raises(RuntimeError):
+            view_a.backward(np.ones_like(y))
+
+    def test_view_parameters_are_container_parameters(self, paper_net):
+        view = paper_net.view(paper_net.width_spec.find("lower25"))
+        assert view.parameters() == paper_net.parameters()
+
+    def test_views_dict_covers_family(self, paper_net):
+        views = paper_net.views()
+        assert set(views) == {s.name for s in paper_net.width_spec.all_specs()}
+
+    def test_flops_monotone_in_width(self, paper_net):
+        ws = paper_net.width_spec
+        flops = [paper_net.view(ws.lower(w)).flops_per_image() for w in ws.lower_widths]
+        assert flops == sorted(flops)
+        assert flops[0] < flops[-1]
+
+
+class TestTrainingThroughViews:
+    def test_backward_only_touches_active_region(self, paper_net, rng):
+        ws = paper_net.width_spec
+        view = paper_net.view(ws.find("upper25"))
+        x = rng.standard_normal((2, 1, 28, 28))
+        y = view(x)
+        loss_fn = SoftmaxCrossEntropy()
+        _, grad = loss_fn(y, np.array([1, 2]))
+        view.zero_grad()
+        view.backward(grad)
+        # conv2 gradient must live only in block [8:12, 8:12].
+        g = paper_net.convs[1].weight.grad
+        assert g[8:12, 8:12].any()
+        mask = np.zeros_like(g)
+        mask[8:12, 8:12] = 1
+        assert not (g * (1 - mask)).any()
+
+    def test_region_masks_cover_all_touched_params(self, paper_net, rng):
+        """Gradient support must be inside the declared region mask."""
+        ws = paper_net.width_spec
+        loss_fn = SoftmaxCrossEntropy()
+        x = rng.standard_normal((2, 1, 28, 28))
+        for spec in ws.all_specs():
+            view = paper_net.view(spec)
+            y = view(x)
+            _, grad = loss_fn(y, np.array([0, 1]))
+            view.zero_grad()
+            view.backward(grad)
+            regions = {id(p): m for p, m in paper_net.region_masks(spec)}
+            for param in paper_net.parameters():
+                support = (param.grad != 0).astype(float)
+                region = regions[id(param)]
+                outside = support * (1 - region)
+                assert not outside.any(), f"{spec.name}: {param.name} grad outside region"

@@ -1,0 +1,109 @@
+"""Tests for channel slices and width specs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.slimmable import ChannelSlice, SubNetSpec, WidthSpec, paper_width_spec, uniform_spec
+
+
+class TestChannelSlice:
+    def test_width(self):
+        assert ChannelSlice(2, 6).width == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ChannelSlice(3, 3)
+        with pytest.raises(ValueError):
+            ChannelSlice(-1, 2)
+        with pytest.raises(ValueError):
+            ChannelSlice(5, 2)
+
+    def test_contains(self):
+        assert ChannelSlice(0, 8).contains(ChannelSlice(2, 6))
+        assert not ChannelSlice(0, 8).contains(ChannelSlice(6, 10))
+
+    def test_overlaps(self):
+        assert ChannelSlice(0, 4).overlaps(ChannelSlice(3, 6))
+        assert not ChannelSlice(0, 4).overlaps(ChannelSlice(4, 6))
+
+    def test_as_slice(self):
+        assert ChannelSlice(1, 3).as_slice() == slice(1, 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(0, 20), w1=st.integers(1, 10), b=st.integers(0, 20), w2=st.integers(1, 10))
+    def test_contains_implies_overlaps(self, a, w1, b, w2):
+        outer = ChannelSlice(a, a + w1 + w2)
+        inner = ChannelSlice(a + (w1 + w2) // 4, a + (w1 + w2) // 2 + 1)
+        if outer.contains(inner):
+            assert outer.overlaps(inner)
+
+
+class TestSubNetSpec:
+    def test_uniform_spec(self):
+        spec = uniform_spec("x", 0, 4, 3)
+        assert len(spec.conv_slices) == 3
+        assert spec.is_uniform()
+        assert spec.is_lower()
+
+    def test_upper_is_not_lower(self):
+        spec = uniform_spec("u", 4, 8, 2)
+        assert not spec.is_lower()
+
+    def test_empty_slices_rejected(self):
+        with pytest.raises(ValueError):
+            SubNetSpec("bad", ())
+
+
+class TestWidthSpec:
+    def test_paper_spec_families(self):
+        ws = paper_width_spec()
+        lowers = [s.name for s in ws.lower_family()]
+        uppers = [s.name for s in ws.upper_family()]
+        assert lowers == ["lower25", "lower50", "lower75", "lower100"]
+        assert uppers == ["upper25", "upper50"]
+
+    def test_paper_spec_slices(self):
+        ws = paper_width_spec()
+        assert ws.find("lower50").conv_slices[0] == ChannelSlice(0, 8)
+        assert ws.find("upper25").conv_slices[0] == ChannelSlice(8, 12)
+        assert ws.find("upper50").conv_slices[0] == ChannelSlice(8, 16)
+
+    def test_full(self):
+        ws = paper_width_spec()
+        assert ws.full().name == "lower100"
+        assert ws.full().last_slice.stop == 16
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            paper_width_spec().find("lower33")
+
+    def test_lower_requires_listed_width(self):
+        with pytest.raises(ValueError):
+            paper_width_spec().lower(5)
+
+    def test_upper_bounds(self):
+        ws = paper_width_spec()
+        with pytest.raises(ValueError):
+            ws.upper(9)  # 8 + 9 > 16
+        with pytest.raises(ValueError):
+            ws.upper(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WidthSpec(max_width=8, lower_widths=(4, 8), split=0, num_convs=2)
+        with pytest.raises(ValueError):
+            WidthSpec(max_width=8, lower_widths=(8, 4), split=4, num_convs=2)
+        with pytest.raises(ValueError):
+            WidthSpec(max_width=8, lower_widths=(4, 6), split=4, num_convs=2)
+
+    def test_upper_family_mirrors_widths_above_split(self):
+        ws = WidthSpec(max_width=12, lower_widths=(3, 6, 9, 12), split=6, num_convs=2)
+        names = [s.name for s in ws.upper_family()]
+        assert names == ["upper25", "upper50"]
+        assert ws.upper_family()[0].conv_slices[0] == ChannelSlice(6, 9)
+
+    def test_all_specs_unique_names(self):
+        ws = paper_width_spec()
+        names = [s.name for s in ws.all_specs()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_args(self):
+        args = build_parser().parse_args(
+            ["train", "--family", "fluid", "--out", "m.npz", "--epochs", "2"]
+        )
+        assert args.family == "fluid"
+        assert args.epochs == 2
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--family", "quantum", "--out", "x"])
+
+    def test_bad_failure_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--family", "fluid", "--fail", "worker-10"])
+
+
+class TestCalibrationCommand:
+    def test_prints_all_points(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        for name in ("solo_master_50", "solo_worker_upper50", "fluid_ht", "distributed_ha"):
+            assert name in out
+
+
+class TestSimulateCommand:
+    def test_fluid_survival_timeline(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "fluid",
+                "--fail", "worker:10", "--recover", "worker:25",
+                "--fail", "master:40", "--horizon", "55",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solo" in out
+        assert "downtime: 0.0s" in out
+
+    def test_static_downtime(self, capsys):
+        main(["simulate", "--family", "static", "--fail", "worker:5", "--horizon", "10"])
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "downtime: 5.0s" in out
+
+
+class TestTrainEvaluateRoundtrip:
+    def test_train_then_evaluate(self, tmp_path, capsys):
+        path = str(tmp_path / "model.npz")
+        code = main(
+            [
+                "train", "--family", "fluid", "--out", path,
+                "--train-size", "600", "--epochs", "1", "--niters", "1",
+            ]
+        )
+        assert code == 0
+        code = main(
+            ["evaluate", "--family", "fluid", "--weights", path, "--test-size", "200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "upper50" in out and "standalone" in out

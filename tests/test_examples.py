@@ -1,0 +1,53 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The training-heavy examples (quickstart, tcp_cluster_demo, fig2_report)
+are exercised manually / in benchmarks; here we run the second-scale ones
+as subprocesses exactly as a user would.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_failover_demo(self):
+        out = run_example("failover_demo.py")
+        assert "FLUID DNN" in out
+        assert "downtime: 0s" in out          # fluid rides everything out
+        assert "downtime: 30s" in out         # static is down for both failures
+
+    def test_modes_demo(self):
+        out = run_example("modes_demo.py")
+        assert "HT/HA throughput ratio: 2.55x" in out
+        assert "28.3" in out and "11.1" in out
+
+    def test_scaling_energy_demo(self):
+        out = run_example("scaling_energy_demo.py")
+        assert "J/img" in out
+        assert "k=1:" in out  # reliability decay table rendered
+
+
+class TestExampleHygiene:
+    def test_all_examples_have_docstrings_and_main(self):
+        for name in os.listdir(EXAMPLES_DIR):
+            if not name.endswith(".py"):
+                continue
+            source = open(os.path.join(EXAMPLES_DIR, name)).read()
+            assert source.startswith('"""'), f"{name} missing module docstring"
+            assert '__name__ == "__main__"' in source, f"{name} missing main guard"

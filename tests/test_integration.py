@@ -1,0 +1,85 @@
+"""End-to-end integration: the paper's full story on tiny models.
+
+Train all three families -> run the Fig. 2 harness -> persist/reload the
+result -> verify the reliability shape checks -> drive the failure
+timeline.  This is the whole pipeline a user of the library runs, in one
+test module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommLatencyModel
+from repro.device import jetson_nx_master, jetson_nx_worker, single_failure
+from repro.distributed import ExecutionMode, SystemThroughputModel
+from repro.experiments import (
+    load_result,
+    run_fig2,
+    save_result,
+    shape_checks,
+    subnet_accuracy_table,
+)
+from repro.runtime import AdaptationPolicy, SystemController
+
+
+@pytest.fixture(scope="module")
+def pipeline(trained_models, tiny_data):
+    _, test_set = tiny_data
+    result = run_fig2(trained_models, test_set)
+    return trained_models, test_set, result
+
+
+class TestFullPipeline:
+    def test_reliability_shape_holds_end_to_end(self, pipeline):
+        _, _, result = pipeline
+        checks = shape_checks(result)
+        reliability = [c for c in checks if "survives" in c.name or "fails" in c.name]
+        assert len(reliability) == 3
+        assert all(c.passed for c in reliability), reliability
+
+    def test_throughput_cells_paper_exact(self, pipeline):
+        _, _, result = pipeline
+        assert result.get(
+            "fluid", "master_and_worker", "HT"
+        ).throughput_ips == pytest.approx(28.3, rel=0.005)
+
+    def test_result_roundtrips_through_json(self, pipeline, tmp_path):
+        _, _, result = pipeline
+        path = str(tmp_path / "fig2.json")
+        save_result(path, result)
+        restored = load_result(path)
+        checks = shape_checks(restored)
+        assert [c.passed for c in checks] == [c.passed for c in shape_checks(result)]
+
+    def test_subnet_table_renders(self, pipeline):
+        models, test_set, _ = pipeline
+        table = subnet_accuracy_table(models, test_set)
+        assert "fluid" in table and "upper50" in table and "*" in table
+
+    def test_failure_timeline_consistent_with_fig2(self, pipeline):
+        """The controller's post-failure throughput equals the Fig. 2 cell."""
+        models, _, result = pipeline
+        model = models["fluid"]
+        tm = SystemThroughputModel(
+            model.net, jetson_nx_master(), jetson_nx_worker(), CommLatencyModel()
+        )
+        controller = SystemController(AdaptationPolicy(model, tm), tm)
+        timeline = controller.simulate(single_failure("master", at_s=5.0), horizon_s=10.0)
+        final = timeline.transitions[-1]
+        assert final.plan.mode is ExecutionMode.SOLO
+        cell = result.get("fluid", "only_worker", "solo")
+        assert final.throughput.throughput_ips == pytest.approx(cell.throughput_ips)
+
+    def test_checkpoint_roundtrip_preserves_fig2_accuracy(self, pipeline, tmp_path):
+        """Save + reload the fluid model; its Fig. 2 accuracies are identical."""
+        from repro.models import build_model
+        from repro.nn.checkpoint import load_state, save_state
+        from repro.utils import make_rng
+
+        models, test_set, result = pipeline
+        path = str(tmp_path / "fluid.npz")
+        save_state(path, models["fluid"].state_dict())
+        clone = build_model("fluid", rng=make_rng(123))
+        clone.load_state_dict(load_state(path))
+        original = models["fluid"].evaluate("upper50", test_set)
+        assert clone.evaluate("upper50", test_set) == pytest.approx(original)

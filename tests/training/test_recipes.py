@@ -1,0 +1,54 @@
+"""Tests for the family training recipes (the Fig. 2 training procedures)."""
+
+import pytest
+
+from repro.training import RecipeConfig, TrainConfig, train_family
+from repro.utils import make_rng
+
+
+class TestRecipeBehaviour:
+    """Uses the session-cached trained models; asserts the qualitative
+    certification-vs-capability pattern that drives the whole paper."""
+
+    def test_static_full_model_works(self, trained_models, tiny_data):
+        _, test = tiny_data
+        assert trained_models["static"].evaluate("lower100", test) > 0.5
+
+    def test_static_slices_are_garbage(self, trained_models, tiny_data):
+        """Neither the lower nor upper 25% slice of a statically trained
+        model is usable — the physical reason Fig. 1b/1c shows total failure."""
+        _, test = tiny_data
+        model = trained_models["static"]
+        assert model.evaluate("lower25", test) < 0.5
+
+    def test_dynamic_lower_works_upper_fails(self, trained_models, tiny_data):
+        _, test = tiny_data
+        model = trained_models["dynamic"]
+        assert model.evaluate("lower50", test) > 0.4
+        assert model.evaluate("upper50", test) < 0.4
+
+    def test_fluid_everything_works(self, trained_models, tiny_data):
+        _, test = tiny_data
+        model = trained_models["fluid"]
+        for name in ("lower25", "lower50", "lower75", "lower100", "upper25", "upper50"):
+            assert model.evaluate(name, test) > 0.4, name
+
+    def test_unknown_family_rejected(self, tiny_data):
+        train, _ = tiny_data
+        with pytest.raises(ValueError):
+            train_family("hybrid", train, rng=make_rng(0))
+
+
+class TestBudgetFairness:
+    def test_static_budget_matches_dynamic(self, tiny_data):
+        """Static gets the same total epoch budget the slimmable recipes
+        spend across stages, so accuracy comparisons are fair."""
+        train, _ = tiny_data
+        cfg = RecipeConfig(stage=TrainConfig(epochs=1, lr=0.05), niters=2)
+        _, static_history = train_family("static", train, rng=make_rng(0), config=cfg)
+        _, dynamic_history = train_family("dynamic", train, rng=make_rng(0), config=cfg)
+        static_epochs = len(static_history.records)
+        dynamic_base_epochs = len(
+            [r for r in dynamic_history.records if r.stage.split("/")[-1].startswith("lower")]
+        )
+        assert static_epochs == dynamic_base_epochs
