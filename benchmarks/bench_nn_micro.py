@@ -10,7 +10,7 @@ import pytest
 
 from repro.nn import Conv2d, Linear, SoftmaxCrossEntropy
 from repro.slimmable import SlimmableConvNet, paper_width_spec
-from repro.utils import make_rng
+from repro.utils import dtype_policy, make_rng, resolve_dtype_policy
 
 
 @pytest.fixture(scope="module")
@@ -66,6 +66,51 @@ def test_subnet_forward(benchmark, batch, subnet):
     view.train(False)
     logits = benchmark(view.forward, batch)
     assert logits.shape == (64, 10)
+
+
+@pytest.mark.parametrize("policy", ["float64", "float32"])
+def test_full_inference_dtype_policy(benchmark, policy):
+    """The headline dtype-policy comparison: full-width inference under the
+    float64 baseline vs the float32 fast path (same weights, same input)."""
+    net = SlimmableConvNet(paper_width_spec(), rng=make_rng(7))
+    view = net.view(net.width_spec.find("lower100"))
+    view.train(False)
+    x = make_rng(8).standard_normal((256, 1, 28, 28))
+    with dtype_policy(resolve_dtype_policy(policy)):
+        logits = benchmark(view.forward, x)
+    assert logits.shape == (256, 10)
+    assert logits.dtype == np.dtype(policy)
+
+
+def test_float32_policy_speedup():
+    """The float32 inference fast path must measurably beat float64.
+
+    Typical BLAS gives ~2x; the recorded acceptance number lives in
+    BENCH_dtype_policy.json.  The hard gate here defaults to a slacker
+    1.2x so shared CI runners don't flake, and can be tightened via
+    REPRO_MIN_DTYPE_SPEEDUP for local acceptance runs.
+    """
+    import os
+    import time
+
+    threshold = float(os.environ.get("REPRO_MIN_DTYPE_SPEEDUP", "1.2"))
+
+    net = SlimmableConvNet(paper_width_spec(), rng=make_rng(9))
+    view = net.view(net.width_spec.find("lower100"))
+    view.train(False)
+    x = make_rng(10).standard_normal((256, 1, 28, 28))
+
+    def time_policy(policy, reps=5):
+        with dtype_policy(resolve_dtype_policy(policy)):
+            view(x)  # warm-up: casts + allocator
+            start = time.perf_counter()
+            for _ in range(reps):
+                view(x)
+            return (time.perf_counter() - start) / reps
+
+    t64 = time_policy("float64")
+    t32 = time_policy("float32")
+    assert t64 / t32 >= threshold, f"float32 speedup only {t64 / t32:.2f}x"
 
 
 def test_subnet_forward_scales_with_width(benchmark, batch):

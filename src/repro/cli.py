@@ -39,11 +39,18 @@ from repro.nn.checkpoint import load_state, save_state
 from repro.runtime import AdaptationPolicy, SystemController
 from repro.slimmable import SlimmableConvNet, paper_width_spec
 from repro.training import RecipeConfig, TrainConfig, train_family
-from repro.utils import make_rng
+from repro.utils import make_rng, resolve_dtype_policy, set_dtype_policy
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--dtype-policy",
+        choices=("float64", "float32"),
+        default="float64",
+        help="numeric policy: float64 reproduces the paper exactly; "
+        "float32 is the inference fast path (training stays float64)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     train = sub.add_parser("train", help="train one model family")
@@ -187,7 +194,11 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    old_policy = set_dtype_policy(resolve_dtype_policy(args.dtype_policy))
+    try:
+        return COMMANDS[args.command](args)
+    finally:
+        set_dtype_policy(old_policy)
 
 
 if __name__ == "__main__":

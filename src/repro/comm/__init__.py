@@ -9,12 +9,21 @@ from repro.comm.transport import (
     TransportClosed,
     TransportError,
 )
-from repro.comm.wire import WireError, decode_frame, encode_frame, frame_payload_bytes
+from repro.comm.wire import (
+    WireError,
+    cast_for_wire,
+    decode_frame,
+    encode_frame,
+    frame_payload_bytes,
+    wire_dtype,
+)
 
 __all__ = [
     "encode_frame",
     "decode_frame",
     "frame_payload_bytes",
+    "cast_for_wire",
+    "wire_dtype",
     "WireError",
     "Message",
     "MessageKind",

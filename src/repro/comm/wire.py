@@ -18,6 +18,8 @@ from typing import Any, Dict, Tuple
 
 import numpy as np
 
+from repro.utils.dtypes import get_dtype_policy
+
 MAGIC = b"FDN1"
 _HEADER_STRUCT = struct.Struct(">I")
 MAX_HEADER_BYTES = 1 << 20
@@ -99,3 +101,16 @@ def decode_frame(frame: bytes) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
 def frame_payload_bytes(arrays: Dict[str, np.ndarray]) -> int:
     """Payload size an array dict would occupy on the wire."""
     return int(sum(np.ascontiguousarray(a).nbytes for a in arrays.values()))
+
+
+def wire_dtype() -> np.dtype:
+    """Dtype float activations take on the wire, per the global policy."""
+    dtype = get_dtype_policy().wire_dtype
+    if dtype.name not in _ALLOWED_DTYPES:
+        raise WireError(f"policy wire dtype {dtype.name!r} not in the allowlist")
+    return dtype
+
+
+def cast_for_wire(arr: np.ndarray) -> np.ndarray:
+    """Cast a float activation to the policy wire dtype (no copy if already there)."""
+    return np.asarray(arr, dtype=wire_dtype())

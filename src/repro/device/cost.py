@@ -73,55 +73,82 @@ def subnet_num_layers(net: SlimmableConvNet) -> int:
     return len(net.convs) + 1
 
 
+def block_partitioned_costs(
+    net: SlimmableConvNet, spec: SubNetSpec, boundaries: Tuple[int, ...]
+) -> Tuple[List[List[LayerCost]], List[int]]:
+    """Costs of width-partitioned (High-Accuracy) execution over N blocks.
+
+    Device ``k`` computes output channels ``[boundaries[k], boundaries[k+1])``
+    of every conv (clipped to the layer's width) and its share of the
+    classifier.  Every device reads the *full* input activation of each
+    layer, which is what forces the per-layer all-gather.
+
+    Returns ``(per_device_costs, exchange_bytes)`` where
+    ``per_device_costs[k][i]`` is device ``k``'s cost for layer ``i`` and
+    ``exchange_bytes[i]`` bounds the (full-duplex) per-layer exchange: the
+    widest complement any device must receive, with the final entry the
+    partial-logit gather.
+    """
+    if len(boundaries) < 3 or boundaries[0] != 0 or list(boundaries) != sorted(set(boundaries)):
+        raise ValueError(f"bad block boundaries {boundaries!r}")
+    if spec.conv_slices[0].start != 0:
+        raise ValueError("partitioned execution applies to combined (lower-anchored) specs")
+    num_blocks = len(boundaries) - 1
+    total = subnet_layer_costs(net, spec)
+    per_device: List[List[LayerCost]] = [[] for _ in range(num_blocks)]
+    exchange: List[int] = []
+    for cost in total:
+        if cost.name == "fc":
+            # Each device multiplies its share of the features; all but one
+            # ship their partial logits (out_channels values each).
+            share = cost.flops // num_blocks
+            for k in range(num_blocks):
+                flops_k = share if k < num_blocks - 1 else cost.flops - share * (num_blocks - 1)
+                per_device[k].append(LayerCost("fc", flops_k, cost.out_channels, 1))
+            exchange.append((num_blocks - 1) * cost.out_channels * WIRE_BYTES_PER_VALUE)
+        else:
+            widths = []
+            for k in range(num_blocks):
+                start = min(boundaries[k], cost.out_channels)
+                stop = min(boundaries[k + 1], cost.out_channels)
+                if stop <= start:
+                    raise ValueError(
+                        f"layer {cost.name} has {cost.out_channels} channels; "
+                        f"block [{boundaries[k]}, {boundaries[k + 1]}) is empty"
+                    )
+                widths.append(stop - start)
+            assigned = 0
+            for k, width in enumerate(widths):
+                if k < num_blocks - 1:
+                    flops_k = cost.flops * width // cost.out_channels
+                    assigned += flops_k
+                else:
+                    flops_k = cost.flops - assigned
+                per_device[k].append(LayerCost(cost.name, flops_k, width, cost.out_spatial))
+            # All-gather: the widest complement bounds the exchange.
+            complement = cost.out_channels - min(widths)
+            exchange.append(complement * cost.out_spatial * WIRE_BYTES_PER_VALUE)
+    return per_device, exchange
+
+
 def partitioned_device_costs(
     net: SlimmableConvNet, spec: SubNetSpec, split: int
 ) -> Tuple[List[LayerCost], List[LayerCost], List[int]]:
-    """Costs of width-partitioned (High-Accuracy) execution of ``spec``.
+    """Two-device specialisation of :func:`block_partitioned_costs`.
 
-    The Master computes output channels ``[0, split)`` of every conv and the
-    lower feature half of the classifier; the Worker computes channels
-    ``[split, stop)`` and the upper half.  Both read the *full* input
-    activation of each layer, which is what forces the per-layer exchange.
-
-    Returns ``(master_costs, worker_costs, exchange_bytes)`` where
-    ``exchange_bytes[i]`` is the number of bytes device *i*'s half of layer
-    *i*'s output occupies on the wire (each device sends its half and
-    receives the other's; the final entry is the Worker's partial logits).
+    The Master computes output channels ``[0, split)``, the Worker
+    ``[split, stop)``.  Returns ``(master_costs, worker_costs,
+    exchange_bytes)``.
     """
     full = spec.conv_slices[0]
     if not (full.start == 0 and split < full.stop):
         raise ValueError(
             f"partition split {split} must fall inside the combined slice {full}"
         )
-    total = subnet_layer_costs(net, spec)
-    master: List[LayerCost] = []
-    worker: List[LayerCost] = []
-    exchange: List[int] = []
-    for cost in total:
-        if cost.name == "fc":
-            # Each side multiplies its half of the features; the Worker ships
-            # its partial logits (out_channels values) to the Master.
-            half_flops = cost.flops // 2
-            master.append(LayerCost("fc", half_flops, cost.out_channels, 1))
-            worker.append(LayerCost("fc", cost.flops - half_flops, cost.out_channels, 1))
-            exchange.append(cost.out_channels * WIRE_BYTES_PER_VALUE)
-        else:
-            out_low = split
-            out_high = cost.out_channels - split
-            if out_high <= 0:
-                raise ValueError(
-                    f"layer {cost.name} has {cost.out_channels} channels; "
-                    f"cannot split at {split}"
-                )
-            flops_low = cost.flops * out_low // cost.out_channels
-            master.append(LayerCost(cost.name, flops_low, out_low, cost.out_spatial))
-            worker.append(
-                LayerCost(cost.name, cost.flops - flops_low, out_high, cost.out_spatial)
-            )
-            # All-gather: the larger half bounds the (full-duplex) exchange.
-            half_values = max(out_low, out_high) * cost.out_spatial
-            exchange.append(half_values * WIRE_BYTES_PER_VALUE)
-    return master, worker, exchange
+    per_device, exchange = block_partitioned_costs(
+        net, spec, (0, split, spec.last_slice.stop)
+    )
+    return per_device[0], per_device[1], exchange
 
 
 def subnet_param_count(net: SlimmableConvNet, spec: SubNetSpec) -> int:

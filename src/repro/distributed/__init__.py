@@ -2,8 +2,12 @@
 
 from repro.distributed.cluster import LocalCluster, WorkerProcess
 from repro.distributed.layer_partition import LayerCut, LayerPartitionModel
-from repro.distributed.master import EmulatedTimeLedger, MasterRuntime, WorkerUnavailable
-from repro.distributed.multidevice import BlockPartition, MultiDeviceModel
+from repro.distributed.master import MasterRuntime, WorkerUnavailable
+from repro.distributed.multidevice import (
+    BlockPartition,
+    MultiDeviceModel,
+    MultiDeviceRuntime,
+)
 from repro.distributed.modes import ALL_SCENARIOS, ExecutionMode, Scenario
 from repro.distributed.partition import MASTER, ROLES, WORKER, WidthPartition
 from repro.distributed.partitioned import (
@@ -17,8 +21,11 @@ from repro.distributed.plan import (
     failed_plan,
     ha_plan,
     ht_plan,
+    partitioned_plan,
     solo_plan,
+    streams_plan,
 )
+from repro.engine.ledger import EmulatedTimeLedger
 from repro.distributed.throughput import SystemThroughputModel, ThroughputBreakdown
 from repro.distributed.worker import WorkerServer
 
@@ -39,11 +46,14 @@ __all__ = [
     "solo_plan",
     "ht_plan",
     "ha_plan",
+    "streams_plan",
+    "partitioned_plan",
     "SystemThroughputModel",
     "LayerCut",
     "LayerPartitionModel",
     "BlockPartition",
     "MultiDeviceModel",
+    "MultiDeviceRuntime",
     "ThroughputBreakdown",
     "MasterRuntime",
     "WorkerServer",

@@ -2,7 +2,10 @@
 
 Spawns worker devices as separate OS processes (the closest laptop-scale
 stand-in for separate boards: independent address spaces, real TCP between
-them, killable with a signal) and wires a Master runtime to them.
+them, killable with a signal) and wires a Master runtime to them.  The
+master is the engine facade, so the cluster exercises the exact same
+:class:`~repro.engine.engine.ExecutionEngine` code path as the in-process
+tests — just with a TCP :class:`~repro.engine.endpoints.TransportEndpoint`.
 """
 
 from __future__ import annotations
@@ -59,8 +62,17 @@ class WorkerProcess:
         ]
         if crash_after is not None:
             cmd += ["--crash-after", str(crash_after)]
+        # The child must import the same `repro` the parent is running, even
+        # from a plain checkout where the package is not installed.
+        import repro
+
+        pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (pkg_root, env.get("PYTHONPATH")) if p
+        )
         self.process = subprocess.Popen(
-            cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True, env=env
         )
         self.port = self._await_ready()
 
@@ -126,6 +138,11 @@ class LocalCluster:
             partition_split=spec.split,
             comm_model=comm_model,
         )
+
+    @property
+    def engine(self):
+        """The unified execution engine driving this cluster over TCP."""
+        return self.master.engine
 
     @staticmethod
     def _connect_with_retry(port: int, attempts: int = 20, delay: float = 0.1):

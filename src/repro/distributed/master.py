@@ -1,52 +1,36 @@
-"""Master-side runtime: drives the worker, computes its own halves.
+"""Master-side runtime: the two-device facade over the execution engine.
 
-The Master is the paper's decision-maker: it partitions work, detects
-worker failure (transport errors / ping timeouts) and is the place the
-adaptation policy plugs into.  It accounts emulated time (device compute
-plus offline-measured comm costs) so live runs report paper-style
-throughput numbers alongside wall-clock.
+The Master is the paper's decision-maker: it holds the local (master)
+device plus one worker transport, builds the corresponding two-endpoint
+:class:`~repro.engine.engine.ExecutionEngine`, and exposes the historical
+``run_local`` / ``run_remote`` / ``run_ht`` / ``run_ha`` entry points as
+thin plan dispatches.  All mode logic — partitioned rounds, parallel
+streams, failure signalling, emulated-time accounting — lives in
+:mod:`repro.engine`; this module only names the two devices.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from repro.comm.latency_model import CommLatencyModel
-from repro.comm.message import Message, MessageKind
-from repro.comm.transport import Transport, TransportError
-from repro.device.cost import partitioned_device_costs
-from repro.device.emulated import DeviceFailed, EmulatedDevice
-from repro.distributed.partitioned import (
-    conv_block_half,
-    fc_partial,
-    feature_slice_for_block,
-    flatten_channel_block,
-)
-from repro.slimmable.spec import ChannelSlice, SubNetSpec
+from repro.comm.transport import Transport
+from repro.device.emulated import EmulatedDevice
+from repro.distributed.modes import ExecutionMode
+from repro.distributed.partition import MASTER, WORKER
+from repro.distributed.plan import DeploymentPlan, ha_plan, ht_plan, solo_plan
+from repro.engine.endpoints import EndpointUnavailable, LocalEndpoint, TransportEndpoint
+from repro.engine.engine import EngineResult, ExecutionEngine
+from repro.engine.graph import BlockPartition
+from repro.engine.ledger import EmulatedTimeLedger
+from repro.slimmable.spec import SubNetSpec
 from repro.utils.logging import get_logger
 
-
-class WorkerUnavailable(RuntimeError):
-    """Raised when the worker cannot be reached (the failure signal)."""
-
-
-@dataclass
-class EmulatedTimeLedger:
-    """Accumulates emulated compute/communication seconds for reporting."""
-
-    compute_s: float = 0.0
-    comm_s: float = 0.0
-    images: int = 0
-
-    @property
-    def total_s(self) -> float:
-        return self.compute_s + self.comm_s
-
-    def throughput_ips(self) -> float:
-        return self.images / self.total_s if self.total_s > 0 else 0.0
+# Backwards-compatible alias: the worker being unreachable is the engine's
+# endpoint-unavailable signal.
+WorkerUnavailable = EndpointUnavailable
 
 
 class MasterRuntime:
@@ -62,70 +46,65 @@ class MasterRuntime:
         request_timeout: float = 10.0,
     ) -> None:
         self.device = device
-        self.transport = transport
         self.split = partition_split
         self.comm_model = comm_model or CommLatencyModel()
         self.request_timeout = request_timeout
-        self.ledger = EmulatedTimeLedger()
         self.logger = get_logger("master")
+        self._worker = TransportEndpoint(
+            WORKER, transport, request_timeout=request_timeout
+        )
+        self.engine = ExecutionEngine(
+            {MASTER: LocalEndpoint(MASTER, device), WORKER: self._worker},
+            device.net.width_spec,
+            partition=BlockPartition.two_way(
+                partition_split, device.net.width_spec.max_width
+            ),
+            comm_model=self.comm_model,
+        )
+
+    @property
+    def ledger(self) -> EmulatedTimeLedger:
+        return self.engine.ledger
+
+    @property
+    def transport(self) -> Optional[Transport]:
+        """The worker's transport; assigning swaps the endpoint's link too."""
+        return self._worker.transport
+
+    @transport.setter
+    def transport(self, transport: Optional[Transport]) -> None:
+        self._worker.transport = transport
 
     # -- worker plumbing -----------------------------------------------------
 
     def worker_attached(self) -> bool:
-        return self.transport is not None and not self.transport.closed
+        return self._worker.available
 
     def ping_worker(self, timeout: float = 1.0) -> bool:
         """Heartbeat; False means the worker is to be treated as dead."""
-        if not self.worker_attached():
-            return False
-        try:
-            self.transport.send(Message(MessageKind.PING))
-            reply = self.transport.recv(timeout=timeout)
-        except TransportError:
-            return False
-        return reply.kind == MessageKind.PONG
+        return self._worker.ping(timeout=timeout)
 
-    def _request(self, message: Message) -> Message:
-        if not self.worker_attached():
-            raise WorkerUnavailable("no worker transport")
-        try:
-            self.transport.send(message)
-            reply = self.transport.recv(timeout=self.request_timeout)
-        except TransportError as exc:
-            raise WorkerUnavailable(str(exc)) from exc
-        if reply.kind == MessageKind.ERROR:
-            raise WorkerUnavailable(f"worker error: {reply.fields.get('reason')}")
-        self._account_comm(message, reply)
-        return reply
+    # -- plan execution --------------------------------------------------------
 
-    def _account_comm(self, request: Message, reply: Message) -> None:
-        nbytes = max(
-            sum(a.nbytes for a in request.arrays.values()),
-            sum(a.nbytes for a in reply.arrays.values()),
-        )
-        self.ledger.comm_s += self.comm_model.transfer_time(int(nbytes))
+    def execute_plan(self, plan: DeploymentPlan, x: np.ndarray) -> EngineResult:
+        """Run an arbitrary deployment plan on one batch."""
+        return self.engine.execute(plan, x)
 
-    # -- standalone / HT ------------------------------------------------------
+    def _register(self, *specs: SubNetSpec) -> None:
+        # Callers may hand in spec objects outside the width family; make
+        # sure the engine resolves their names back to the exact objects.
+        for spec in specs:
+            self.engine.extra_specs[spec.name] = spec
 
     def run_local(self, spec: SubNetSpec, x: np.ndarray) -> np.ndarray:
         """Standalone inference on the master device."""
-        logits = self.device.execute_subnet(spec, x)
-        self.ledger.compute_s += self.device.estimated_latency(spec) * x.shape[0]
-        self.ledger.images += x.shape[0]
-        return logits
+        self._register(spec)
+        return self.engine.execute(solo_plan(MASTER, spec.name), x).logits
 
     def run_remote(self, spec: SubNetSpec, x: np.ndarray) -> np.ndarray:
         """Standalone inference on the worker device."""
-        reply = self._request(
-            Message(
-                MessageKind.RUN_SUBNET,
-                fields={"spec": spec.name},
-                arrays={"x": x.astype(np.float32)},
-            )
-        )
-        self.ledger.compute_s += float(reply.fields.get("compute_s", 0.0))
-        self.ledger.images += x.shape[0]
-        return reply.arrays["logits"].astype(np.float64)
+        self._register(spec)
+        return self.engine.execute(solo_plan(WORKER, spec.name), x).logits
 
     def run_ht(
         self,
@@ -134,96 +113,28 @@ class MasterRuntime:
         x_master: np.ndarray,
         x_worker: np.ndarray,
     ) -> tuple:
-        """High-Throughput mode: both devices on independent input streams.
-
-        Emulated time: the streams run in parallel, so elapsed time is the
-        max of the two sides; the ledger records it that way.
-        """
-        before_compute = self.ledger.compute_s
-        logits_w = self.run_remote(worker_spec, x_worker)
-        worker_s = self.ledger.compute_s - before_compute
-        logits_m = self.device.execute_subnet(master_spec, x_master)
-        master_s = self.device.estimated_latency(master_spec) * x_master.shape[0]
-        # Replace sequential accounting with parallel max().
-        self.ledger.compute_s = before_compute + max(worker_s, master_s)
-        self.ledger.images += x_master.shape[0]
-        return logits_m, logits_w
-
-    # -- HA (width-partitioned) -------------------------------------------------
+        """High-Throughput mode: both devices on independent input streams."""
+        self._register(master_spec, worker_spec)
+        result = self.engine.execute(
+            ht_plan(master_spec.name, worker_spec.name),
+            streams={MASTER: x_master, WORKER: x_worker},
+        )
+        return result.streams[MASTER], result.streams[WORKER]
 
     def run_ha(self, spec: SubNetSpec, x: np.ndarray) -> np.ndarray:
         """High-Accuracy mode: jointly compute the combined model on ``x``.
 
-        Drives the per-layer protocol: each round ships the master's half of
-        the previous activation, receives the worker's half of the current
-        one, and computes the master's half locally.  Numerically identical
-        to single-device execution of ``spec``.
+        Numerically identical to single-device execution of ``spec`` up to
+        the wire-dtype casts.
         """
-        if not spec.is_lower():
-            raise ValueError("HA mode requires a combined (lower-anchored) sub-network")
-        net = self.device.net
-        lower = ChannelSlice(0, self.split)
-        master_costs, _, _ = partitioned_device_costs(net, spec, self.split)
-
-        current = x
-        in_slice: Optional[ChannelSlice] = None
-        master_half: Optional[np.ndarray] = None
-        for layer, out_slice in enumerate(spec.conv_slices):
-            if layer == 0:
-                request = Message(
-                    MessageKind.PARTIAL_FORWARD,
-                    fields={"op": "layer", "layer": 0, "spec": spec.name},
-                    arrays={"input": x.astype(np.float32)},
-                )
-            else:
-                request = Message(
-                    MessageKind.PARTIAL_FORWARD,
-                    fields={"op": "layer", "layer": layer, "spec": spec.name},
-                    arrays={"master_half": master_half.astype(np.float32)},
-                )
-            master_half = conv_block_half(net, layer, current, lower, in_slice)
-            self.device.busy_time_s += self.device.profile.compute_time(
-                master_costs[layer].flops * x.shape[0], x.shape[0]
-            )
-            self.ledger.compute_s += self.device.profile.compute_time(
-                master_costs[layer].flops, 1
-            ) * x.shape[0]
-            reply = self._request(request)
-            worker_half = reply.arrays["half"].astype(np.float64)
-            current = np.concatenate([master_half, worker_half], axis=1)
-            in_slice = out_slice
-
-        feats_m = flatten_channel_block(current[:, : self.split])
-        logits_m = fc_partial(
-            net, feats_m, feature_slice_for_block(net, lower), include_bias=True
-        )
-        self.ledger.compute_s += self.device.profile.compute_time(
-            master_costs[-1].flops, 1
-        ) * x.shape[0]
-        reply = self._request(
-            Message(
-                MessageKind.PARTIAL_FORWARD,
-                fields={"op": "fc", "spec": spec.name},
-            )
-        )
-        logits = logits_m + reply.arrays["partial_logits"].astype(np.float64)
-        self.ledger.images += x.shape[0]
-        return logits
+        self._register(spec)
+        return self.engine.execute(ha_plan(spec.name), x).logits
 
     # -- teardown -------------------------------------------------------------------
 
     def shutdown_worker(self) -> None:
-        if self.worker_attached():
-            try:
-                self.transport.send(Message(MessageKind.SHUTDOWN))
-            except TransportError:
-                pass
-            self.transport.close()
+        self._worker.shutdown()
 
     def crash_worker(self) -> None:
         """Test hook: order the worker to simulate a power failure."""
-        if self.worker_attached():
-            try:
-                self.transport.send(Message(MessageKind.CRASH))
-            except TransportError:
-                pass
+        self._worker.crash()

@@ -11,66 +11,31 @@ width partition to ``N`` channel *blocks*, one per device:
 * HA mode width-partitions the combined model over the alive devices with
   an all-gather per layer (the exchange grows with the block count).
 
-The analytical model mirrors :class:`SystemThroughputModel`; training for
-block families reuses the nested incremental machinery (each block is an
-"upper"-style slice with its own revival pass).
+:class:`MultiDeviceModel` is the analytical throughput mirror of
+:class:`~repro.distributed.throughput.SystemThroughputModel`;
+:class:`MultiDeviceRuntime` actually *executes* the N-device deployment on
+the unified :class:`~repro.engine.engine.ExecutionEngine` (the block
+partition itself lives in :mod:`repro.engine.graph`, shared with the
+two-device master runtime).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.comm.latency_model import CommLatencyModel
 from repro.device.cost import subnet_layer_costs, subnet_num_layers
+from repro.device.emulated import EmulatedDevice
 from repro.device.profiles import DeviceProfile
+from repro.distributed.plan import DeploymentPlan, failed_plan, partitioned_plan, streams_plan
+from repro.engine.endpoints import LocalEndpoint
+from repro.engine.engine import EngineResult, ExecutionEngine
+from repro.engine.graph import BlockPartition
 from repro.slimmable.slim_net import SlimmableConvNet
-from repro.slimmable.spec import ChannelSlice, SubNetSpec, uniform_spec
 
-
-@dataclass(frozen=True)
-class BlockPartition:
-    """Channel blocks ``[boundaries[k], boundaries[k+1])`` per device."""
-
-    boundaries: Tuple[int, ...]  # strictly increasing, starts at 0
-
-    def __post_init__(self) -> None:
-        b = self.boundaries
-        if len(b) < 3:
-            raise ValueError("need at least two blocks (three boundaries)")
-        if b[0] != 0:
-            raise ValueError("boundaries must start at 0")
-        if list(b) != sorted(set(b)):
-            raise ValueError("boundaries must be strictly increasing")
-
-    @property
-    def num_blocks(self) -> int:
-        return len(self.boundaries) - 1
-
-    @property
-    def max_width(self) -> int:
-        return self.boundaries[-1]
-
-    def block_slice(self, index: int) -> ChannelSlice:
-        if not 0 <= index < self.num_blocks:
-            raise ValueError(f"block index {index} out of range")
-        return ChannelSlice(self.boundaries[index], self.boundaries[index + 1])
-
-    def block_spec(self, index: int, num_convs: int) -> SubNetSpec:
-        s = self.block_slice(index)
-        return uniform_spec(f"block{index}", s.start, s.stop, num_convs)
-
-    def combined_spec(self, num_convs: int) -> SubNetSpec:
-        return uniform_spec("combined", 0, self.max_width, num_convs)
-
-    @classmethod
-    def even(cls, num_blocks: int, max_width: int) -> "BlockPartition":
-        if num_blocks <= 1:
-            raise ValueError("need at least two blocks")
-        if max_width % num_blocks:
-            raise ValueError(f"{max_width} channels do not split into {num_blocks} blocks")
-        step = max_width // num_blocks
-        return cls(tuple(range(0, max_width + 1, step)))
+__all__ = ["BlockPartition", "MultiDeviceModel", "MultiDeviceRuntime"]
 
 
 class MultiDeviceModel:
@@ -174,3 +139,103 @@ class MultiDeviceModel:
             if not 0 <= i < self.partition.num_blocks:
                 raise ValueError(f"device index {i} out of range")
         return alive
+
+
+class MultiDeviceRuntime:
+    """Executes the N-device Fluid deployment on the unified engine.
+
+    One in-process :class:`LocalEndpoint` per block, all aliasing the same
+    weight container (the paper's weight sharing).  Plans mirror the
+    survivor logic of :class:`MultiDeviceModel`: HA when everyone is alive,
+    HT over the survivors otherwise.
+    """
+
+    def __init__(
+        self,
+        net: SlimmableConvNet,
+        profiles: Sequence[DeviceProfile],
+        partition: BlockPartition,
+        *,
+        comm_model: Optional[CommLatencyModel] = None,
+    ) -> None:
+        if len(profiles) != partition.num_blocks:
+            raise ValueError(
+                f"{len(profiles)} devices for {partition.num_blocks} blocks"
+            )
+        if partition.max_width != net.width_spec.max_width:
+            raise ValueError("partition width does not match the network")
+        self.net = net
+        self.partition = partition
+        self.devices: List[EmulatedDevice] = [
+            EmulatedDevice(profile, net) for profile in profiles
+        ]
+        self.device_names = [f"dev{i}" for i in range(partition.num_blocks)]
+        num_convs = len(net.convs)
+        specs = {
+            spec.name: spec
+            for spec in (
+                partition.block_spec(i, num_convs)
+                for i in range(partition.num_blocks)
+            )
+        }
+        combined = partition.combined_spec(num_convs)
+        specs[combined.name] = combined
+        self._combined = combined
+        self.engine = ExecutionEngine(
+            {
+                name: LocalEndpoint(name, device)
+                for name, device in zip(self.device_names, self.devices)
+            },
+            net.width_spec,
+            partition=partition,
+            comm_model=comm_model,
+            extra_specs=specs,
+        )
+
+    # -- planning --------------------------------------------------------------
+
+    def alive_indices(self) -> List[int]:
+        return [i for i, d in enumerate(self.devices) if d.alive]
+
+    def plan(self, alive: Optional[Sequence[int]] = None) -> DeploymentPlan:
+        """HA when every block is up, HT over the survivors otherwise."""
+        alive = sorted(set(self.alive_indices() if alive is None else alive))
+        for i in alive:
+            if not 0 <= i < self.partition.num_blocks:
+                raise ValueError(f"device index {i} out of range")
+        if not alive:
+            return failed_plan("no devices alive")
+        if len(alive) == self.partition.num_blocks:
+            return partitioned_plan(self.device_names, self._combined.name)
+        return streams_plan(
+            [(self.device_names[i], f"block{i}") for i in alive]
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run_ha(self, x: np.ndarray) -> np.ndarray:
+        """Jointly compute the combined model over all blocks."""
+        result = self.engine.execute(
+            partitioned_plan(self.device_names, self._combined.name), x
+        )
+        return result.logits
+
+    def run_ht(
+        self,
+        x: np.ndarray,
+        *,
+        streams: Optional[Mapping[str, np.ndarray]] = None,
+        alive: Optional[Sequence[int]] = None,
+    ) -> EngineResult:
+        """Independent per-block streams over the alive devices."""
+        alive = sorted(set(self.alive_indices() if alive is None else alive))
+        plan = streams_plan([(self.device_names[i], f"block{i}") for i in alive])
+        return self.engine.execute(plan, x, streams=streams)
+
+    def serve(self, x: np.ndarray) -> EngineResult:
+        """Serve one batch under the current best plan."""
+        return self.engine.execute(self.plan(), x)
+
+    @property
+    def ledger(self):
+        return self.engine.ledger

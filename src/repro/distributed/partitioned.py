@@ -51,9 +51,8 @@ def conv_block_half(
     else:
         weight = conv.weight.data[out_slice.as_slice(), in_slice.as_slice()]
     bias = conv.bias.data[out_slice.as_slice()]
-    y, _ = F.conv2d_forward(
-        x_full, np.ascontiguousarray(weight), bias, conv.stride, conv.padding
-    )
+    x_full, weight, bias = F.cast_compute(False, x_full, weight, bias)
+    y, _ = F.conv2d_forward(x_full, weight, bias, conv.stride, conv.padding)
     y, _ = F.relu_forward(y)
     if layer_index in net.pools:
         pool = net.pools[layer_index]
@@ -73,9 +72,12 @@ def fc_partial(
             f"features shape {features.shape} does not match slice {feature_slice}"
         )
     weight = net.classifier.weight.data[:, feature_slice.as_slice()]
+    features, weight, bias = F.cast_compute(
+        False, features, weight, net.classifier.bias.data
+    )
     logits = features @ weight.T
     if include_bias:
-        logits = logits + net.classifier.bias.data
+        logits = logits + bias
     return logits
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.distributed.modes import ExecutionMode
 
@@ -70,24 +70,42 @@ def solo_plan(device: str, subnet: str) -> DeploymentPlan:
     )
 
 
-def ht_plan(master_subnet: str, worker_subnet: str) -> DeploymentPlan:
+def streams_plan(streams: Sequence[Tuple[str, str]]) -> DeploymentPlan:
+    """HT over any number of devices: ``streams`` is ``[(device, subnet), ...]``."""
+    if not streams:
+        raise ValueError("streams_plan needs at least one (device, subnet) pair")
     return DeploymentPlan(
         mode=ExecutionMode.HIGH_THROUGHPUT,
-        assignments=(
-            Assignment("master", master_subnet, "standalone"),
-            Assignment("worker", worker_subnet, "standalone"),
+        assignments=tuple(
+            Assignment(device, subnet, "standalone") for device, subnet in streams
         ),
         reason="independent sub-networks on parallel input streams",
     )
 
 
-def ha_plan(combined_subnet: str) -> DeploymentPlan:
+def partitioned_plan(devices: Sequence[str], combined_subnet: str) -> DeploymentPlan:
+    """HA over any number of devices, in channel-block order.
+
+    The first device owns the lowest channel block (and the classifier
+    bias); the rest own successive upper blocks.
+    """
+    if len(devices) < 2:
+        raise ValueError("partitioned execution needs at least two devices")
+    roles = ["partition_lower"] + ["partition_upper"] * (len(devices) - 1)
     return DeploymentPlan(
         mode=ExecutionMode.HIGH_ACCURACY,
-        assignments=(
-            Assignment("master", combined_subnet, "partition_lower"),
-            Assignment("worker", combined_subnet, "partition_upper"),
+        assignments=tuple(
+            Assignment(device, combined_subnet, role)
+            for device, role in zip(devices, roles)
         ),
         combined_subnet=combined_subnet,
         reason="width-partitioned joint inference",
     )
+
+
+def ht_plan(master_subnet: str, worker_subnet: str) -> DeploymentPlan:
+    return streams_plan((("master", master_subnet), ("worker", worker_subnet)))
+
+
+def ha_plan(combined_subnet: str) -> DeploymentPlan:
+    return partitioned_plan(("master", "worker"), combined_subnet)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.comm.message import Message, MessageKind, error_message, result_message
 from repro.comm.transport import Transport, TransportError
+from repro.comm.wire import cast_for_wire
 from repro.device.cost import partitioned_device_costs, subnet_num_layers
 from repro.device.emulated import DeviceFailed, EmulatedDevice
 from repro.distributed.partitioned import (
@@ -27,7 +28,9 @@ from repro.distributed.partitioned import (
     feature_slice_for_block,
     flatten_channel_block,
 )
-from repro.slimmable.spec import ChannelSlice, SubNetSpec
+from repro.engine.graph import BlockPartition
+from repro.slimmable.spec import SubNetSpec
+from repro.utils.dtypes import compute_dtype
 from repro.utils.logging import get_logger
 
 
@@ -44,6 +47,11 @@ class WorkerServer:
         self.device = device
         self.transport = transport
         self.split = partition_split
+        # The shared block geometry: the worker owns the upper block of the
+        # same two-way partition the engine compiles HA plans against.
+        self.partition = BlockPartition.two_way(
+            partition_split, device.net.width_spec.max_width
+        )
         self.logger = get_logger(f"worker.{device.name}")
         self._ha_half: Optional[np.ndarray] = None
         self._ha_spec: Optional[SubNetSpec] = None
@@ -103,7 +111,7 @@ class WorkerServer:
         logits = self.device.execute_subnet(spec, x)
         compute_s = self.device.estimated_latency(spec) * x.shape[0]
         return result_message(
-            {"logits": logits.astype(np.float32)},
+            {"logits": cast_for_wire(logits)},
             spec=spec.name,
             compute_s=compute_s,
         )
@@ -128,27 +136,27 @@ class WorkerServer:
         else:
             if self._ha_half is None or self._ha_spec is None or self._ha_spec != spec:
                 raise ValueError("partitioned session out of order: no stored half")
-            master_half = message.arrays["master_half"].astype(np.float64)
+            master_half = message.arrays["master_half"].astype(compute_dtype())
             full = np.concatenate([master_half, self._ha_half], axis=1)
             in_slice = spec.conv_slices[layer - 1]
         out_slice = spec.conv_slices[layer]
-        upper = ChannelSlice(self.split, out_slice.stop)
+        upper = self.partition.clipped_block(1, out_slice.stop)
         half = conv_block_half(net, layer, full, upper, in_slice)
         self._ha_half = half
         self._account_partial_compute(spec, layer)
-        return result_message({"half": half.astype(np.float32)}, layer=layer)
+        return result_message({"half": cast_for_wire(half)}, layer=layer)
 
     def _partial_fc(self, spec: SubNetSpec) -> Message:
         if self._ha_half is None or self._ha_spec != spec:
             raise ValueError("partitioned session out of order: no stored features")
         net = self.device.net
-        upper = ChannelSlice(self.split, spec.last_slice.stop)
+        upper = self.partition.clipped_block(1, spec.last_slice.stop)
         feats = flatten_channel_block(self._ha_half)
         logits = fc_partial(net, feats, feature_slice_for_block(net, upper), include_bias=False)
         self._account_partial_compute(spec, len(spec.conv_slices))
         self._ha_half = None
         self._ha_spec = None
-        return result_message({"partial_logits": logits.astype(np.float32)})
+        return result_message({"partial_logits": cast_for_wire(logits)})
 
     def _account_partial_compute(self, spec: SubNetSpec, layer: int) -> None:
         _, worker_costs, _ = partitioned_device_costs(self.device.net, spec, self.split)

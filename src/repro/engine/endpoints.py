@@ -1,0 +1,298 @@
+"""Pluggable execution endpoints: where a device's compute actually runs.
+
+An :class:`Endpoint` answers the engine's three requests — standalone
+sub-network inference, one width-partitioned layer round, and the final
+partial-logit gather — plus liveness and teardown.  Two implementations:
+
+* :class:`LocalEndpoint` runs directly on an in-process
+  :class:`~repro.device.emulated.EmulatedDevice`;
+* :class:`TransportEndpoint` speaks the master/worker wire protocol over
+  any :class:`~repro.comm.transport.Transport` (in-process channel or TCP),
+  so the same engine drives a remote
+  :class:`~repro.distributed.worker.WorkerServer` unchanged.
+
+Emulated-time accounting mirrors the historical master runtime exactly:
+local endpoints report their per-layer compute seconds (and charge the
+device's busy clock); transport endpoints report the wire payload of each
+request/reply pair so the engine can charge the communication model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.message import Message, MessageKind
+from repro.comm.transport import Transport, TransportError
+from repro.comm.wire import cast_for_wire
+from repro.device.cost import block_partitioned_costs, subnet_layer_costs
+from repro.device.emulated import EmulatedDevice
+from repro.distributed.partitioned import (
+    conv_block_half,
+    fc_partial,
+    feature_slice_for_block,
+    flatten_channel_block,
+)
+from repro.slimmable.spec import ChannelSlice, SubNetSpec
+from repro.utils.dtypes import compute_dtype
+
+
+class EndpointUnavailable(RuntimeError):
+    """Raised when an endpoint's device cannot be reached (the failure signal)."""
+
+
+@dataclass
+class EndpointReply:
+    """One endpoint response plus its accounting facts."""
+
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    fields: Dict[str, Any] = field(default_factory=dict)
+    compute_s: float = 0.0   # emulated seconds to charge the engine ledger
+    payload_bytes: int = 0   # max(sent, received) wire bytes (0 for local)
+
+
+class Endpoint:
+    """One device's execution surface, local or remote."""
+
+    name: str
+
+    @property
+    def available(self) -> bool:
+        raise NotImplementedError
+
+    def ping(self, timeout: float = 1.0) -> bool:
+        raise NotImplementedError
+
+    def run_subnet(self, spec: SubNetSpec, x: np.ndarray) -> EndpointReply:
+        raise NotImplementedError
+
+    def begin_partition(
+        self, spec: SubNetSpec, boundaries: Sequence[int], index: int
+    ) -> None:
+        """Start a width-partitioned program; remote peers keep their own state."""
+
+    def partition_layer(
+        self,
+        spec: SubNetSpec,
+        layer: int,
+        block: ChannelSlice,
+        in_slice: Optional[ChannelSlice],
+        full: np.ndarray,
+        prev_block: Optional[ChannelSlice],
+    ) -> EndpointReply:
+        """Compute this device's ``block`` of conv ``layer``.
+
+        ``full`` is the complete previous activation (the input image at
+        layer 0); ``prev_block`` is the channel block this device produced
+        in the previous round (None at layer 0).
+        """
+        raise NotImplementedError
+
+    def partition_fc(
+        self,
+        spec: SubNetSpec,
+        block: ChannelSlice,
+        full: np.ndarray,
+        include_bias: bool,
+    ) -> EndpointReply:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release the endpoint (remote peers are told to stop serving)."""
+
+    def crash(self) -> None:
+        """Test hook: simulate a power failure on the device."""
+
+
+class LocalEndpoint(Endpoint):
+    """Runs directly on an in-process emulated device."""
+
+    def __init__(self, name: str, device: EmulatedDevice) -> None:
+        self.name = name
+        self.device = device
+        self._partition_costs: Optional[Tuple[str, list]] = None
+
+    @property
+    def available(self) -> bool:
+        return self.device.alive
+
+    def ping(self, timeout: float = 1.0) -> bool:
+        return self.device.alive
+
+    def run_subnet(self, spec: SubNetSpec, x: np.ndarray) -> EndpointReply:
+        logits = self.device.execute_subnet(spec, x)
+        compute_s = self.device.estimated_latency(spec) * x.shape[0]
+        return EndpointReply(arrays={"logits": logits}, compute_s=compute_s)
+
+    # -- partitioned program ---------------------------------------------------
+
+    def begin_partition(
+        self, spec: SubNetSpec, boundaries: Sequence[int], index: int
+    ) -> None:
+        per_device, _ = block_partitioned_costs(self.device.net, spec, tuple(boundaries))
+        self._partition_costs = (spec.name, per_device[index])
+
+    def _session_cost(self, spec: SubNetSpec, layer: int):
+        if self._partition_costs is None or self._partition_costs[0] != spec.name:
+            raise RuntimeError("partition round before begin_partition")
+        return self._partition_costs[1][layer]
+
+    def partition_layer(
+        self,
+        spec: SubNetSpec,
+        layer: int,
+        block: ChannelSlice,
+        in_slice: Optional[ChannelSlice],
+        full: np.ndarray,
+        prev_block: Optional[ChannelSlice],
+    ) -> EndpointReply:
+        half = conv_block_half(self.device.net, layer, full, block, in_slice)
+        n = full.shape[0]
+        cost = self._session_cost(spec, layer)
+        profile = self.device.profile
+        self.device.busy_time_s += profile.compute_time(cost.flops * n, n)
+        return EndpointReply(
+            arrays={"half": half},
+            compute_s=profile.compute_time(cost.flops, 1) * n,
+        )
+
+    def partition_fc(
+        self,
+        spec: SubNetSpec,
+        block: ChannelSlice,
+        full: np.ndarray,
+        include_bias: bool,
+    ) -> EndpointReply:
+        net = self.device.net
+        feats = flatten_channel_block(full[:, block.start : block.stop])
+        logits = fc_partial(
+            net, feats, feature_slice_for_block(net, block), include_bias=include_bias
+        )
+        cost = self._session_cost(spec, len(spec.conv_slices))
+        compute_s = self.device.profile.compute_time(cost.flops, 1) * full.shape[0]
+        return EndpointReply(arrays={"partial_logits": logits}, compute_s=compute_s)
+
+
+class TransportEndpoint(Endpoint):
+    """Speaks the wire protocol to a remote worker over a transport."""
+
+    def __init__(
+        self,
+        name: str,
+        transport: Optional[Transport],
+        *,
+        request_timeout: float = 10.0,
+    ) -> None:
+        self.name = name
+        self.transport = transport
+        self.request_timeout = request_timeout
+
+    @property
+    def available(self) -> bool:
+        return self.transport is not None and not self.transport.closed
+
+    def ping(self, timeout: float = 1.0) -> bool:
+        if not self.available:
+            return False
+        try:
+            self.transport.send(Message(MessageKind.PING))
+            reply = self.transport.recv(timeout=timeout)
+        except TransportError:
+            return False
+        return reply.kind == MessageKind.PONG
+
+    def _request(self, message: Message) -> Tuple[Message, int]:
+        if not self.available:
+            raise EndpointUnavailable(f"no transport to {self.name}")
+        try:
+            self.transport.send(message)
+            reply = self.transport.recv(timeout=self.request_timeout)
+        except TransportError as exc:
+            raise EndpointUnavailable(str(exc)) from exc
+        if reply.kind == MessageKind.ERROR:
+            raise EndpointUnavailable(
+                f"{self.name} error: {reply.fields.get('reason')}"
+            )
+        payload = max(
+            sum(a.nbytes for a in message.arrays.values()),
+            sum(a.nbytes for a in reply.arrays.values()),
+        )
+        return reply, int(payload)
+
+    def run_subnet(self, spec: SubNetSpec, x: np.ndarray) -> EndpointReply:
+        reply, payload = self._request(
+            Message(
+                MessageKind.RUN_SUBNET,
+                fields={"spec": spec.name},
+                arrays={"x": cast_for_wire(x)},
+            )
+        )
+        logits = reply.arrays["logits"].astype(compute_dtype())
+        return EndpointReply(
+            arrays={"logits": logits},
+            fields=reply.fields,
+            compute_s=float(reply.fields.get("compute_s", 0.0)),
+            payload_bytes=payload,
+        )
+
+    def partition_layer(
+        self,
+        spec: SubNetSpec,
+        layer: int,
+        block: ChannelSlice,
+        in_slice: Optional[ChannelSlice],
+        full: np.ndarray,
+        prev_block: Optional[ChannelSlice],
+    ) -> EndpointReply:
+        if layer == 0:
+            arrays = {"input": cast_for_wire(full)}
+        else:
+            if prev_block is None:
+                raise ValueError("partition round >0 needs the previous block")
+            if prev_block.stop < full.shape[1]:
+                raise ValueError(
+                    "transport endpoints must own the topmost channel block "
+                    "(the wire protocol ships only the channels below it)"
+                )
+            arrays = {"master_half": cast_for_wire(full[:, : prev_block.start])}
+        reply, payload = self._request(
+            Message(
+                MessageKind.PARTIAL_FORWARD,
+                fields={"op": "layer", "layer": layer, "spec": spec.name},
+                arrays=arrays,
+            )
+        )
+        half = reply.arrays["half"].astype(compute_dtype())
+        return EndpointReply(arrays={"half": half}, payload_bytes=payload)
+
+    def partition_fc(
+        self,
+        spec: SubNetSpec,
+        block: ChannelSlice,
+        full: np.ndarray,
+        include_bias: bool,
+    ) -> EndpointReply:
+        if include_bias:
+            raise ValueError("the classifier bias is owned by the first (local) block")
+        reply, payload = self._request(
+            Message(MessageKind.PARTIAL_FORWARD, fields={"op": "fc", "spec": spec.name})
+        )
+        logits = reply.arrays["partial_logits"].astype(compute_dtype())
+        return EndpointReply(arrays={"partial_logits": logits}, payload_bytes=payload)
+
+    def shutdown(self) -> None:
+        if self.available:
+            try:
+                self.transport.send(Message(MessageKind.SHUTDOWN))
+            except TransportError:
+                pass
+            self.transport.close()
+
+    def crash(self) -> None:
+        if self.available:
+            try:
+                self.transport.send(Message(MessageKind.CRASH))
+            except TransportError:
+                pass

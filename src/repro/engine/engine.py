@@ -1,0 +1,216 @@
+"""The N-device execution engine.
+
+:class:`ExecutionEngine` owns a set of named :class:`Endpoint`\\ s, compiles
+every :class:`~repro.distributed.plan.DeploymentPlan` to the stream/round
+graph (:mod:`repro.engine.graph`), and interprets that graph uniformly —
+the same loop serves solo, High-Throughput, and High-Accuracy deployments
+over any number of devices, with endpoints that may be in-process devices
+or remote workers behind a transport.
+
+Emulated-time accounting reproduces the historical master runtime:
+
+* parallel streams charge the ledger ``max`` of their compute times (they
+  run concurrently) and every image served;
+* partitioned rounds charge the ``max`` of the local per-layer compute
+  plus the communication model's transfer time for every remote exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.comm.latency_model import CommLatencyModel
+from repro.distributed.modes import ExecutionMode
+from repro.distributed.plan import DeploymentPlan
+from repro.engine.endpoints import Endpoint, EndpointUnavailable
+from repro.engine.graph import (
+    BlockPartition,
+    ExecutionGraph,
+    PartitionFcOp,
+    PartitionLayerOp,
+    compile_plan,
+)
+from repro.engine.ledger import EmulatedTimeLedger
+from repro.slimmable.spec import SubNetSpec, WidthSpec
+from repro.utils.logging import get_logger
+
+
+@dataclass
+class EngineResult:
+    """Outcome of executing one plan on one batch (or batch set)."""
+
+    mode: ExecutionMode
+    streams: Dict[str, np.ndarray] = field(default_factory=dict)
+    logits: Optional[np.ndarray] = None
+
+
+class ExecutionEngine:
+    """Runs deployment plans over named endpoints."""
+
+    def __init__(
+        self,
+        endpoints: Mapping[str, Endpoint],
+        width_spec: WidthSpec,
+        *,
+        partition: Optional[BlockPartition] = None,
+        comm_model: Optional[CommLatencyModel] = None,
+        ledger: Optional[EmulatedTimeLedger] = None,
+        extra_specs: Optional[Mapping[str, SubNetSpec]] = None,
+    ) -> None:
+        self.endpoints: Dict[str, Endpoint] = dict(endpoints)
+        self.width_spec = width_spec
+        self.partition = partition
+        self.comm_model = comm_model or CommLatencyModel()
+        self.ledger = ledger or EmulatedTimeLedger()
+        self.extra_specs: Dict[str, SubNetSpec] = dict(extra_specs or {})
+        self.logger = get_logger("engine")
+
+    # -- lookup ----------------------------------------------------------------
+
+    def endpoint(self, device: str) -> Endpoint:
+        try:
+            return self.endpoints[device]
+        except KeyError:
+            raise EndpointUnavailable(f"no endpoint for device {device!r}") from None
+
+    def resolve_spec(self, name: str) -> SubNetSpec:
+        if name in self.extra_specs:
+            return self.extra_specs[name]
+        return self.width_spec.find(name)
+
+    def ping(self, device: str, timeout: float = 1.0) -> bool:
+        return self.endpoint(device).ping(timeout=timeout)
+
+    def compile(self, plan: DeploymentPlan) -> ExecutionGraph:
+        spec = None
+        if plan.mode is ExecutionMode.HIGH_ACCURACY:
+            spec = self.resolve_spec(plan.combined_subnet)
+        return compile_plan(plan, spec, self.partition)
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: DeploymentPlan,
+        x: Optional[np.ndarray] = None,
+        *,
+        streams: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> EngineResult:
+        """Run ``plan`` on one batch.
+
+        Args:
+            plan: the deployment to execute.
+            x: a single input batch.  Partitioned (HA) plans run it jointly;
+                stream plans split it evenly across the assigned devices.
+            streams: per-device input batches for stream plans (overrides
+                the even split of ``x``).
+        """
+        graph = self.compile(plan)
+        if graph.mode is ExecutionMode.FAILED:
+            return EngineResult(mode=graph.mode)
+        if graph.streams:
+            return self._execute_streams(graph, x, streams)
+        return self._execute_partitioned(graph, x)
+
+    def _stream_inputs(
+        self,
+        graph: ExecutionGraph,
+        x: Optional[np.ndarray],
+        streams: Optional[Mapping[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        if streams is not None:
+            missing = [op.device for op in graph.streams if op.device not in streams]
+            if missing:
+                raise ValueError(f"no input stream for devices {missing}")
+            return {op.device: streams[op.device] for op in graph.streams}
+        if x is None:
+            raise ValueError("stream execution needs an input batch")
+        k = len(graph.streams)
+        chunk = x.shape[0] // k
+        inputs = {}
+        for i, op in enumerate(graph.streams):
+            lo = i * chunk
+            hi = lo + chunk if i < k - 1 else x.shape[0]
+            inputs[op.device] = x[lo:hi]
+        return inputs
+
+    def _execute_streams(
+        self,
+        graph: ExecutionGraph,
+        x: Optional[np.ndarray],
+        streams: Optional[Mapping[str, np.ndarray]],
+    ) -> EngineResult:
+        inputs = self._stream_inputs(graph, x, streams)
+        outputs: Dict[str, np.ndarray] = {}
+        elapsed: List[float] = []
+        for op in graph.streams:
+            endpoint = self.endpoint(op.device)
+            batch = inputs[op.device]
+            reply = endpoint.run_subnet(self.resolve_spec(op.subnet), batch)
+            outputs[op.device] = reply.arrays["logits"]
+            elapsed.append(reply.compute_s)
+            if reply.payload_bytes:
+                self.ledger.comm_s += self.comm_model.transfer_time(reply.payload_bytes)
+            self.ledger.images += batch.shape[0]
+        # Streams run concurrently: elapsed emulated time is the slowest one.
+        self.ledger.compute_s += max(elapsed)
+        parts = [outputs[op.device] for op in graph.streams if outputs[op.device].size]
+        logits = np.concatenate(parts, axis=0) if parts else None
+        return EngineResult(mode=graph.mode, streams=outputs, logits=logits)
+
+    def _execute_partitioned(self, graph: ExecutionGraph, x: Optional[np.ndarray]) -> EngineResult:
+        if x is None:
+            raise ValueError("partitioned execution needs an input batch")
+        spec = self.resolve_spec(graph.subnet)
+        devices = graph.devices
+        boundaries = self.partition.boundaries
+        for index, device in enumerate(devices):
+            self.endpoint(device).begin_partition(spec, boundaries, index)
+
+        current = x
+        prev_blocks: Dict[str, Optional[object]] = {d: None for d in devices}
+        for op in graph.rounds:
+            if isinstance(op, PartitionLayerOp):
+                halves = []
+                round_compute = []
+                for device, block in op.blocks:
+                    reply = self.endpoint(device).partition_layer(
+                        spec, op.layer, block, op.in_slice, current, prev_blocks[device]
+                    )
+                    halves.append(reply.arrays["half"])
+                    round_compute.append(reply.compute_s)
+                    if reply.payload_bytes:
+                        self.ledger.comm_s += self.comm_model.transfer_time(
+                            reply.payload_bytes
+                        )
+                    prev_blocks[device] = block
+                self.ledger.compute_s += max(round_compute)
+                current = np.concatenate(halves, axis=1)
+            elif isinstance(op, PartitionFcOp):
+                logits = None
+                round_compute = []
+                for device, block in op.blocks:
+                    reply = self.endpoint(device).partition_fc(
+                        spec, block, current, include_bias=(block.start == 0)
+                    )
+                    part = reply.arrays["partial_logits"]
+                    logits = part if logits is None else logits + part
+                    round_compute.append(reply.compute_s)
+                    if reply.payload_bytes:
+                        self.ledger.comm_s += self.comm_model.transfer_time(
+                            reply.payload_bytes
+                        )
+                self.ledger.compute_s += max(round_compute)
+            else:  # pragma: no cover - compile_plan only emits the two ops
+                raise TypeError(f"unknown graph op {op!r}")
+        self.ledger.images += x.shape[0]
+        return EngineResult(mode=graph.mode, logits=logits)
+
+    # -- teardown --------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for endpoint in self.endpoints.values():
+            endpoint.shutdown()

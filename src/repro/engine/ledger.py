@@ -1,0 +1,29 @@
+"""Emulated-time accounting shared by every execution mode."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EmulatedTimeLedger:
+    """Accumulates emulated compute/communication seconds for reporting."""
+
+    compute_s: float = 0.0
+    comm_s: float = 0.0
+    images: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.comm_s
+
+    def throughput_ips(self) -> float:
+        return self.images / self.total_s if self.total_s > 0 else 0.0
+
+    def snapshot(self) -> "EmulatedTimeLedger":
+        return EmulatedTimeLedger(self.compute_s, self.comm_s, self.images)
+
+    def reset(self) -> None:
+        self.compute_s = 0.0
+        self.comm_s = 0.0
+        self.images = 0

@@ -5,7 +5,11 @@ lowered to a single GEMM, and its backward pass is two GEMMs plus a col2im
 scatter.  For the paper's model sizes (28x28 inputs, <=16 channels) this is
 comfortably fast in numpy.
 
-All kernels operate on NCHW-ordered float64 arrays.
+All kernels operate on NCHW-ordered arrays and are dtype-polymorphic: they
+compute in whatever float dtype the caller hands them.  The layer classes
+pick that dtype from the global :class:`~repro.utils.dtypes.DtypePolicy`
+(float64 by default; float32 on the inference fast path) via
+:func:`cast_compute`.
 """
 
 from __future__ import annotations
@@ -13,6 +17,18 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+
+from repro.utils.dtypes import compute_dtype
+
+
+def cast_compute(training: bool, *arrays: np.ndarray) -> Tuple[np.ndarray, ...]:
+    """Cast arrays to the policy's compute dtype for the given mode.
+
+    Under the default float64 policy this is a no-op for float64 inputs, so
+    the training path never pays a copy.
+    """
+    dtype = compute_dtype(training)
+    return tuple(np.ascontiguousarray(a, dtype=dtype) for a in arrays)
 
 
 def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:

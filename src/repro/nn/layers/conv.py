@@ -55,7 +55,8 @@ class Conv2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x_shape = x.shape
-        y, self._cols = F.conv2d_forward(x, self.weight.data, self.bias.data, self.stride, self.padding)
+        x, w, b = F.cast_compute(self.training, x, self.weight.data, self.bias.data)
+        y, self._cols = F.conv2d_forward(x, w, b, self.stride, self.padding)
         return y
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

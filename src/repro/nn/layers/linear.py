@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
@@ -29,8 +30,9 @@ class Linear(Module):
             raise ValueError(f"Linear expects (N, features), got shape {x.shape}")
         if x.shape[1] != self.in_features:
             raise ValueError(f"expected {self.in_features} features, got {x.shape[1]}")
+        x, w, b = F.cast_compute(self.training, x, self.weight.data, self.bias.data)
         self._x = x
-        return x @ self.weight.data.T + self.bias.data
+        return x @ w.T + b
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x is None:

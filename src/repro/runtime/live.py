@@ -104,27 +104,15 @@ class LiveSystem:
         return ServedBatch(index, self.plan.mode, None, failed_over=True)
 
     def _execute(self, plan: DeploymentPlan, x: np.ndarray) -> Optional[np.ndarray]:
-        ws = self.policy.model.width_spec
         if plan.mode is ExecutionMode.FAILED:
             return None
-        if plan.mode is ExecutionMode.HIGH_ACCURACY:
-            return self.master.run_ha(ws.find(plan.combined_subnet), x)
-        if plan.mode is ExecutionMode.HIGH_THROUGHPUT:
-            by_device = {a.device: a.subnet for a in plan.assignments}
-            half = x.shape[0] // 2
-            logits_m, logits_w = self.master.run_ht(
-                ws.find(by_device["master"]),
-                ws.find(by_device["worker"]),
-                x[:half],
-                x[half:],
-            )
-            return np.concatenate([logits_m, logits_w], axis=0)
-        # SOLO
-        (assignment,) = plan.assignments
-        if assignment.device != "master":
-            # The master process cannot execute on a dead worker's behalf.
-            return None
-        return self.master.run_local(ws.find(assignment.subnet), x)
+        if plan.mode is ExecutionMode.SOLO:
+            (assignment,) = plan.assignments
+            if assignment.device != "master":
+                # The master process cannot execute on a dead worker's behalf.
+                return None
+        # The engine handles the mode dispatch (and splits HT streams).
+        return self.master.execute_plan(plan, x).logits
 
     def serve_stream(self, batches) -> LiveLog:
         """Serve an iterable of input batches end to end."""

@@ -104,8 +104,7 @@ class SlicedConv2d(Module):
                 f"input has {x.shape[1]}"
             )
         self._x_shape = x.shape
-        w = np.ascontiguousarray(self.active_weight())
-        b = self.active_bias()
+        x, w, b = F.cast_compute(self.training, x, self.active_weight(), self.active_bias())
         y, self._cols = F.conv2d_forward(x, w, b, self.stride, self.padding)
         return y
 

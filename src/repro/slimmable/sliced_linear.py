@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
@@ -59,8 +60,9 @@ class SlicedLinear(Module):
                 f"active feature slice {self._feature_slice} expects (N, {expected}), "
                 f"got {x.shape}"
             )
+        x, w, b = F.cast_compute(self.training, x, self.active_weight(), self.bias.data)
         self._x = x
-        return x @ self.active_weight().T + self.bias.data
+        return x @ w.T + b
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x is None:

@@ -7,6 +7,23 @@ place generators are created so experiments are reproducible per seed.
 
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.config import Config
+from repro.utils.dtypes import (
+    DtypePolicy,
+    dtype_policy,
+    get_dtype_policy,
+    resolve_dtype_policy,
+    set_dtype_policy,
+)
 from repro.utils.logging import get_logger
 
-__all__ = ["make_rng", "spawn_rngs", "Config", "get_logger"]
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "Config",
+    "get_logger",
+    "DtypePolicy",
+    "dtype_policy",
+    "get_dtype_policy",
+    "set_dtype_policy",
+    "resolve_dtype_policy",
+]

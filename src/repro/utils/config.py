@@ -65,6 +65,16 @@ class Config:
             raise KeyError(f"Config missing required keys: {missing}")
         return self
 
+    def dtype_policy(self) -> "DtypePolicy":
+        """The dtype policy this config selects (defaults when keys absent).
+
+        Recognised keys: ``inference_dtype``, ``training_dtype``,
+        ``wire_dtype`` — each a dtype name like ``"float32"``.
+        """
+        from repro.utils.dtypes import DtypePolicy
+
+        return DtypePolicy.from_config(self)
+
     def to_dict(self) -> Dict[str, Any]:
         return dict(self.values)
 

@@ -6,7 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.comm import WireError, decode_frame, encode_frame, frame_payload_bytes
-from repro.utils import make_rng
+from repro.comm.wire import _ALLOWED_DTYPES, cast_for_wire, wire_dtype
+from repro.utils import dtype_policy, make_rng
 
 
 class TestRoundTrip:
@@ -56,6 +57,64 @@ class TestRoundTrip:
         decoded, _ = decode_frame(encode_frame(arrays, {"seed": seed}))
         for name, arr in arrays.items():
             np.testing.assert_array_equal(decoded[name], arr)
+
+
+class TestDtypeAllowlist:
+    """Every allowlisted dtype round-trips; everything else is rejected."""
+
+    @pytest.mark.parametrize("dtype", sorted(_ALLOWED_DTYPES))
+    def test_roundtrip_every_allowed_dtype(self, dtype):
+        if dtype == "bool":
+            src = np.array([[True, False], [False, True]])
+        elif np.issubdtype(np.dtype(dtype), np.integer):
+            info = np.iinfo(dtype)
+            src = np.array([[info.min, 0], [7, info.max]], dtype=dtype)
+        else:
+            src = np.array([[-1.5, 0.0], [np.pi, 1e30]], dtype=dtype)
+        decoded, _ = decode_frame(encode_frame({"a": src}, {"dtype": dtype}))
+        assert decoded["a"].dtype == np.dtype(dtype)
+        assert decoded["a"].shape == src.shape
+        np.testing.assert_array_equal(decoded["a"], src)
+
+    @pytest.mark.parametrize(
+        "dtype", ["float16", "int16", "uint64", "complex64", "complex128"]
+    )
+    def test_disallowed_dtype_rejected_on_encode(self, dtype):
+        assert dtype not in _ALLOWED_DTYPES
+        with pytest.raises(WireError, match="not allowed"):
+            encode_frame({"bad": np.ones(3, dtype=dtype)}, {})
+
+    @pytest.mark.parametrize("dtype", ["float16", "complex128"])
+    def test_disallowed_dtype_rejected_on_decode(self, dtype):
+        import json
+        import struct
+
+        header = json.dumps(
+            {"meta": {}, "arrays": [{"name": "x", "dtype": dtype, "shape": [1]}]}
+        ).encode()
+        frame = b"FDN1" + struct.pack(">I", len(header)) + header + b"\x00" * 16
+        with pytest.raises(WireError, match="not allowed"):
+            decode_frame(frame)
+
+
+class TestWireDtypePolicy:
+    def test_default_wire_dtype_is_float32(self):
+        assert wire_dtype() == np.float32
+
+    def test_policy_selects_wire_dtype(self):
+        with dtype_policy(wire="float64"):
+            assert wire_dtype() == np.float64
+            assert cast_for_wire(np.zeros(2, dtype=np.float32)).dtype == np.float64
+
+    def test_cast_for_wire_no_copy_when_already_there(self):
+        x = np.zeros(4, dtype=np.float32)
+        assert cast_for_wire(x) is x
+
+    def test_cast_for_wire_roundtrips_through_frame(self, rng):
+        x = rng.standard_normal((3, 5))
+        wired = cast_for_wire(x)
+        decoded, _ = decode_frame(encode_frame({"x": wired}, {}))
+        np.testing.assert_array_equal(decoded["x"], x.astype(np.float32))
 
 
 class TestRejections:

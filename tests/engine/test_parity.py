@@ -1,0 +1,244 @@
+"""Engine parity against the legacy master/worker runtime.
+
+For every Fig. 2 availability scenario (BOTH, ONLY_MASTER, ONLY_WORKER)
+the unified :class:`~repro.engine.engine.ExecutionEngine` must produce the
+same logits AND the same emulated-time ledger as the pre-engine two-device
+``MasterRuntime`` did.  The legacy runtime no longer exists in the tree, so
+:class:`LegacyMasterReference` below re-implements its exact semantics
+(taken verbatim from the seed revision) on top of the still-unchanged wire
+protocol; both sides drive identically-seeded nets over identically-seeded
+inputs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.comm import CommLatencyModel, InProcChannel, Message, MessageKind
+from repro.comm.transport import TransportError
+from repro.device import EmulatedDevice, jetson_nx_master, jetson_nx_worker
+from repro.device.cost import partitioned_device_costs
+from repro.distributed import MasterRuntime, WorkerServer
+from repro.distributed.modes import Scenario
+from repro.distributed.partitioned import (
+    conv_block_half,
+    fc_partial,
+    feature_slice_for_block,
+    flatten_channel_block,
+)
+from repro.slimmable import SlimmableConvNet, paper_width_spec
+from repro.slimmable.spec import ChannelSlice, SubNetSpec
+from repro.utils import make_rng
+
+SPLIT = 8
+SEED = 0
+
+
+class LegacyLedger:
+    def __init__(self) -> None:
+        self.compute_s = 0.0
+        self.comm_s = 0.0
+        self.images = 0
+
+
+class LegacyMasterReference:
+    """The seed revision's MasterRuntime semantics, preserved for parity.
+
+    Every ledger formula and every float cast below reproduces the deleted
+    legacy implementation line-for-line; if the engine and this reference
+    ever disagree, the engine regressed.
+    """
+
+    def __init__(self, device, transport, *, partition_split, comm_model=None):
+        self.device = device
+        self.transport = transport
+        self.split = partition_split
+        self.comm_model = comm_model or CommLatencyModel()
+        self.ledger = LegacyLedger()
+
+    def _request(self, message: Message) -> Message:
+        self.transport.send(message)
+        reply = self.transport.recv(timeout=10.0)
+        if reply.kind == MessageKind.ERROR:
+            raise AssertionError(f"worker error: {reply.fields.get('reason')}")
+        nbytes = max(
+            sum(a.nbytes for a in message.arrays.values()),
+            sum(a.nbytes for a in reply.arrays.values()),
+        )
+        self.ledger.comm_s += self.comm_model.transfer_time(int(nbytes))
+        return reply
+
+    def run_local(self, spec: SubNetSpec, x: np.ndarray) -> np.ndarray:
+        logits = self.device.execute_subnet(spec, x)
+        self.ledger.compute_s += self.device.estimated_latency(spec) * x.shape[0]
+        self.ledger.images += x.shape[0]
+        return logits
+
+    def run_remote(self, spec: SubNetSpec, x: np.ndarray) -> np.ndarray:
+        reply = self._request(
+            Message(
+                MessageKind.RUN_SUBNET,
+                fields={"spec": spec.name},
+                arrays={"x": x.astype(np.float32)},
+            )
+        )
+        self.ledger.compute_s += float(reply.fields.get("compute_s", 0.0))
+        self.ledger.images += x.shape[0]
+        return reply.arrays["logits"].astype(np.float64)
+
+    def run_ht(self, master_spec, worker_spec, x_master, x_worker) -> Tuple:
+        before_compute = self.ledger.compute_s
+        logits_w = self.run_remote(worker_spec, x_worker)
+        worker_s = self.ledger.compute_s - before_compute
+        logits_m = self.device.execute_subnet(master_spec, x_master)
+        master_s = self.device.estimated_latency(master_spec) * x_master.shape[0]
+        self.ledger.compute_s = before_compute + max(worker_s, master_s)
+        self.ledger.images += x_master.shape[0]
+        return logits_m, logits_w
+
+    def run_ha(self, spec: SubNetSpec, x: np.ndarray) -> np.ndarray:
+        net = self.device.net
+        lower = ChannelSlice(0, self.split)
+        master_costs, _, _ = partitioned_device_costs(net, spec, self.split)
+
+        current = x
+        in_slice: Optional[ChannelSlice] = None
+        master_half: Optional[np.ndarray] = None
+        for layer, out_slice in enumerate(spec.conv_slices):
+            if layer == 0:
+                request = Message(
+                    MessageKind.PARTIAL_FORWARD,
+                    fields={"op": "layer", "layer": 0, "spec": spec.name},
+                    arrays={"input": x.astype(np.float32)},
+                )
+            else:
+                request = Message(
+                    MessageKind.PARTIAL_FORWARD,
+                    fields={"op": "layer", "layer": layer, "spec": spec.name},
+                    arrays={"master_half": master_half.astype(np.float32)},
+                )
+            master_half = conv_block_half(net, layer, current, lower, in_slice)
+            self.device.busy_time_s += self.device.profile.compute_time(
+                master_costs[layer].flops * x.shape[0], x.shape[0]
+            )
+            self.ledger.compute_s += self.device.profile.compute_time(
+                master_costs[layer].flops, 1
+            ) * x.shape[0]
+            reply = self._request(request)
+            worker_half = reply.arrays["half"].astype(np.float64)
+            current = np.concatenate([master_half, worker_half], axis=1)
+            in_slice = out_slice
+
+        feats_m = flatten_channel_block(current[:, : self.split])
+        logits_m = fc_partial(
+            net, feats_m, feature_slice_for_block(net, lower), include_bias=True
+        )
+        self.ledger.compute_s += self.device.profile.compute_time(
+            master_costs[-1].flops, 1
+        ) * x.shape[0]
+        reply = self._request(
+            Message(MessageKind.PARTIAL_FORWARD, fields={"op": "fc", "spec": spec.name})
+        )
+        logits = logits_m + reply.arrays["partial_logits"].astype(np.float64)
+        self.ledger.images += x.shape[0]
+        return logits
+
+    def shutdown(self) -> None:
+        try:
+            self.transport.send(Message(MessageKind.SHUTDOWN))
+        except TransportError:
+            pass
+        self.transport.close()
+
+
+def _make_pair():
+    """One served worker + master device pair on a freshly-seeded net."""
+    net = SlimmableConvNet(paper_width_spec(), rng=make_rng(SEED))
+    chan = InProcChannel()
+    worker_device = EmulatedDevice(jetson_nx_worker(), net)
+    server = WorkerServer(worker_device, chan.b, partition_split=SPLIT)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    master_device = EmulatedDevice(jetson_nx_master(), net)
+    return master_device, worker_device, chan.a, thread
+
+
+@pytest.fixture
+def parity_pair():
+    """(engine runtime, legacy reference) over identically-seeded worlds."""
+    e_master, e_worker, e_chan, e_thread = _make_pair()
+    l_master, l_worker, l_chan, l_thread = _make_pair()
+    engine = MasterRuntime(e_master, e_chan, partition_split=SPLIT)
+    legacy = LegacyMasterReference(l_master, l_chan, partition_split=SPLIT)
+    yield engine, legacy, (e_master, e_worker), (l_master, l_worker)
+    engine.shutdown_worker()
+    legacy.shutdown()
+    e_thread.join(timeout=5.0)
+    l_thread.join(timeout=5.0)
+
+
+def _assert_ledgers_match(engine, legacy) -> None:
+    assert engine.ledger.compute_s == pytest.approx(legacy.ledger.compute_s, rel=1e-12)
+    assert engine.ledger.comm_s == pytest.approx(legacy.ledger.comm_s, rel=1e-12)
+    assert engine.ledger.images == legacy.ledger.images
+
+
+def _batch(n: int = 6) -> np.ndarray:
+    return make_rng(42).standard_normal((n, 1, 28, 28))
+
+
+class TestFig2ScenarioParity:
+    """One parity case per Fig. 2 availability scenario (plus HT for BOTH)."""
+
+    def test_only_master_solo(self, parity_pair):
+        engine, legacy, (e_master, _), (l_master, _) = parity_pair
+        assert Scenario.ONLY_MASTER.alive == frozenset({"master"})
+        spec = e_master.net.width_spec.find("lower50")
+        x = _batch()
+        out_engine = engine.run_local(spec, x)
+        out_legacy = legacy.run_local(spec, x)
+        np.testing.assert_array_equal(out_engine, out_legacy)
+        _assert_ledgers_match(engine, legacy)
+        assert engine.ledger.comm_s == 0.0
+        assert e_master.busy_time_s == pytest.approx(l_master.busy_time_s, rel=1e-12)
+
+    def test_only_worker_solo(self, parity_pair):
+        engine, legacy, (_, e_worker), (_, l_worker) = parity_pair
+        assert Scenario.ONLY_WORKER.alive == frozenset({"worker"})
+        spec = e_worker.net.width_spec.find("upper50")
+        x = _batch()
+        out_engine = engine.run_remote(spec, x)
+        out_legacy = legacy.run_remote(spec, x)
+        np.testing.assert_array_equal(out_engine, out_legacy)
+        _assert_ledgers_match(engine, legacy)
+        assert engine.ledger.comm_s > 0.0
+        assert e_worker.busy_time_s == pytest.approx(l_worker.busy_time_s, rel=1e-12)
+
+    def test_both_high_accuracy(self, parity_pair):
+        engine, legacy, (e_master, e_worker), (l_master, l_worker) = parity_pair
+        assert Scenario.BOTH.alive == frozenset({"master", "worker"})
+        spec = e_master.net.width_spec.find("lower100")
+        x = _batch()
+        out_engine = engine.run_ha(spec, x)
+        out_legacy = legacy.run_ha(spec, x)
+        np.testing.assert_array_equal(out_engine, out_legacy)
+        _assert_ledgers_match(engine, legacy)
+        assert engine.ledger.comm_s > 0.0
+        assert e_master.busy_time_s == pytest.approx(l_master.busy_time_s, rel=1e-12)
+        assert e_worker.busy_time_s == pytest.approx(l_worker.busy_time_s, rel=1e-12)
+
+    def test_both_high_throughput(self, parity_pair):
+        engine, legacy, (e_master, _), _ = parity_pair
+        spec_m = e_master.net.width_spec.find("lower50")
+        spec_w = e_master.net.width_spec.find("upper50")
+        x_m = _batch()
+        x_w = make_rng(43).standard_normal((6, 1, 28, 28))
+        em, ew = engine.run_ht(spec_m, spec_w, x_m, x_w)
+        lm, lw = legacy.run_ht(spec_m, spec_w, x_m, x_w)
+        np.testing.assert_array_equal(em, lm)
+        np.testing.assert_array_equal(ew, lw)
+        _assert_ledgers_match(engine, legacy)

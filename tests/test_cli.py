@@ -25,6 +25,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["simulate", "--family", "fluid", "--fail", "worker-10"])
 
+    def test_dtype_policy_flag(self):
+        args = build_parser().parse_args(
+            ["--dtype-policy", "float32", "calibration"]
+        )
+        assert args.dtype_policy == "float32"
+        assert build_parser().parse_args(["calibration"]).dtype_policy == "float64"
+
+    def test_bad_dtype_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dtype-policy", "float16", "calibration"])
+
+    def test_dtype_policy_installed_during_command(self, capsys, monkeypatch):
+        from repro import cli
+        from repro.utils import get_dtype_policy
+
+        seen = {}
+
+        def probe(_args):
+            seen["policy"] = get_dtype_policy()
+            return 0
+
+        monkeypatch.setitem(cli.COMMANDS, "calibration", probe)
+        assert main(["--dtype-policy", "float32", "calibration"]) == 0
+        assert seen["policy"].inference == "float32"
+        assert seen["policy"].training == "float64"
+        # The previous policy is restored once the command returns.
+        assert get_dtype_policy().inference == "float64"
+
 
 class TestCalibrationCommand:
     def test_prints_all_points(self, capsys):
@@ -55,6 +83,7 @@ class TestSimulateCommand:
         assert "downtime: 5.0s" in out
 
 
+@pytest.mark.slow
 class TestTrainEvaluateRoundtrip:
     def test_train_then_evaluate(self, tmp_path, capsys):
         path = str(tmp_path / "model.npz")

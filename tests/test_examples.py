@@ -12,14 +12,22 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "src")
 
 
 def run_example(name: str, *args: str) -> str:
+    # Examples must run from a plain checkout: put src/ on the child's path
+    # whether or not the package is installed.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath(SRC_DIR), env.get("PYTHONPATH")) if p
+    )
     result = subprocess.run(
         [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
         capture_output=True,
         text=True,
         timeout=240,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout

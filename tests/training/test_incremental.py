@@ -8,6 +8,7 @@ from repro.training import IncrementalTrainer, TrainConfig
 from repro.utils import make_rng
 
 
+@pytest.mark.slow
 class TestFreezingSemantics:
     def test_earlier_subnet_weights_frozen_in_later_stages(self, tiny_data):
         """After the 25% stage completes, the 25% region must never move."""
@@ -59,6 +60,7 @@ class TestFreezingSemantics:
         assert history.stages() == ["lower25", "lower50", "lower75", "lower100"]
 
 
+@pytest.mark.slow
 class TestLearnedBehaviour:
     def test_all_lower_subnets_beat_chance(self, tiny_data):
         train, test = tiny_data

@@ -23,6 +23,7 @@ class TestNestedConfig:
             NestedTrainConfig(lr_decay=0.0)
 
 
+@pytest.mark.slow
 class TestAlgorithm1:
     @pytest.fixture(scope="class")
     def fluid_and_history(self, tiny_data):
@@ -70,6 +71,7 @@ class TestAlgorithm1:
         assert all(p.grad_mask is None for p in model.net.parameters())
 
 
+@pytest.mark.slow
 class TestWeightSharingDuringTraining:
     def test_upper_training_touches_full_models_upper_blocks(self, tiny_data):
         """Algorithm 1 lines 7/9 ('copy weights from/back to the 100% model')

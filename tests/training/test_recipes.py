@@ -39,6 +39,7 @@ class TestRecipeBehaviour:
             train_family("hybrid", train, rng=make_rng(0))
 
 
+@pytest.mark.slow
 class TestBudgetFairness:
     def test_static_budget_matches_dynamic(self, tiny_data):
         """Static gets the same total epoch budget the slimmable recipes

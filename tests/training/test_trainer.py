@@ -26,6 +26,7 @@ class TestTrainConfig:
             TrainConfig().scaled_lr(0)
 
 
+@pytest.mark.slow
 class TestFit:
     def test_loss_decreases(self, tiny_data):
         train, _ = tiny_data
@@ -85,6 +86,7 @@ class TestFit:
         assert not model.net.training
 
 
+@pytest.mark.slow
 class TestEarlyStoppingIntegration:
     def test_stops_before_budget(self, tiny_data):
         train, test = tiny_data
