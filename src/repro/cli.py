@@ -6,9 +6,11 @@ Subcommands::
     python -m repro evaluate --family fluid --weights model.npz
     python -m repro fig2 [--fast]
     python -m repro simulate --family fluid --fail worker:10 --recover worker:25
+    python -m repro serve --family fluid --subnet lower50 --requests 256
     python -m repro calibration
 
-All commands are deterministic per ``--seed``.
+All commands are deterministic per ``--seed`` (``serve`` timings vary, its
+outputs do not).
 """
 
 from __future__ import annotations
@@ -84,6 +86,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--horizon", type=float, default=60.0)
     simulate.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="serve synthetic traffic: serial vs concurrent vs micro-batched"
+    )
+    serve.add_argument("--family", choices=("static", "dynamic", "fluid"), default="fluid")
+    serve.add_argument("--subnet", default=None, help="sub-network name (default: full width)")
+    serve.add_argument("--weights", default=None, help="optional npz checkpoint to serve")
+    serve.add_argument("--requests", type=int, default=256)
+    serve.add_argument("--concurrency", type=int, default=4)
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    serve.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("calibration", help="show emulated-testbed calibration vs paper")
     return parser
@@ -172,6 +186,39 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serving_bench import run_serving_comparison
+
+    model = build_model(args.family, rng=make_rng(args.seed))
+    if args.weights:
+        model.load_state_dict(load_state(args.weights))
+    subnet = args.subnet or model.width_spec.full().name
+    if subnet not in {s.name for s in model.width_spec.all_specs()}:
+        raise SystemExit(f"unknown subnet {subnet!r} for family {args.family}")
+    report = run_serving_comparison(
+        model,
+        subnet,
+        num_requests=args.requests,
+        concurrency=args.concurrency,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+        seed=args.seed,
+    )
+    print(f"serving {args.family}/{subnet}: {args.requests} single-image requests")
+    for mode, stats in report["modes"].items():
+        extra = ""
+        if "mean_batch_rows" in stats:
+            extra = f"  (mean batch {stats['mean_batch_rows']:.1f} rows)"
+        print(f"  {mode:13s} {stats['requests_per_s']:9.1f} req/s{extra}")
+    print(
+        f"  speedup: micro-batched vs serial "
+        f"{report['speedup']['micro_batched_vs_serial']:.2f}x, "
+        f"concurrent vs serial {report['speedup']['concurrent_vs_serial']:.2f}x"
+    )
+    print(f"  zero-copy: {report['zero_copy']} (shared parameter ids verified)")
+    return 0
+
+
 def cmd_calibration(_args) -> int:
     net = SlimmableConvNet(paper_width_spec(), rng=make_rng(0))
     print(f"{'operating point':24s} {'paper':>7s} {'emulated':>9s} {'error':>7s}")
@@ -188,6 +235,7 @@ COMMANDS = {
     "evaluate": cmd_evaluate,
     "fig2": cmd_fig2,
     "simulate": cmd_simulate,
+    "serve": cmd_serve,
     "calibration": cmd_calibration,
 }
 

@@ -37,26 +37,32 @@ class LayerCost:
 
 
 def subnet_layer_costs(net: SlimmableConvNet, spec: SubNetSpec) -> List[LayerCost]:
-    """Per-layer costs of running ``spec`` end-to-end on one device."""
-    net.set_active(spec)
+    """Per-layer costs of running ``spec`` end-to-end on one device.
+
+    Stateless: slices are resolved from ``spec`` directly, so cost queries
+    never disturb the net's active defaults (they run on live serve paths).
+    """
     costs: List[LayerCost] = []
     size = net.image_size
-    for i, conv in enumerate(net.convs):
-        flops = conv.flops_per_image(size, size)
+    prev = None
+    for i, (conv, out_slice) in enumerate(zip(net.convs, spec.conv_slices)):
+        in_slice, out_slice = conv.resolve_slices(prev, out_slice)
+        flops = conv.flops_per_image(size, size, in_slice=in_slice, out_slice=out_slice)
         if i in net.pools:
             size //= 2
         costs.append(
             LayerCost(
                 name=f"conv{i}",
                 flops=flops,
-                out_channels=conv.out_slice.width,
+                out_channels=out_slice.width,
                 out_spatial=size * size,
             )
         )
+        prev = out_slice
     costs.append(
         LayerCost(
             name="fc",
-            flops=net.classifier.flops_per_image(),
+            flops=net.classifier.flops_per_image(net.feature_slice_for(spec.last_slice)),
             out_channels=net.classifier.out_features,
             out_spatial=1,
         )
@@ -153,10 +159,12 @@ def partitioned_device_costs(
 
 def subnet_param_count(net: SlimmableConvNet, spec: SubNetSpec) -> int:
     """Parameter count of a standalone sub-network (for memory-capacity checks)."""
-    net.set_active(spec)
     total = 0
+    prev = None
     for conv, s in zip(net.convs, spec.conv_slices):
-        total += s.width * conv.in_slice.width * conv.kernel_size**2 + s.width
+        in_slice, s = conv.resolve_slices(prev, s)
+        total += s.width * in_slice.width * conv.kernel_size**2 + s.width
+        prev = s
     feat = net.feature_slice_for(spec.last_slice)
     total += net.classifier.out_features * (feat.width + 1)
     return total

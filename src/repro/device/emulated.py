@@ -13,9 +13,10 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.device.cost import subnet_flops, subnet_num_layers
+from repro.device.cost import subnet_flops, subnet_num_layers, subnet_param_count
 from repro.device.failure import CrashCounter
 from repro.device.profiles import DeviceProfile
+from repro.nn.context import ForwardContext
 from repro.slimmable.slim_net import SlimmableConvNet
 from repro.slimmable.spec import SubNetSpec
 
@@ -60,21 +61,16 @@ class EmulatedDevice:
 
     def can_host(self, spec: SubNetSpec) -> bool:
         """Whether the sub-network's parameter count fits device memory."""
-        self.net.set_active(spec)
-        resident = 0
-        for conv, s in zip(self.net.convs, spec.conv_slices):
-            in_width = conv.in_slice.width
-            resident += s.width * in_width * conv.kernel_size**2 + s.width
-        feat = self.net.feature_slice_for(spec.last_slice)
-        resident += self.net.classifier.out_features * (feat.width + 1)
-        return resident <= self.profile.memory_capacity_params
+        return subnet_param_count(self.net, spec) <= self.profile.memory_capacity_params
 
     def execute_subnet(self, spec: SubNetSpec, x: np.ndarray) -> np.ndarray:
         """Run a standalone sub-network on a batch; accounts emulated time."""
         self._check_alive()
         view = self.net.view(spec)
         view.train(False)
-        logits = view(x)
+        # Stateless inference: slice bindings and (skipped) activation tape
+        # live on the per-call context, not on the shared net.
+        logits = view.forward(x, ForwardContext(recording=False))
         flops = subnet_flops(self.net, spec) * x.shape[0]
         layers = subnet_num_layers(self.net) * x.shape[0]
         self.busy_time_s += self.profile.compute_time(flops, layers)

@@ -53,10 +53,10 @@ def conv_block_half(
     bias = conv.bias.data[out_slice.as_slice()]
     x_full, weight, bias = F.cast_compute(False, x_full, weight, bias)
     y, _ = F.conv2d_forward(x_full, weight, bias, conv.stride, conv.padding)
-    y, _ = F.relu_forward(y)
+    y, _ = F.relu_forward(y, need_mask=False)
     if layer_index in net.pools:
         pool = net.pools[layer_index]
-        y, _ = F.maxpool2d_forward(y, pool.kernel_size, pool.stride)
+        y, _ = F.maxpool2d_forward(y, pool.kernel_size, pool.stride, need_indices=False)
     return y
 
 

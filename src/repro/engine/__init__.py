@@ -22,6 +22,7 @@ from repro.engine.endpoints import (
     TransportEndpoint,
 )
 from repro.engine.engine import EngineResult, ExecutionEngine
+from repro.engine.session import InferenceSession, serve_concurrent
 from repro.engine.graph import (
     BlockPartition,
     ExecutionGraph,
@@ -35,6 +36,8 @@ from repro.engine.ledger import EmulatedTimeLedger
 __all__ = [
     "ExecutionEngine",
     "EngineResult",
+    "InferenceSession",
+    "serve_concurrent",
     "Endpoint",
     "EndpointReply",
     "EndpointUnavailable",

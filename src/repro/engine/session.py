@@ -1,0 +1,102 @@
+"""Concurrent shared-weight inference sessions.
+
+An :class:`InferenceSession` is one serving handle over a model whose
+parameters are *shared and read-only*: every call builds a fresh
+non-recording :class:`~repro.nn.context.ForwardContext`, so per-request
+activation state never touches the model.  K sessions over one weight
+store run concurrently from K threads with **zero parameter copies** —
+the exact property the slimmable design wants, since sub-network views
+already alias one storage and cloning it per request would defeat the
+paper's weight sharing.
+
+Accepted model objects (duck-typed):
+
+* a plain :class:`~repro.nn.module.Module` (e.g. ``Sequential``);
+* a :class:`~repro.slimmable.slim_net.SubNetworkView` (binds its spec
+  into each call's context — the container is never mutated);
+* a :class:`~repro.slimmable.slim_net.SlimmableConvNet` or a model family
+  (anything with ``.view()``/``.width_spec``) plus a ``subnet`` name.
+
+Sessions must be created before concurrent serving begins: construction
+flips the model to eval mode (idempotent), which is the only shared-state
+write in the session lifecycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.context import ForwardContext
+from repro.nn.module import Module
+
+
+class InferenceSession:
+    """One serving handle: shared read-only weights, per-call contexts."""
+
+    def __init__(self, model, subnet: Optional[str] = None) -> None:
+        self.model = self._resolve(model, subnet)
+        # Eval mode is the one shared write; do it here, serially, so the
+        # serve path is pure reads.
+        self.model.train(False)
+
+    @staticmethod
+    def _resolve(model, subnet: Optional[str]) -> Module:
+        if subnet is None:
+            if not isinstance(model, Module):
+                raise TypeError(
+                    f"{type(model).__name__} needs a subnet name to build a view"
+                )
+            return model
+        if hasattr(model, "width_spec") and hasattr(model, "view"):
+            # SlimmableConvNet takes a SubNetSpec; model families take a name.
+            if isinstance(model, Module):
+                return model.view(model.width_spec.find(subnet))
+            return model.view(subnet)
+        raise TypeError(f"cannot build a {subnet!r} view from {type(model).__name__}")
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """One inference request; reentrant and thread-safe."""
+        return self.model.forward(x, ForwardContext(recording=False))
+
+    def parameters(self):
+        """The underlying shared parameters (for zero-copy assertions)."""
+        return self.model.parameters()
+
+    def __repr__(self) -> str:
+        return f"InferenceSession({self.model!r})"
+
+
+def serve_concurrent(
+    sessions: Sequence[InferenceSession], batches: Sequence[np.ndarray]
+) -> List[np.ndarray]:
+    """Run ``sessions[i].run(batches[i])`` on one thread each; gather results.
+
+    A convenience harness for tests and benchmarks: results come back in
+    submission order regardless of thread scheduling, and any worker
+    exception is re-raised in the caller.
+    """
+    if len(sessions) != len(batches):
+        raise ValueError(f"{len(sessions)} sessions but {len(batches)} batches")
+    results: List[Optional[np.ndarray]] = [None] * len(sessions)
+    errors: List[BaseException] = []
+
+    def _worker(index: int) -> None:
+        try:
+            results[index] = sessions[index].run(batches[index])
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=_worker, args=(i,), name=f"session-{i}")
+        for i in range(len(sessions))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results  # type: ignore[return-value]

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
+from repro.nn.context import ForwardContext
 from repro.nn.loss import SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.slimmable.slim_net import SlimmableConvNet, SubNetworkView
@@ -75,7 +76,9 @@ class ModelFamily:
         correct = 0
         for start in range(0, len(dataset), batch_size):
             x, y = dataset[np.arange(start, min(start + batch_size, len(dataset)))]
-            logits = view(x)
+            # Inference never runs backward: a non-recording context skips
+            # the activation tape entirely.
+            logits = view.forward(x, ForwardContext(recording=False))
             correct += int((logits.argmax(axis=1) == y).sum())
         return correct / len(dataset)
 

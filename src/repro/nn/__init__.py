@@ -7,6 +7,7 @@ and npz checkpointing — everything the paper's training algorithms need.
 
 from repro.nn import functional
 from repro.nn.checkpoint import load_model, load_state, save_model, save_state
+from repro.nn.context import ForwardContext
 from repro.nn.layers import Conv2d, Dropout, Flatten, GlobalAvgPool2d, Linear, MaxPool2d, ReLU, Tanh
 from repro.nn.loss import MSELoss, SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy, confusion_matrix, per_class_accuracy, top_k_accuracy
@@ -16,6 +17,7 @@ from repro.nn.parameter import Parameter
 
 __all__ = [
     "functional",
+    "ForwardContext",
     "Parameter",
     "Module",
     "Sequential",

@@ -14,7 +14,7 @@ pick that dtype from the global :class:`~repro.utils.dtypes.DtypePolicy`
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -157,9 +157,13 @@ def conv2d_backward(
 
 
 def maxpool2d_forward(
-    x: np.ndarray, kernel: int, stride: int
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Max pooling forward; returns ``(y, argmax)`` with flat window indices."""
+    x: np.ndarray, kernel: int, stride: int, need_indices: bool = True
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Max pooling forward; returns ``(y, argmax)`` with flat window indices.
+
+    ``need_indices=False`` (inference: no backward will run) skips the
+    argmax/gather entirely and returns ``(y, None)`` from a plain window max.
+    """
     n, c, h, w = x.shape
     out_h = conv_out_size(h, kernel, stride, 0)
     out_w = conv_out_size(w, kernel, stride, 0)
@@ -171,6 +175,8 @@ def maxpool2d_forward(
         writeable=False,
     )
     flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
+    if not need_indices:
+        return flat.max(axis=-1), None
     argmax = flat.argmax(axis=-1)
     y = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
     return np.ascontiguousarray(y), argmax
@@ -183,25 +189,35 @@ def maxpool2d_backward(
     kernel: int,
     stride: int,
 ) -> np.ndarray:
-    """Max pooling backward: route gradients to winning window positions."""
+    """Max pooling backward: route gradients to winning window positions.
+
+    The scatter-add is a flat ``np.bincount`` over raveled destination
+    indices — argmax positions can collide when ``stride < kernel``, and
+    bincount is far faster than the fancy-indexed ``np.add.at`` it replaces.
+    """
     n, c, h, w = x_shape
     out_h, out_w = grad_y.shape[2], grad_y.shape[3]
-    grad_x = np.zeros(x_shape, dtype=grad_y.dtype)
     # Decompose flat window index into (di, dj) offsets.
     di = argmax // kernel
     dj = argmax % kernel
-    oh_idx, ow_idx = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
-    rows = oh_idx[None, None] * stride + di
-    cols = ow_idx[None, None] * stride + dj
-    n_idx = np.arange(n)[:, None, None, None]
-    c_idx = np.arange(c)[None, :, None, None]
-    np.add.at(grad_x, (n_idx, c_idx, rows, cols), grad_y)
-    return grad_x
+    rows = np.arange(out_h)[:, None] * stride + di
+    cols = np.arange(out_w)[None, :] * stride + dj
+    plane = (
+        np.arange(n)[:, None, None, None] * c + np.arange(c)[None, :, None, None]
+    ) * (h * w)
+    flat_idx = plane + rows * w + cols
+    grad_x = np.bincount(
+        flat_idx.ravel(), weights=grad_y.ravel(), minlength=n * c * h * w
+    )
+    return grad_x.reshape(x_shape).astype(grad_y.dtype, copy=False)
 
 
-def relu_forward(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    mask = x > 0
-    return x * mask, mask
+def relu_forward(
+    x: np.ndarray, need_mask: bool = True
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """ReLU forward; the mask is computed only when a backward pass needs it."""
+    y = np.maximum(x, 0)
+    return y, (x > 0) if need_mask else None
 
 
 def relu_backward(grad_y: np.ndarray, mask: np.ndarray) -> np.ndarray:

@@ -2,27 +2,29 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.nn import functional as F
+from repro.nn.context import ForwardContext
 from repro.nn.module import Module
 
 
 class ReLU(Module):
     """Elementwise rectified linear unit."""
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._mask = None
-
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        y, self._mask = F.relu_forward(x)
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
+        y, mask = F.relu_forward(x, need_mask=ctx.recording)
+        ctx.put(self, mask=mask)
         return y
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._mask is None:
-            raise RuntimeError("backward called before forward")
-        return F.relu_backward(grad_output, self._mask)
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        return F.relu_backward(grad_output, ctx.require(self)["mask"])
 
     def __repr__(self) -> str:
         return "ReLU()"
@@ -31,18 +33,18 @@ class ReLU(Module):
 class Tanh(Module):
     """Elementwise hyperbolic tangent."""
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._y = None
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
+        y = np.tanh(x)
+        ctx.put(self, y=y)
+        return y
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self._y = np.tanh(x)
-        return self._y
-
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._y is None:
-            raise RuntimeError("backward called before forward")
-        return grad_output * (1.0 - self._y**2)
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        y = ctx.require(self)["y"]
+        return grad_output * (1.0 - y**2)
 
     def __repr__(self) -> str:
         return "Tanh()"

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.context import ForwardContext
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.utils.rng import check_rng
@@ -50,20 +53,26 @@ class Conv2d(Module):
         fan_in = in_channels * kernel_size * kernel_size
         self.bias = Parameter(init.bias_uniform((out_channels,), fan_in, rng), name="bias")
 
-        self._x_shape = None
-        self._cols = None
-
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x_shape = x.shape
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
+        x_shape = x.shape
         x, w, b = F.cast_compute(self.training, x, self.weight.data, self.bias.data)
-        y, self._cols = F.conv2d_forward(x, w, b, self.stride, self.padding)
+        y, cols = F.conv2d_forward(x, w, b, self.stride, self.padding)
+        ctx.put(self, cols=cols, x_shape=x_shape)
         return y
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._cols is None:
-            raise RuntimeError("backward called before forward")
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        state = ctx.require(self)
         grad_x, grad_w, grad_b = F.conv2d_backward(
-            grad_output, self._cols, self._x_shape, self.weight.data, self.stride, self.padding
+            grad_output,
+            state["cols"],
+            state["x_shape"],
+            self.weight.data,
+            self.stride,
+            self.padding,
         )
         self.weight.accumulate_grad(grad_w)
         self.bias.accumulate_grad(grad_b)

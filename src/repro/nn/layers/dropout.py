@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.nn.context import ForwardContext
 from repro.nn.module import Module
 from repro.utils.rng import check_rng
 
@@ -13,6 +16,9 @@ class Dropout(Module):
 
     At train time each activation is zeroed with probability ``p`` and the
     survivors are scaled by ``1/(1-p)`` so that eval mode is the identity.
+    The mask drawn at forward time is recorded on the context (``None``
+    when forward was the identity); like every layer, backward raises if
+    the context holds no recorded forward state.
     """
 
     def __init__(self, p: float, *, rng: np.random.Generator) -> None:
@@ -22,20 +28,25 @@ class Dropout(Module):
         check_rng(rng, "Dropout")
         self.p = p
         self.rng = rng
-        self._mask = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
         if not self.training or self.p == 0.0:
-            self._mask = None
+            ctx.put(self, mask=None)
             return x
         keep = 1.0 - self.p
-        self._mask = (self.rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        mask = (self.rng.random(x.shape) < keep) / keep
+        ctx.put(self, mask=mask)
+        return x * mask
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._mask is None:
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        mask = ctx.require(self)["mask"]
+        if mask is None:  # eval mode or p == 0: forward was the identity
             return grad_output
-        return grad_output * self._mask
+        return grad_output * mask
 
     def __repr__(self) -> str:
         return f"Dropout(p={self.p})"

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.context import ForwardContext
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.utils.rng import check_rng
@@ -23,21 +26,23 @@ class Linear(Module):
         self.out_features = out_features
         self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng), name="weight")
         self.bias = Parameter(init.bias_uniform((out_features,), in_features, rng), name="bias")
-        self._x = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
         if x.ndim != 2:
             raise ValueError(f"Linear expects (N, features), got shape {x.shape}")
         if x.shape[1] != self.in_features:
             raise ValueError(f"expected {self.in_features} features, got {x.shape[1]}")
         x, w, b = F.cast_compute(self.training, x, self.weight.data, self.bias.data)
-        self._x = x
+        ctx.put(self, x=x)
         return x @ w.T + b
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._x is None:
-            raise RuntimeError("backward called before forward")
-        self.weight.accumulate_grad(grad_output.T @ self._x)
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        x = ctx.require(self)["x"]
+        self.weight.accumulate_grad(grad_output.T @ x)
         self.bias.accumulate_grad(grad_output.sum(axis=0))
         return grad_output @ self.weight.data
 

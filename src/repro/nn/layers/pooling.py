@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.nn import functional as F
+from repro.nn.context import ForwardContext
 from repro.nn.module import Module
 
 
@@ -17,18 +20,23 @@ class MaxPool2d(Module):
             raise ValueError("kernel_size must be positive")
         self.kernel_size = kernel_size
         self.stride = stride if stride is not None else kernel_size
-        self._x_shape = None
-        self._argmax = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x_shape = x.shape
-        y, self._argmax = F.maxpool2d_forward(x, self.kernel_size, self.stride)
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
+        y, argmax = F.maxpool2d_forward(
+            x, self.kernel_size, self.stride, need_indices=ctx.recording
+        )
+        ctx.put(self, argmax=argmax, x_shape=x.shape)
         return y
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._argmax is None:
-            raise RuntimeError("backward called before forward")
-        return F.maxpool2d_backward(grad_output, self._argmax, self._x_shape, self.kernel_size, self.stride)
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        state = ctx.require(self)
+        return F.maxpool2d_backward(
+            grad_output, state["argmax"], state["x_shape"], self.kernel_size, self.stride
+        )
 
     def __repr__(self) -> str:
         return f"MaxPool2d(kernel_size={self.kernel_size}, stride={self.stride})"
@@ -37,18 +45,19 @@ class MaxPool2d(Module):
 class GlobalAvgPool2d(Module):
     """Average over the spatial dimensions: ``(N, C, H, W) -> (N, C)``."""
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._x_shape = None
-
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x_shape = x.shape
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
+        ctx.put(self, x_shape=x.shape)
         return x.mean(axis=(2, 3))
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        n, c, h, w = self._x_shape
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        x_shape = ctx.require(self)["x_shape"]
+        n, c, h, w = x_shape
         scale = 1.0 / (h * w)
-        return np.broadcast_to(grad_output[:, :, None, None], self._x_shape) * scale
+        return np.broadcast_to(grad_output[:, :, None, None], x_shape) * scale
 
     def __repr__(self) -> str:
         return "GlobalAvgPool2d()"

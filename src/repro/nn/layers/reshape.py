@@ -2,26 +2,27 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.nn.context import ForwardContext
 from repro.nn.module import Module
 
 
 class Flatten(Module):
     """Flatten all dims after the batch dim: ``(N, ...) -> (N, prod(...))``."""
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._x_shape = None
-
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x_shape = x.shape
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
+        ctx.put(self, x_shape=x.shape)
         return x.reshape(x.shape[0], -1)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._x_shape is None:
-            raise RuntimeError("backward called before forward")
-        return grad_output.reshape(self._x_shape)
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        return grad_output.reshape(ctx.require(self)["x_shape"])
 
     def __repr__(self) -> str:
         return "Flatten()"

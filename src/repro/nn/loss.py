@@ -1,8 +1,10 @@
 """Loss functions.
 
-Losses are not Modules: they return ``(loss_value, grad_wrt_logits)`` in one
-call because the framework has no autograd tape — the trainer feeds the
-returned gradient straight into ``model.backward``.
+Losses are not Modules and carry no per-call state: they return
+``(loss_value, grad_wrt_logits)`` in one call, and the trainer feeds the
+returned gradient straight into ``model.backward(grad, ctx)`` together with
+the :class:`~repro.nn.context.ForwardContext` the forward pass recorded
+into.
 """
 
 from __future__ import annotations
@@ -25,10 +27,15 @@ class SoftmaxCrossEntropy:
         n, num_classes = logits.shape
         if labels.min() < 0 or labels.max() >= num_classes:
             raise ValueError("labels out of range")
-        log_probs = F.log_softmax(logits, axis=1)
-        loss = -log_probs[np.arange(n), labels].mean()
-        grad = F.softmax(logits, axis=1)
-        grad[np.arange(n), labels] -= 1.0
+        # One shifted-exp pass yields both log-probs (for the loss) and
+        # probs (for the gradient), with log_softmax-grade stability.
+        rows = np.arange(n)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        denom = exp.sum(axis=1, keepdims=True)
+        loss = -(shifted[rows, labels] - np.log(denom[:, 0])).mean()
+        grad = exp / denom
+        grad[rows, labels] -= 1.0
         grad /= n
         return float(loss), grad
 

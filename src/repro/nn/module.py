@@ -1,12 +1,25 @@
 """Module base class: the spine of the numpy DNN framework.
 
 Modules implement explicit ``forward``/``backward`` passes (no autograd
-tape).  ``forward`` caches whatever the matching ``backward`` needs on
-``self``; ``backward`` receives the gradient w.r.t. the module output and
-must (a) accumulate parameter gradients and (b) return the gradient w.r.t.
-the module input.  This mirrors the classic layer-wise design and keeps the
-memory model obvious — important because slimmable layers alias weight
-storage between sub-networks.
+tape).  Both take a :class:`~repro.nn.context.ForwardContext`:
+``forward(x, ctx)`` records whatever the matching ``backward`` needs on the
+context's activation tape; ``backward(grad, ctx)`` reads it back, must
+(a) accumulate parameter gradients and (b) return the gradient w.r.t. the
+module input.  Modules therefore hold only parameters and hyper-parameters
+— never per-call state — so one weight store can serve any number of
+concurrent forward passes, each with its own context.  This matters doubly
+for slimmable layers, which alias weight storage between sub-networks.
+
+For single-caller convenience a thin compatibility shim remains:
+``module(x)`` with no context creates an *implicit* context and remembers
+it, and ``module.backward(grad)`` with no context resolves that implicit
+context.  Concurrent callers (the engine's inference sessions, the
+micro-batching runtime) must pass explicit contexts; the implicit slot is
+deliberately last-call-wins and not thread-safe.  Explicit-context calls
+never read or write the implicit slot, so explicit and implicit usage of
+one module do not corrupt each other's tapes; if you passed a context to
+``forward``, pass the same one to ``backward`` — a bare ``backward(grad)``
+always resolves the last *implicit* forward, not the last forward overall.
 """
 
 from __future__ import annotations
@@ -16,6 +29,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn.context import ForwardContext
 from repro.nn.parameter import Parameter
 
 
@@ -121,14 +135,36 @@ class Module:
 
     # -- compute -------------------------------------------------------------
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def _forward_ctx(self, ctx: Optional[ForwardContext]) -> ForwardContext:
+        """Resolve the context for a forward pass.
+
+        With no explicit context a fresh implicit one is created and
+        remembered so a later ``backward()`` without a context finds it.
+        """
+        if ctx is None:
+            ctx = ForwardContext()
+            object.__setattr__(self, "_implicit_ctx", ctx)
+        return ctx
+
+    def _backward_ctx(self, ctx: Optional[ForwardContext]) -> ForwardContext:
+        """Resolve the context for a backward pass (implicit shim)."""
+        if ctx is not None:
+            return ctx
+        implicit = getattr(self, "_implicit_ctx", None)
+        if implicit is None:
+            raise RuntimeError("backward called before forward (no context)")
+        return implicit
+
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
         raise NotImplementedError
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
         raise NotImplementedError
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.forward(x)
+    def __call__(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        return self.forward(x, ctx)
 
     def __repr__(self) -> str:
         child_repr = ", ".join(f"{k}={v!r}" for k, v in self._modules.items())
@@ -156,14 +192,18 @@ class Sequential(Module):
     def __getitem__(self, index: int) -> Module:
         return self.layers[index]
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
         for layer in self.layers:
-            x = layer(x)
+            x = layer.forward(x, ctx)
         return x
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
         for layer in reversed(self.layers):
-            grad_output = layer.backward(grad_output)
+            grad_output = layer.backward(grad_output, ctx)
         return grad_output
 
     def __repr__(self) -> str:
@@ -174,8 +214,10 @@ class Sequential(Module):
 class Identity(Module):
     """No-op module (useful as a placeholder in partition plans)."""
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
         return x
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
         return grad_output

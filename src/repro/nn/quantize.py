@@ -83,6 +83,16 @@ def dequantize_state_dict(
     return {name: q.dequantize() for name, q in quantized.items()}
 
 
+def dequantize_into(module, quantized: Dict[str, QuantizedTensor]) -> None:
+    """Materialise a quantised checkpoint into a module's shared weight store.
+
+    Serving cold-start path: ship the int8 archive, dequantise once into the
+    module, then let any number of inference sessions alias the result —
+    the sessions themselves never copy weights.
+    """
+    module.load_state_dict(dequantize_state_dict(quantized))
+
+
 def state_dict_bytes(state: Dict[str, np.ndarray]) -> int:
     return int(sum(a.nbytes for a in state.values()))
 

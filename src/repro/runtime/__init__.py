@@ -1,5 +1,6 @@
-"""Runtime adaptation: failure monitoring, policy, reliability state machine."""
+"""Runtime adaptation: failure monitoring, policy, micro-batched serving."""
 
+from repro.runtime.batching import BatchingConfig, BatchingStats, MicroBatchQueue
 from repro.runtime.controller import SystemController, Timeline, Transition
 from repro.runtime.live import LiveLog, LiveSystem, ServedBatch
 from repro.runtime.monitor import HeartbeatMonitor, ScheduleMonitor
@@ -15,9 +16,12 @@ __all__ = [
     "TARGET_ACCURACY",
     "TARGET_THROUGHPUT",
     "TARGETS",
+    "BatchingConfig",
+    "BatchingStats",
     "HeartbeatMonitor",
     "LiveSystem",
     "LiveLog",
+    "MicroBatchQueue",
     "ServedBatch",
     "ScheduleMonitor",
     "SystemController",

@@ -1,0 +1,206 @@
+"""Dynamic micro-batching request queue.
+
+Serving traffic arrives as many small requests; the numpy compute core is
+far more efficient on one large GEMM than on many tiny ones.  A
+:class:`MicroBatchQueue` sits between the two: callers :meth:`submit`
+individual input arrays and get a :class:`concurrent.futures.Future` back;
+a single collector thread accumulates requests until either the batch-size
+budget (``max_batch`` rows) or the deadline budget (``max_delay_s`` after
+the first queued request) is exhausted, runs **one** batched forward via
+the supplied ``run_batch`` callable, and scatters the result rows back to
+the per-request futures in submission order.
+
+``run_batch`` is typically an
+:class:`~repro.engine.session.InferenceSession`'s :meth:`run` (stateless,
+shared weights), or :class:`~repro.runtime.live.LiveSystem.serve_batch`
+via :meth:`LiveSystem.request_queue` for the full failover-aware stack.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Budgets for one micro-batching queue."""
+
+    max_batch: int = 32       # flush when this many *rows* are pending
+    max_delay_s: float = 0.002  # flush this long after the first pending request
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+
+
+#: How many recent per-batch row counts BatchingStats retains (the totals
+#: are exact; only the per-batch trace is windowed, so a long-lived serving
+#: queue does not grow without bound).
+RECENT_BATCH_WINDOW = 256
+
+
+@dataclass
+class BatchingStats:
+    """Counters describing how the queue flushed."""
+
+    requests: int = 0
+    batches: int = 0
+    rows: int = 0
+    full_flushes: int = 0      # flushed because max_batch rows were pending
+    deadline_flushes: int = 0  # flushed because max_delay_s expired
+    recent_batch_sizes: "deque" = field(
+        default_factory=lambda: deque(maxlen=RECENT_BATCH_WINDOW)
+    )
+
+    def mean_batch_rows(self) -> float:
+        return self.rows / self.batches if self.batches else 0.0
+
+
+class MicroBatchQueue:
+    """Accumulate requests, run one batched forward, scatter the results."""
+
+    def __init__(
+        self,
+        run_batch: Callable[[np.ndarray], np.ndarray],
+        config: Optional[BatchingConfig] = None,
+        *,
+        autostart: bool = True,
+    ) -> None:
+        self.run_batch = run_batch
+        self.config = config or BatchingConfig()
+        self.stats = BatchingStats()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._submit_lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._collector, name="micro-batcher", daemon=True
+        )
+        self._started = False
+        if autostart:
+            self.start()
+
+    def start(self) -> None:
+        """Start the collector (no-op if already running).
+
+        ``autostart=False`` + submit-then-start gives tests deterministic
+        batch composition.
+        """
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    # -- client side -----------------------------------------------------------
+
+    def submit(self, x: np.ndarray) -> "Future[np.ndarray]":
+        """Enqueue one request (rows = ``x.shape[0]``); returns its future."""
+        if x.ndim < 1 or x.shape[0] == 0:
+            raise ValueError(f"request must have at least one row, got shape {x.shape}")
+        future: "Future[np.ndarray]" = Future()
+        # The lock orders the closed-check against close()'s sentinel put, so
+        # no request can land behind _SHUTDOWN and silently never resolve.
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("submit on a closed MicroBatchQueue")
+            self._queue.put((x, future))
+        return future
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Flush everything already submitted, then stop the collector."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self.start()  # a never-started queue still drains on close
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatchQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- collector side ---------------------------------------------------------
+
+    def _collector(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch, saw_shutdown, full = self._gather(item)
+            self._flush(batch, full=full)
+            if saw_shutdown:
+                return
+
+    def _gather(
+        self, first: Tuple[np.ndarray, Future]
+    ) -> Tuple[List[Tuple[np.ndarray, Future]], bool, bool]:
+        """Collect requests until the row or deadline budget is spent.
+
+        Returns ``(batch, saw_shutdown, full)`` where ``full`` means the
+        row budget (not the deadline) ended collection.
+        """
+        batch = [first]
+        rows = first[0].shape[0]
+        flush_at = time.monotonic() + self.config.max_delay_s
+        while rows < self.config.max_batch:
+            remaining = flush_at - time.monotonic()
+            if remaining <= 0:
+                return batch, False, False
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                return batch, False, False
+            if item is _SHUTDOWN:
+                return batch, True, False
+            batch.append(item)
+            rows += item[0].shape[0]
+        return batch, False, True
+
+    def _flush(self, batch: List[Tuple[np.ndarray, Future]], *, full: bool) -> None:
+        # Claim every future before computing: set_running_or_notify_cancel
+        # returns False for futures the client already cancelled (dropped
+        # here), and afterwards cancel() can no longer succeed — so the
+        # set_result/set_exception calls below cannot race a cancellation
+        # and kill the collector.
+        batch = [(x, f) for x, f in batch if f.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        arrays = [x for x, _ in batch]
+        futures = [f for _, f in batch]
+        rows = [x.shape[0] for x in arrays]
+        try:
+            stacked = arrays[0] if len(arrays) == 1 else np.concatenate(arrays, axis=0)
+            out = self.run_batch(stacked)
+            if out.shape[0] != sum(rows):
+                raise RuntimeError(
+                    f"run_batch returned {out.shape[0]} rows for {sum(rows)} inputs"
+                )
+        except BaseException as exc:  # noqa: BLE001 - delivered via futures
+            for future in futures:
+                future.set_exception(exc)
+            return
+        self.stats.requests += len(batch)
+        self.stats.batches += 1
+        self.stats.rows += sum(rows)
+        self.stats.recent_batch_sizes.append(sum(rows))
+        if full:
+            self.stats.full_flushes += 1
+        else:
+            self.stats.deadline_flushes += 1
+        offset = 0
+        for future, n in zip(futures, rows):
+            future.set_result(out[offset : offset + n])
+            offset += n

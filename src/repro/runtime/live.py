@@ -18,6 +18,7 @@ import numpy as np
 from repro.distributed.master import MasterRuntime, WorkerUnavailable
 from repro.distributed.modes import ExecutionMode
 from repro.distributed.plan import DeploymentPlan
+from repro.runtime.batching import BatchingConfig, MicroBatchQueue
 from repro.runtime.policy import AdaptationPolicy
 from repro.utils.logging import get_logger
 
@@ -120,3 +121,30 @@ class LiveSystem:
         for index, x in enumerate(batches):
             log.batches.append(self.serve_batch(index, x))
         return log
+
+    def request_queue(
+        self, config: Optional[BatchingConfig] = None, *, log: Optional[LiveLog] = None
+    ) -> MicroBatchQueue:
+        """Micro-batching front door: single requests in, per-request logits out.
+
+        Individual request arrays submitted to the returned queue are
+        grouped into one batch per flush and served through
+        :meth:`serve_batch` (so failover still applies); each caller's
+        future receives only its own logit rows.  A served batch with no
+        capacity left (FAILED plan) rejects its requests via the futures.
+        """
+        counter = {"index": 0}
+
+        def _run(batch: np.ndarray) -> np.ndarray:
+            served = self.serve_batch(counter["index"], batch)
+            counter["index"] += 1
+            if log is not None:
+                log.batches.append(served)
+            if served.logits is None:
+                raise WorkerUnavailable(
+                    f"no serving capacity (mode {served.mode.name}) for batch "
+                    f"{served.batch_index}"
+                )
+            return served.logits
+
+        return MicroBatchQueue(_run, config)

@@ -1,9 +1,17 @@
 """Width-sliceable convolution.
 
 The layer owns full-width weight storage; every forward/backward call
-operates on the currently *active* ``(in_slice, out_slice)`` sub-block.
-Sub-networks therefore share weights by construction — "copy trained weights
-to the next model" in the paper's Algorithm 1 is the aliasing itself.
+operates on an *active* ``(in_slice, out_slice)`` sub-block.  Sub-networks
+therefore share weights by construction — "copy trained weights to the next
+model" in the paper's Algorithm 1 is the aliasing itself.
+
+Slice selection is two-tier: :meth:`set_slices` installs a default on the
+layer (legacy single-caller path), while a caller-bound
+:class:`~repro.nn.context.ForwardContext` binding overrides it per call.
+Context bindings never mutate the layer, so concurrent forward passes may
+run different widths against the same weight store.  The slices actually
+used are recorded on the context's tape, so backward scatters gradients
+into the correct region even if the layer's default changed in between.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.context import ForwardContext
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.slimmable.spec import ChannelSlice
@@ -60,13 +69,13 @@ class SlicedConv2d(Module):
 
         self._in_slice = ChannelSlice(0, max_in_channels)
         self._out_slice = ChannelSlice(0, max_out_channels)
-        self._x_shape = None
-        self._cols = None
 
     # -- slice management ----------------------------------------------------
 
-    def set_slices(self, in_slice: Optional[ChannelSlice], out_slice: ChannelSlice) -> None:
-        """Select the active weight sub-block.
+    def resolve_slices(
+        self, in_slice: Optional[ChannelSlice], out_slice: ChannelSlice
+    ) -> "tuple[ChannelSlice, ChannelSlice]":
+        """Validate a slice pair, applying the ``slice_input`` rule.
 
         ``in_slice`` is ignored when ``slice_input`` is False (first layer).
         """
@@ -76,8 +85,11 @@ class SlicedConv2d(Module):
             raise ValueError(f"in_slice {in_slice} exceeds {self.max_in_channels} channels")
         if out_slice.stop > self.max_out_channels:
             raise ValueError(f"out_slice {out_slice} exceeds {self.max_out_channels} channels")
-        self._in_slice = in_slice
-        self._out_slice = out_slice
+        return in_slice, out_slice
+
+    def set_slices(self, in_slice: Optional[ChannelSlice], out_slice: ChannelSlice) -> None:
+        """Install the layer's *default* weight sub-block (legacy path)."""
+        self._in_slice, self._out_slice = self.resolve_slices(in_slice, out_slice)
 
     @property
     def in_slice(self) -> ChannelSlice:
@@ -87,49 +99,81 @@ class SlicedConv2d(Module):
     def out_slice(self) -> ChannelSlice:
         return self._out_slice
 
-    def active_weight(self) -> np.ndarray:
-        """View of the currently active weight block (no copy)."""
-        return self.weight.data[self._out_slice.as_slice(), self._in_slice.as_slice()]
+    def _call_slices(
+        self, ctx: ForwardContext
+    ) -> "tuple[ChannelSlice, ChannelSlice]":
+        """The slices for this call: context bindings over layer defaults."""
+        in_slice = ctx.bound(self, "in_slice", self._in_slice)
+        out_slice = ctx.bound(self, "out_slice", self._out_slice)
+        return in_slice, out_slice
 
-    def active_bias(self) -> np.ndarray:
-        return self.bias.data[self._out_slice.as_slice()]
+    def active_weight(
+        self,
+        in_slice: Optional[ChannelSlice] = None,
+        out_slice: Optional[ChannelSlice] = None,
+    ) -> np.ndarray:
+        """View of an active weight block (no copy); defaults to the layer's."""
+        in_slice = in_slice if in_slice is not None else self._in_slice
+        out_slice = out_slice if out_slice is not None else self._out_slice
+        return self.weight.data[out_slice.as_slice(), in_slice.as_slice()]
+
+    def active_bias(self, out_slice: Optional[ChannelSlice] = None) -> np.ndarray:
+        out_slice = out_slice if out_slice is not None else self._out_slice
+        return self.bias.data[out_slice.as_slice()]
 
     # -- compute ---------------------------------------------------------------
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        expected_in = self._in_slice.width
-        if x.shape[1] != expected_in:
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
+        in_slice, out_slice = self._call_slices(ctx)
+        if x.shape[1] != in_slice.width:
             raise ValueError(
-                f"active in_slice {self._in_slice} expects {expected_in} channels, "
+                f"active in_slice {in_slice} expects {in_slice.width} channels, "
                 f"input has {x.shape[1]}"
             )
-        self._x_shape = x.shape
-        x, w, b = F.cast_compute(self.training, x, self.active_weight(), self.active_bias())
-        y, self._cols = F.conv2d_forward(x, w, b, self.stride, self.padding)
+        x_shape = x.shape
+        x, w, b = F.cast_compute(
+            self.training,
+            x,
+            self.active_weight(in_slice, out_slice),
+            self.active_bias(out_slice),
+        )
+        y, cols = F.conv2d_forward(x, w, b, self.stride, self.padding)
+        ctx.put(self, cols=cols, x_shape=x_shape, in_slice=in_slice, out_slice=out_slice)
         return y
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._cols is None:
-            raise RuntimeError("backward called before forward")
-        w = np.ascontiguousarray(self.active_weight())
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        state = ctx.require(self)
+        in_slice, out_slice = state["in_slice"], state["out_slice"]
+        w = np.ascontiguousarray(self.active_weight(in_slice, out_slice))
         grad_x, grad_w, grad_b = F.conv2d_backward(
-            grad_output, self._cols, self._x_shape, w, self.stride, self.padding
+            grad_output, state["cols"], state["x_shape"], w, self.stride, self.padding
         )
         full_grad_w = np.zeros_like(self.weight.data)
-        full_grad_w[self._out_slice.as_slice(), self._in_slice.as_slice()] = grad_w
+        full_grad_w[out_slice.as_slice(), in_slice.as_slice()] = grad_w
         self.weight.accumulate_grad(full_grad_w)
         full_grad_b = np.zeros_like(self.bias.data)
-        full_grad_b[self._out_slice.as_slice()] = grad_b
+        full_grad_b[out_slice.as_slice()] = grad_b
         self.bias.accumulate_grad(full_grad_b)
         return grad_x
 
-    def flops_per_image(self, in_h: int, in_w: int) -> int:
-        """MAC cost of the *active* sub-block for one image."""
+    def flops_per_image(
+        self,
+        in_h: int,
+        in_w: int,
+        in_slice: Optional[ChannelSlice] = None,
+        out_slice: Optional[ChannelSlice] = None,
+    ) -> int:
+        """MAC cost of an active sub-block for one image (defaults to the
+        layer's default slices; explicit slices keep cost queries stateless)."""
+        in_slice = in_slice if in_slice is not None else self._in_slice
+        out_slice = out_slice if out_slice is not None else self._out_slice
         out_h = F.conv_out_size(in_h, self.kernel_size, self.stride, self.padding)
         out_w = F.conv_out_size(in_w, self.kernel_size, self.stride, self.padding)
-        macs = (
-            out_h * out_w * self._out_slice.width * self._in_slice.width * self.kernel_size**2
-        )
+        macs = out_h * out_w * out_slice.width * in_slice.width * self.kernel_size**2
         return 2 * macs
 
     def __repr__(self) -> str:

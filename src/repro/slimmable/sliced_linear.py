@@ -4,14 +4,21 @@ The classifier always produces all classes (full output rows); only the
 input-feature range is sliced.  Input features are laid out channel-major
 (``C * H * W`` flattened), so a conv channel slice ``[a, b)`` maps to the
 feature range ``[a * spatial, b * spatial)``.
+
+Like :class:`~repro.slimmable.sliced_conv.SlicedConv2d`, the feature slice
+is two-tier: :meth:`set_feature_slice` installs a mutable default, a
+context binding overrides it per call without touching the layer.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.context import ForwardContext
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.slimmable.spec import ChannelSlice
@@ -39,42 +46,54 @@ class SlicedLinear(Module):
         )
         self.bias = Parameter(init.bias_uniform((out_features,), max_in_features, rng), name="bias")
         self._feature_slice = ChannelSlice(0, max_in_features)
-        self._x = None
 
-    def set_feature_slice(self, feature_slice: ChannelSlice) -> None:
+    def resolve_feature_slice(self, feature_slice: ChannelSlice) -> ChannelSlice:
         if feature_slice.stop > self.max_in_features:
             raise ValueError(f"slice {feature_slice} exceeds {self.max_in_features} features")
-        self._feature_slice = feature_slice
+        return feature_slice
+
+    def set_feature_slice(self, feature_slice: ChannelSlice) -> None:
+        """Install the layer's *default* feature slice (legacy path)."""
+        self._feature_slice = self.resolve_feature_slice(feature_slice)
 
     @property
     def feature_slice(self) -> ChannelSlice:
         return self._feature_slice
 
-    def active_weight(self) -> np.ndarray:
-        return self.weight.data[:, self._feature_slice.as_slice()]
+    def active_weight(self, feature_slice: Optional[ChannelSlice] = None) -> np.ndarray:
+        feature_slice = feature_slice if feature_slice is not None else self._feature_slice
+        return self.weight.data[:, feature_slice.as_slice()]
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        expected = self._feature_slice.width
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
+        feature_slice = ctx.bound(self, "feature_slice", self._feature_slice)
+        expected = feature_slice.width
         if x.ndim != 2 or x.shape[1] != expected:
             raise ValueError(
-                f"active feature slice {self._feature_slice} expects (N, {expected}), "
+                f"active feature slice {feature_slice} expects (N, {expected}), "
                 f"got {x.shape}"
             )
-        x, w, b = F.cast_compute(self.training, x, self.active_weight(), self.bias.data)
-        self._x = x
+        x, w, b = F.cast_compute(
+            self.training, x, self.active_weight(feature_slice), self.bias.data
+        )
+        ctx.put(self, x=x, feature_slice=feature_slice)
         return x @ w.T + b
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._x is None:
-            raise RuntimeError("backward called before forward")
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        state = ctx.require(self)
+        feature_slice = state["feature_slice"]
         full_grad_w = np.zeros_like(self.weight.data)
-        full_grad_w[:, self._feature_slice.as_slice()] = grad_output.T @ self._x
+        full_grad_w[:, feature_slice.as_slice()] = grad_output.T @ state["x"]
         self.weight.accumulate_grad(full_grad_w)
         self.bias.accumulate_grad(grad_output.sum(axis=0))
-        return grad_output @ self.active_weight()
+        return grad_output @ self.active_weight(feature_slice)
 
-    def flops_per_image(self) -> int:
-        return 2 * self._feature_slice.width * self.out_features
+    def flops_per_image(self, feature_slice: Optional[ChannelSlice] = None) -> int:
+        feature_slice = feature_slice if feature_slice is not None else self._feature_slice
+        return 2 * feature_slice.width * self.out_features
 
     def __repr__(self) -> str:
         return (

@@ -3,9 +3,19 @@
 :class:`SlimmableConvNet` is the weight container: a stack of
 ``SlicedConv2d (+ReLU, +optional MaxPool)`` blocks followed by a
 :class:`SlicedLinear` classifier.  A :class:`SubNetworkView` binds the
-container to one :class:`~repro.slimmable.spec.SubNetSpec`; activating the
-view selects the corresponding weight sub-blocks in place.  All views alias
-the same storage — that aliasing is the paper's weight sharing.
+container to one :class:`~repro.slimmable.spec.SubNetSpec`.  All views
+alias the same storage — that aliasing is the paper's weight sharing.
+
+Sub-network selection has two paths:
+
+* :meth:`SlimmableConvNet.set_active` mutates the layers' default slices
+  in place (legacy single-caller path, still used by the cost model and
+  the partitioned kernels);
+* :meth:`SlimmableConvNet.bind_spec` writes the same selection into a
+  :class:`~repro.nn.context.ForwardContext` as call-scoped bindings,
+  leaving the container untouched.  Views passed an explicit context use
+  only bindings, so concurrent calls can run different widths against one
+  shared weight store.
 """
 
 from __future__ import annotations
@@ -14,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.context import ForwardContext
 from repro.nn.layers.activation import ReLU
 from repro.nn.layers.pooling import MaxPool2d
 from repro.nn.layers.reshape import Flatten
@@ -101,18 +112,41 @@ class SlimmableConvNet(Module):
             channel_slice.stop * self.feature_spatial,
         )
 
-    def set_active(self, spec: SubNetSpec) -> None:
-        """Select the sub-network used by subsequent forward/backward calls."""
+    def _check_spec(self, spec: SubNetSpec) -> None:
         if len(spec.conv_slices) != len(self.convs):
             raise ValueError(
                 f"spec has {len(spec.conv_slices)} conv slices, net has {len(self.convs)}"
             )
+
+    def set_active(self, spec: SubNetSpec) -> None:
+        """Select the default sub-network by mutating the layers in place."""
+        self._check_spec(spec)
         prev: Optional[ChannelSlice] = None
         for conv, out_slice in zip(self.convs, spec.conv_slices):
             conv.set_slices(prev, out_slice)
             prev = out_slice
         self.classifier.set_feature_slice(self.feature_slice_for(spec.last_slice))
         self._active = spec
+
+    def bind_spec(self, spec: SubNetSpec, ctx: ForwardContext) -> None:
+        """Select a sub-network for one call only, via context bindings.
+
+        Writes the per-layer slice selection into ``ctx`` without touching
+        the container, so concurrent calls may bind different specs.
+        """
+        self._check_spec(spec)
+        prev: Optional[ChannelSlice] = None
+        for conv, out_slice in zip(self.convs, spec.conv_slices):
+            in_slice, out_slice = conv.resolve_slices(prev, out_slice)
+            ctx.bind(conv, in_slice=in_slice, out_slice=out_slice)
+            prev = out_slice
+        ctx.bind(
+            self.classifier,
+            feature_slice=self.classifier.resolve_feature_slice(
+                self.feature_slice_for(spec.last_slice)
+            ),
+        )
+        ctx.bind(self, spec=spec)
 
     @property
     def active_spec(self) -> SubNetSpec:
@@ -129,19 +163,23 @@ class SlimmableConvNet(Module):
 
     # -- compute ---------------------------------------------------------------
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        ctx = self._forward_ctx(ctx)
         for i, (conv, relu) in enumerate(zip(self.convs, self.relus)):
-            x = relu(conv(x))
+            x = relu.forward(conv.forward(x, ctx), ctx)
             if i in self.pools:
-                x = self.pools[i](x)
-        return self.classifier(self.flatten(x))
+                x = self.pools[i].forward(x, ctx)
+        return self.classifier.forward(self.flatten.forward(x, ctx), ctx)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad = self.flatten.backward(self.classifier.backward(grad_output))
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        ctx = self._backward_ctx(ctx)
+        grad = self.flatten.backward(self.classifier.backward(grad_output, ctx), ctx)
         for i in reversed(range(len(self.convs))):
             if i in self.pools:
-                grad = self.pools[i].backward(grad)
-            grad = self.convs[i].backward(self.relus[i].backward(grad))
+                grad = self.pools[i].backward(grad, ctx)
+            grad = self.convs[i].backward(self.relus[i].backward(grad, ctx), ctx)
         return grad
 
     # -- regions (for incremental freezing) -------------------------------------
@@ -198,11 +236,14 @@ class SlimmableConvNet(Module):
 class SubNetworkView(Module):
     """A sub-network of a :class:`SlimmableConvNet`, usable as a model.
 
-    Forward/backward activate the bound spec first, so views can be freely
-    interleaved (the trainer trains one view per batch).  Parameter traversal
-    delegates to the parent container, meaning optimizers built on a view see
-    the full shared storage — combined with freeze masks this gives
-    incremental training its semantics.
+    With an explicit context, forward *binds* the spec's slices into the
+    context and never mutates the container — views are then freely usable
+    from concurrent threads over one shared weight store.  On the implicit
+    (no-context) path a view also activates its spec in place, preserving
+    the legacy contract that the container reflects the last view run.
+    Parameter traversal delegates to the parent container, meaning
+    optimizers built on a view see the full shared storage — combined with
+    freeze masks this gives incremental training its semantics.
     """
 
     def __init__(self, net: SlimmableConvNet, spec: SubNetSpec) -> None:
@@ -215,17 +256,31 @@ class SubNetworkView(Module):
     def activate(self) -> None:
         self.net.set_active(self.spec)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self.activate()
-        return self.net.forward(x)
+    def forward(self, x: np.ndarray, ctx: Optional[ForwardContext] = None) -> np.ndarray:
+        if ctx is None:
+            ctx = self._forward_ctx(ctx)
+            self.activate()
+        self.net.bind_spec(self.spec, ctx)
+        return self.net.forward(x, ctx)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self.net.active_spec is not self.spec:
+    def backward(
+        self, grad_output: np.ndarray, ctx: Optional[ForwardContext] = None
+    ) -> np.ndarray:
+        if ctx is None and self.net.active_spec is not self.spec:
+            # Legacy guard: another view activated the container since this
+            # view's implicit forward.
             raise RuntimeError(
                 f"backward for view {self.spec.name!r} but active spec is "
                 f"{self.net.active_spec.name!r}"
             )
-        return self.net.backward(grad_output)
+        ctx = self._backward_ctx(ctx)
+        bound = ctx.bound(self.net, "spec")
+        if bound is not self.spec:
+            raise RuntimeError(
+                f"backward for view {self.spec.name!r} but the context is bound to "
+                f"{bound.name if bound is not None else None!r}"
+            )
+        return self.net.backward(grad_output, ctx)
 
     def parameters(self):
         return self.net.parameters()

@@ -4,7 +4,9 @@ Sub-networks are trained smallest-first.  After a stage completes, every
 weight it touched is frozen (via per-parameter masks), so the next, wider
 stage only trains its newly added channel group.  "Copy trained weights to
 the next model" in the paper is a no-op here because sub-network views alias
-one shared weight store.
+one shared weight store.  Per-stage views carry no activation state of
+their own — the trainer threads one :class:`~repro.nn.context.ForwardContext`
+per step — so stages can never leak stale tape into each other.
 
 The classifier bias is deliberately left trainable across stages (the head
 is shared by all sub-networks); this matches the small accuracy drift

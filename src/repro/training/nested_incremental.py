@@ -16,6 +16,11 @@ Because retraining the upper blocks perturbs the combined 75%/100% models,
 the whole schedule is repeated for ``niters`` iterations with a decayed
 learning rate ("Reusing the weights ... is nontrivial; therefore, we
 fine-tune all the models for multiple iterations").
+
+Every stage runs through the stateless context API (one
+:class:`~repro.nn.context.ForwardContext` per optimisation step inside
+:class:`~repro.training.trainer.Trainer`), so interleaving lower and upper
+views over the shared store never leaves activation state behind.
 """
 
 from __future__ import annotations

@@ -22,6 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.nn import init as nn_init
+from repro.nn.context import ForwardContext
 from repro.slimmable.masks import RegionTracker
 from repro.slimmable.slim_net import SlimmableConvNet
 from repro.slimmable.spec import SubNetSpec
@@ -43,10 +44,11 @@ def find_dead_channels(
     net.set_active(spec)
     dead: List[List[int]] = []
     act = probe
+    ctx = ForwardContext(recording=False)
     for i, conv in enumerate(net.convs):
-        act = net.relus[i](conv(act))
+        act = net.relus[i].forward(conv.forward(act, ctx), ctx)
         if i in net.pools:
-            act = net.pools[i](act)
+            act = net.pools[i].forward(act, ctx)
         max_per_channel = act.max(axis=(0, 2, 3))
         offset = spec.conv_slices[i].start
         dead.append([offset + int(c) for c in np.flatnonzero(max_per_channel <= 0.0)])

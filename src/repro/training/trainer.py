@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.dataset import ArrayDataset
 from repro.data.loader import DataLoader
+from repro.nn.context import ForwardContext
 from repro.nn.loss import SoftmaxCrossEntropy
 from repro.nn.optim.sgd import SGD
 from repro.training.callbacks import Callback
@@ -99,10 +100,13 @@ class Trainer:
             epoch_correct = 0
             seen = 0
             for x, y in loader:
-                logits = model(x)
+                # One context per step carries the activation tape from
+                # forward to backward; the model itself stays stateless.
+                ctx = ForwardContext()
+                logits = model.forward(x, ctx)
                 loss, grad = self.loss_fn(logits, y)
                 optimizer.zero_grad()
-                model.backward(grad)
+                model.backward(grad, ctx)
                 optimizer.step()
                 epoch_loss += loss * len(y)
                 epoch_correct += int((logits.argmax(axis=1) == y).sum())
@@ -139,6 +143,6 @@ def evaluate_view(model, dataset: ArrayDataset, batch_size: int = 256) -> float:
     for start in range(0, len(dataset), batch_size):
         idx = np.arange(start, min(start + batch_size, len(dataset)))
         x, y = dataset[idx]
-        logits = model(x)
+        logits = model.forward(x, ForwardContext(recording=False))
         correct += int((logits.argmax(axis=1) == y).sum())
     return correct / len(dataset)

@@ -1,0 +1,99 @@
+"""ForwardContext semantics: tape, bindings, the implicit shim."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ForwardContext, Linear, ReLU, Sequential
+from repro.utils import make_rng
+
+
+class TestTape:
+    def test_put_and_require(self):
+        ctx = ForwardContext()
+        marker = object()
+        ctx.put(marker, x=1, y=2)
+        assert ctx.require(marker) == {"x": 1, "y": 2}
+
+    def test_non_recording_drops_state(self):
+        ctx = ForwardContext(recording=False)
+        marker = object()
+        ctx.put(marker, x=1)
+        assert ctx.get(marker) is None
+        with pytest.raises(RuntimeError, match="backward called before forward"):
+            ctx.require(marker)
+
+    def test_put_overwrites_previous_call(self):
+        ctx = ForwardContext()
+        marker = object()
+        ctx.put(marker, x=1)
+        ctx.put(marker, x=2)
+        assert ctx.require(marker) == {"x": 2}
+
+    def test_clear(self):
+        ctx = ForwardContext()
+        marker = object()
+        ctx.put(marker, x=1)
+        ctx.bind(marker, w=3)
+        ctx.clear()
+        assert ctx.get(marker) is None
+        assert ctx.bound(marker, "w") is None
+
+
+class TestBindings:
+    def test_bind_and_bound(self):
+        ctx = ForwardContext()
+        marker = object()
+        assert ctx.bound(marker, "slice", "default") == "default"
+        ctx.bind(marker, slice="a")
+        ctx.bind(marker, other="b")  # merges, does not replace
+        assert ctx.bound(marker, "slice") == "a"
+        assert ctx.bound(marker, "other") == "b"
+
+    def test_bindings_survive_non_recording(self):
+        ctx = ForwardContext(recording=False)
+        marker = object()
+        ctx.bind(marker, slice="a")
+        assert ctx.bound(marker, "slice") == "a"
+
+
+class TestImplicitShim:
+    def test_call_then_backward_without_context(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 3, rng=rng))
+        x = rng.standard_normal((2, 4))
+        y = net(x)
+        grad = net.backward(np.ones_like(y))
+        assert grad.shape == x.shape
+
+    def test_backward_without_any_forward_raises(self, rng):
+        net = Sequential(Linear(4, 3, rng=rng))
+        with pytest.raises(RuntimeError, match="backward called before forward"):
+            net.backward(np.ones((2, 3)))
+
+    def test_explicit_contexts_are_independent(self, rng):
+        """Two interleaved explicit contexts keep separate tapes over one net."""
+        net = Sequential(Linear(4, 4, rng=rng), ReLU())
+        x_a = rng.standard_normal((2, 4))
+        x_b = rng.standard_normal((3, 4))
+        ctx_a, ctx_b = ForwardContext(), ForwardContext()
+        y_a = net.forward(x_a, ctx_a)
+        y_b = net.forward(x_b, ctx_b)  # would clobber x_a under cache-on-self
+        net.zero_grad()
+        grad_a = net.backward(np.ones_like(y_a), ctx_a)
+        grad_b = net.backward(np.ones_like(y_b), ctx_b)
+        assert grad_a.shape == x_a.shape
+        assert grad_b.shape == x_b.shape
+
+        # Gradient from ctx_a must match a fresh un-interleaved run.
+        fresh = ForwardContext()
+        net.forward(x_a, fresh)
+        net.zero_grad()
+        expected = net.backward(np.ones_like(y_a), fresh)
+        np.testing.assert_array_equal(grad_a, expected)
+
+    def test_explicit_context_does_not_disturb_implicit(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng))
+        x = rng.standard_normal((2, 4))
+        y = net(x)  # implicit context
+        net.forward(rng.standard_normal((5, 4)), ForwardContext())  # explicit
+        grad = net.backward(np.ones_like(y))  # resolves the implicit tape
+        assert grad.shape == x.shape

@@ -125,6 +125,41 @@ class TestMaxPool:
         gx = F.maxpool2d_backward(g, argmax, x.shape, 2, 2)
         assert gx.sum() == pytest.approx(g.sum(), rel=1e-10)
 
+    def test_forward_without_indices_matches(self):
+        rng = make_rng(9)
+        x = rng.standard_normal((2, 3, 8, 8))
+        y_full, argmax = F.maxpool2d_forward(x, 2, 2)
+        y_fast, none_indices = F.maxpool2d_forward(x, 2, 2, need_indices=False)
+        assert none_indices is None
+        np.testing.assert_array_equal(y_fast, y_full)
+
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 1), (3, 2), (2, 1)])
+    def test_bincount_scatter_matches_add_at(self, kernel, stride):
+        """The flat-bincount backward must equal the np.add.at reference,
+        including overlapping windows (stride < kernel) where argmax
+        destinations collide."""
+        rng = make_rng(10)
+        x = rng.standard_normal((3, 2, 9, 9))
+        y, argmax = F.maxpool2d_forward(x, kernel, stride)
+        g = rng.standard_normal(y.shape)
+
+        gx = F.maxpool2d_backward(g, argmax, x.shape, kernel, stride)
+
+        # Reference scatter with np.add.at (the implementation this replaced).
+        n, c, h, w = x.shape
+        out_h, out_w = y.shape[2], y.shape[3]
+        ref = np.zeros(x.shape, dtype=g.dtype)
+        di = argmax // kernel
+        dj = argmax % kernel
+        oh_idx, ow_idx = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+        rows = oh_idx[None, None] * stride + di
+        cols = ow_idx[None, None] * stride + dj
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        np.add.at(ref, (n_idx, c_idx, rows, cols), g)
+
+        np.testing.assert_allclose(gx, ref, rtol=0, atol=1e-12)
+
 
 class TestSoftmax:
     def test_rows_sum_to_one(self):
@@ -157,3 +192,11 @@ class TestRelu:
         np.testing.assert_array_equal(
             F.relu_backward(np.ones_like(x), mask), [[0.0, 0.0, 1.0]]
         )
+
+    def test_forward_without_mask(self):
+        x = make_rng(11).standard_normal((4, 5))
+        y_full, mask = F.relu_forward(x)
+        y_fast, no_mask = F.relu_forward(x, need_mask=False)
+        assert no_mask is None
+        np.testing.assert_array_equal(y_fast, y_full)
+        np.testing.assert_array_equal(y_fast, np.maximum(x, 0))

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.nn.quantize import (
     QuantizedTensor,
     compression_ratio,
+    dequantize_into,
     dequantize_state_dict,
     load_quantized,
     quantization_error,
@@ -85,6 +86,20 @@ class TestStateDictQuantization:
             assert degraded >= baseline - 0.02
         finally:
             model.load_state_dict(state)  # restore for other tests
+
+    def test_dequantize_into_preserves_storage_identity(self, paper_net):
+        """Serving cold-start: materialising a quantised checkpoint must
+        write the existing shared arrays in place, not rebind them —
+        live inference sessions keep aliasing the same storage."""
+        state = paper_net.state_dict()
+        ids_before = [id(p.data) for p in paper_net.parameters()]
+        try:
+            dequantize_into(paper_net, quantize_state_dict(state, per_channel=True))
+            assert [id(p.data) for p in paper_net.parameters()] == ids_before
+            for name, arr in paper_net.state_dict().items():
+                np.testing.assert_allclose(arr, state[name], atol=0.05)
+        finally:
+            paper_net.load_state_dict(state)
 
     def test_save_load_roundtrip(self, tmp_path, paper_net):
         quantized = quantize_state_dict(paper_net.state_dict())

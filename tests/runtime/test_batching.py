@@ -1,0 +1,250 @@
+"""Micro-batching queue unit tests: flush triggers, scatter order, shutdown."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.batching import BatchingConfig, BatchingStats, MicroBatchQueue
+
+
+def rows_runner(calls=None):
+    """A run_batch that tags each row with 10*row_value and records batches."""
+
+    def _run(batch):
+        if calls is not None:
+            calls.append(batch.copy())
+        return batch * 10.0
+
+    return _run
+
+
+class TestFlushTriggers:
+    def test_max_batch_flush(self):
+        """Submitting exactly the row budget yields one full flush."""
+        calls = []
+        queue = MicroBatchQueue(
+            rows_runner(calls),
+            BatchingConfig(max_batch=4, max_delay_s=5.0),
+            autostart=False,
+        )
+        futures = [queue.submit(np.full((1, 2), float(i))) for i in range(4)]
+        queue.start()
+        results = [f.result(timeout=10.0) for f in futures]
+        for i, out in enumerate(results):
+            np.testing.assert_array_equal(out, np.full((1, 2), 10.0 * i))
+        assert queue.stats.full_flushes == 1
+        assert queue.stats.deadline_flushes == 0
+        assert queue.stats.batches == 1
+        assert list(queue.stats.recent_batch_sizes) == [4]
+        assert len(calls) == 1 and calls[0].shape == (4, 2)
+        queue.close()
+
+    def test_deadline_flush(self):
+        """With a huge row budget, the deadline alone flushes the batch."""
+        queue = MicroBatchQueue(
+            rows_runner(), BatchingConfig(max_batch=1000, max_delay_s=0.05)
+        )
+        futures = [queue.submit(np.full((1,), float(i))) for i in range(3)]
+        results = [f.result(timeout=10.0) for f in futures]
+        for i, out in enumerate(results):
+            np.testing.assert_array_equal(out, np.full((1,), 10.0 * i))
+        assert queue.stats.deadline_flushes >= 1
+        assert queue.stats.full_flushes == 0
+        queue.close()
+
+    def test_multi_row_requests_count_toward_row_budget(self):
+        calls = []
+        queue = MicroBatchQueue(
+            rows_runner(calls),
+            BatchingConfig(max_batch=6, max_delay_s=5.0),
+            autostart=False,
+        )
+        futures = [queue.submit(np.full((3, 2), float(i))) for i in range(2)]
+        queue.start()
+        for f in futures:
+            f.result(timeout=10.0)
+        assert queue.stats.full_flushes == 1
+        assert calls[0].shape == (6, 2)
+        queue.close()
+
+
+class TestScatterOrder:
+    def test_each_future_gets_its_own_rows(self):
+        """Results scatter back per request, in submission order, any sizes."""
+        queue = MicroBatchQueue(
+            rows_runner(), BatchingConfig(max_batch=100, max_delay_s=0.2), autostart=False
+        )
+        sizes = [1, 3, 2, 5, 1]
+        futures = []
+        for i, n in enumerate(sizes):
+            futures.append(queue.submit(np.full((n, 4), float(i))))
+        queue.start()
+        for i, (n, future) in enumerate(zip(sizes, futures)):
+            out = future.result(timeout=10.0)
+            assert out.shape == (n, 4)
+            np.testing.assert_array_equal(out, np.full((n, 4), 10.0 * i))
+        queue.close()
+
+    def test_concurrent_submitters_all_get_correct_rows(self):
+        queue = MicroBatchQueue(rows_runner(), BatchingConfig(max_batch=8, max_delay_s=0.01))
+        results = {}
+
+        def _submit(i):
+            results[i] = queue.submit(np.full((1, 2), float(i))).result(timeout=10.0)
+
+        threads = [threading.Thread(target=_submit, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(16):
+            np.testing.assert_array_equal(results[i], np.full((1, 2), 10.0 * i))
+        assert queue.stats.requests == 16
+        queue.close()
+
+
+class TestShutdown:
+    def test_empty_queue_shutdown(self):
+        queue = MicroBatchQueue(rows_runner(), BatchingConfig(max_batch=4, max_delay_s=0.5))
+        queue.close(timeout=5.0)
+        assert not queue._thread.is_alive()
+        assert queue.stats.batches == 0
+
+    def test_close_flushes_pending_requests(self):
+        queue = MicroBatchQueue(
+            rows_runner(), BatchingConfig(max_batch=100, max_delay_s=10.0), autostart=False
+        )
+        futures = [queue.submit(np.full((1,), float(i))) for i in range(3)]
+        queue.close(timeout=5.0)
+        for i, f in enumerate(futures):
+            np.testing.assert_array_equal(f.result(timeout=1.0), np.full((1,), 10.0 * i))
+
+    def test_submit_after_close_raises(self):
+        queue = MicroBatchQueue(rows_runner())
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.submit(np.ones((1,)))
+
+    def test_close_is_idempotent(self):
+        queue = MicroBatchQueue(rows_runner())
+        queue.close()
+        queue.close()
+
+
+class TestCancellation:
+    def test_cancelled_future_does_not_kill_collector(self):
+        """A client cancelling its future must not wedge the queue: the
+        cancelled request is dropped, its batch-mates still get results,
+        and later submissions keep being served."""
+        queue = MicroBatchQueue(
+            rows_runner(), BatchingConfig(max_batch=3, max_delay_s=5.0), autostart=False
+        )
+        doomed = queue.submit(np.full((1,), 0.0))
+        survivor_a = queue.submit(np.full((1,), 1.0))
+        survivor_b = queue.submit(np.full((1,), 2.0))
+        assert doomed.cancel()
+        queue.start()
+        np.testing.assert_array_equal(survivor_a.result(timeout=10.0), np.full((1,), 10.0))
+        np.testing.assert_array_equal(survivor_b.result(timeout=10.0), np.full((1,), 20.0))
+        later = queue.submit(np.full((1,), 3.0))
+        np.testing.assert_array_equal(later.result(timeout=10.0), np.full((1,), 30.0))
+        assert queue._thread.is_alive()
+        queue.close()
+
+    def test_all_cancelled_batch_is_skipped(self):
+        queue = MicroBatchQueue(
+            rows_runner(), BatchingConfig(max_batch=2, max_delay_s=5.0), autostart=False
+        )
+        futures = [queue.submit(np.full((1,), float(i))) for i in range(2)]
+        for f in futures:
+            assert f.cancel()
+        queue.start()
+        later = queue.submit(np.full((1,), 7.0))
+        np.testing.assert_array_equal(later.result(timeout=10.0), np.full((1,), 70.0))
+        assert queue.stats.requests == 1  # only the live request counted
+        queue.close()
+
+
+class TestSubmitCloseRace:
+    def test_hammered_submit_close_never_strands_a_future(self):
+        """Every submit must either raise (queue closed) or resolve."""
+        for _ in range(20):
+            queue = MicroBatchQueue(
+                rows_runner(), BatchingConfig(max_batch=4, max_delay_s=0.001)
+            )
+            outcomes = []
+
+            def _client():
+                try:
+                    outcomes.append(queue.submit(np.ones((1,))))
+                except RuntimeError:
+                    outcomes.append(None)
+
+            threads = [threading.Thread(target=_client) for _ in range(8)]
+            for t in threads[:4]:
+                t.start()
+            closer = threading.Thread(target=queue.close)
+            closer.start()
+            for t in threads[4:]:
+                t.start()
+            for t in threads:
+                t.join()
+            closer.join()
+            for future in outcomes:
+                if future is not None:
+                    # Accepted submissions must resolve, never hang.
+                    np.testing.assert_array_equal(
+                        future.result(timeout=10.0), np.full((1,), 10.0)
+                    )
+
+
+class TestErrors:
+    def test_runner_exception_propagates_to_futures(self):
+        def _boom(batch):
+            raise ValueError("kaput")
+
+        queue = MicroBatchQueue(_boom, BatchingConfig(max_batch=2, max_delay_s=0.01))
+        future = queue.submit(np.ones((1,)))
+        with pytest.raises(ValueError, match="kaput"):
+            future.result(timeout=10.0)
+        queue.close()
+
+    def test_row_count_mismatch_is_reported(self):
+        queue = MicroBatchQueue(
+            lambda batch: batch[:-1], BatchingConfig(max_batch=2, max_delay_s=0.01)
+        )
+        future = queue.submit(np.ones((2, 2)))
+        with pytest.raises(RuntimeError, match="rows"):
+            future.result(timeout=10.0)
+        queue.close()
+
+    def test_empty_request_rejected(self):
+        queue = MicroBatchQueue(rows_runner())
+        with pytest.raises(ValueError):
+            queue.submit(np.ones((0, 2)))
+        queue.close()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            BatchingConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchingConfig(max_delay_s=-1.0)
+
+
+class TestStats:
+    def test_mean_batch_rows(self):
+        stats = BatchingStats()
+        assert stats.mean_batch_rows() == 0.0
+        stats.batches, stats.rows = 2, 10
+        assert stats.mean_batch_rows() == 5.0
+
+    def test_recent_batch_sizes_window_is_bounded(self):
+        from repro.runtime.batching import RECENT_BATCH_WINDOW
+
+        stats = BatchingStats()
+        for i in range(RECENT_BATCH_WINDOW + 50):
+            stats.recent_batch_sizes.append(i)
+        assert len(stats.recent_batch_sizes) == RECENT_BATCH_WINDOW
+        assert stats.recent_batch_sizes[-1] == RECENT_BATCH_WINDOW + 49

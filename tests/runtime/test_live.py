@@ -102,6 +102,35 @@ class TestMidStreamFailover:
         thread.join(timeout=5.0)
 
 
+class TestRequestQueue:
+    def test_micro_batched_requests_served_and_scattered(self, rng):
+        """Single-image requests through the micro-batching front door come
+        back per-request, equal to serving the whole group as one batch."""
+        from repro.runtime import BatchingConfig
+        from repro.runtime.live import LiveLog
+
+        live, thread = make_live("fluid", "accuracy")
+        log = LiveLog()
+        queue = live.request_queue(
+            BatchingConfig(max_batch=8, max_delay_s=0.05), log=log
+        )
+        requests = [rng.standard_normal((1, 1, 28, 28)) for _ in range(8)]
+        futures = [queue.submit(x) for x in requests]
+        results = [f.result(timeout=30.0) for f in futures]
+        queue.close()
+
+        assert log.served_count() >= 1
+        assert all(m is ExecutionMode.HIGH_ACCURACY for m in log.modes())
+        reference = live.serve_batch(99, np.concatenate(requests, axis=0)).logits
+        offset = 0
+        for out in results:
+            assert out.shape == (1, 10)
+            np.testing.assert_allclose(out, reference[offset : offset + 1], atol=1e-9)
+            offset += 1
+        live.master.shutdown_worker()
+        thread.join(timeout=5.0)
+
+
 class TestHeartbeatPath:
     def test_heartbeat_triggers_replan(self, batches):
         live, thread = make_live("fluid", "accuracy")
