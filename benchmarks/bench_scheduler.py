@@ -1,0 +1,136 @@
+"""SLA scheduler vs fixed-widest serving under overload and failure.
+
+The PR-3 acceptance benchmark.  A deterministic open-loop arrival trace
+(steady -> overload burst -> steady, with one replica killed mid-burst)
+is driven through the SLA-aware control plane (admission + deadline-driven
+width selection + hedged failure-aware routing) and through a fixed-widest
+baseline sharing the same pool and micro-batching.  The report — goodput,
+deadline-miss rate, p50/p95/p99 latency and lost-request counts — is
+recorded to ``BENCH_scheduler.json`` at the repo root.
+
+Run directly for the acceptance record::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py
+
+or through pytest (or directly with ``--smoke``) for the CI smoke
+(smaller trace, same code path, no record written)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scheduler.py -q
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.models import build_model
+from repro.scheduler.bench import (
+    ACCEPTANCE_TRACE,
+    SMOKE_TRACE,
+    run_scheduler_comparison,
+)
+from repro.utils import make_rng
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_scheduler.json"
+
+
+def _run(trace, replicas: int = 2):
+    model = build_model("fluid", rng=make_rng(0))
+    return run_scheduler_comparison(model, trace, replicas=replicas)
+
+
+def _record(report, path=RECORD_PATH) -> None:
+    payload = {
+        "benchmark": "benchmarks/bench_scheduler.py",
+        "description": (
+            "Open-loop synthetic trace (steady/burst/steady Poisson arrivals, "
+            "one replica killed mid-burst) served by the SLA-aware scheduler "
+            "(admission, deadline-driven width selection, hedged failure-aware "
+            "routing) vs the same pool pinned to the widest sub-network"
+        ),
+        **report,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_scheduler_beats_fixed_widest_smoke():
+    """CI smoke for the serving control plane.
+
+    CI asserts the *functional* facts on the synthetic overload+failure
+    trace: the scheduler's deadline-miss rate is strictly lower than the
+    fixed-widest baseline at equal-or-better goodput, and the mid-burst
+    replica kill loses zero requests (rerouted/hedged).  Wall-clock
+    numbers vary on shared runners, so the run retries up to three times
+    before failing; local acceptance runs set REPRO_MIN_SCHED_GOODPUT
+    (e.g. 1.2) to hard-gate the goodput ratio as well.
+    """
+    threshold = float(os.environ.get("REPRO_MIN_SCHED_GOODPUT", "0"))
+    last = None
+    for _ in range(3):
+        report = _run(SMOKE_TRACE)
+        comp = report["comparison"]
+        last = comp
+        # Every acceptance fact is checked inside the loop so a transient
+        # wall-clock hiccup on a shared runner burns a retry, not the run.
+        if (
+            comp["scheduler_lost"] == 0
+            and report["scheduler"]["latency"]["p99_s"] > 0  # tail is reported
+            and comp["miss_rate_scheduler"] < comp["miss_rate_fixed_widest"]
+            and comp["goodput_ratio"] >= 1.0
+            and comp["goodput_ratio"] >= threshold
+        ):
+            print(
+                f"miss-rate {comp['miss_rate_scheduler']:.3f} vs "
+                f"{comp['miss_rate_fixed_widest']:.3f} (fixed-widest), "
+                f"goodput ratio {comp['goodput_ratio']:.2f}x"
+            )
+            return
+    raise AssertionError(
+        f"scheduler did not beat fixed-widest in 3 attempts: last comparison {last}"
+    )
+
+
+def test_trace_is_deterministic():
+    """The seeded arrival process is bit-identical run-to-run."""
+    assert SMOKE_TRACE.arrivals() == SMOKE_TRACE.arrivals()
+    assert ACCEPTANCE_TRACE.arrivals() == ACCEPTANCE_TRACE.arrivals()
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI functional assertions on the small trace (no record)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        test_trace_is_deterministic()
+        test_scheduler_beats_fixed_widest_smoke()
+        print("smoke OK")
+        return 0
+    report = _run(ACCEPTANCE_TRACE)
+    _record(report)
+    print(f"wrote {RECORD_PATH}")
+    for label in ("fixed_widest", "scheduler"):
+        stats = report[label]
+        print(
+            f"  {label:13s} goodput {stats['goodput_rps']:7.1f} req/s  "
+            f"miss-rate {stats['miss_rate']:.3f}  lost {stats['lost']}  "
+            f"p99 {1e3 * stats['latency']['p99_s']:.1f}ms"
+        )
+    comp = report["comparison"]
+    print(
+        f"  miss-rate reduction {comp['miss_rate_reduction']:+.3f}, "
+        f"goodput ratio {comp['goodput_ratio']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

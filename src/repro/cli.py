@@ -7,6 +7,7 @@ Subcommands::
     python -m repro fig2 [--fast]
     python -m repro simulate --family fluid --fail worker:10 --recover worker:25
     python -m repro serve --family fluid --subnet lower50 --requests 256
+    python -m repro serve --sla 40 --replicas 2
     python -m repro calibration
 
 All commands are deterministic per ``--seed`` (``serve`` timings vary, its
@@ -88,7 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser(
-        "serve", help="serve synthetic traffic: serial vs concurrent vs micro-batched"
+        "serve", help="serve synthetic traffic: serial vs concurrent vs micro-batched, "
+        "or (--sla) the SLA-aware scheduler vs a fixed-widest baseline"
     )
     serve.add_argument("--family", choices=("static", "dynamic", "fluid"), default="fluid")
     serve.add_argument("--subnet", default=None, help="sub-network name (default: full width)")
@@ -98,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch", type=int, default=32)
     serve.add_argument("--max-delay-ms", type=float, default=2.0)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--sla", type=float, default=None, metavar="MS",
+        help="per-request deadline in ms: drive the overload+failure trace through "
+        "the SLA scheduler (admission, width selection, hedged routing) vs a "
+        "fixed-widest baseline",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica pool size for --sla mode (shared weights, zero copies)",
+    )
 
     sub.add_parser("calibration", help="show emulated-testbed calibration vs paper")
     return parser
@@ -189,9 +201,16 @@ def cmd_simulate(args) -> int:
 def cmd_serve(args) -> int:
     from repro.serving_bench import run_serving_comparison
 
+    # Validate argparse-only facts before paying for a model build.
+    if args.sla is not None and args.sla <= 0:
+        raise SystemExit("--sla must be a positive deadline in milliseconds")
+    if args.replicas <= 0:
+        raise SystemExit("--replicas must be positive")
     model = build_model(args.family, rng=make_rng(args.seed))
     if args.weights:
         model.load_state_dict(load_state(args.weights))
+    if args.sla is not None:
+        return _serve_scheduled(model, args)
     subnet = args.subnet or model.width_spec.full().name
     if subnet not in {s.name for s in model.width_spec.all_specs()}:
         raise SystemExit(f"unknown subnet {subnet!r} for family {args.family}")
@@ -216,6 +235,50 @@ def cmd_serve(args) -> int:
         f"concurrent vs serial {report['speedup']['concurrent_vs_serial']:.2f}x"
     )
     print(f"  zero-copy: {report['zero_copy']} (shared parameter ids verified)")
+    return 0
+
+
+def _serve_scheduled(model, args) -> int:
+    """``serve --sla`` mode: SLA scheduler vs fixed-widest on the synthetic trace."""
+    from dataclasses import replace
+
+    from repro.scheduler.admission import SLA
+    from repro.scheduler.bench import ACCEPTANCE_TRACE, run_scheduler_comparison
+    from repro.scheduler.frontend import SchedulerConfig
+
+    trace = replace(ACCEPTANCE_TRACE, deadline_s=args.sla / 1000.0, seed=args.seed)
+    # The serve batching knobs apply to the scheduler's per-(replica, width)
+    # queues too; --subnet/--requests/--concurrency describe the classic
+    # comparison and have no meaning on the SLA trace.
+    scheduler_config = SchedulerConfig(
+        replicas=args.replicas,
+        default_sla=SLA(deadline_s=args.sla / 1000.0),
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+    )
+    report = run_scheduler_comparison(
+        model, trace, replicas=args.replicas, scheduler_config=scheduler_config
+    )
+    print(
+        f"SLA serving ({args.family}): {report['arrivals']} requests over "
+        f"{trace.duration_s:.1f}s, deadline {args.sla:.0f}ms, "
+        f"{args.replicas} replicas, replica kill at t={trace.kill_at_s}s"
+    )
+    for label in ("fixed_widest", "scheduler"):
+        stats = report[label]
+        lat = stats["latency"]
+        print(
+            f"  {label:13s} goodput {stats['goodput_rps']:7.1f} req/s  "
+            f"miss-rate {stats['miss_rate']:.3f}  lost {stats['lost']}  "
+            f"p50 {1e3 * lat['p50_s']:.1f}ms  p95 {1e3 * lat['p95_s']:.1f}ms  "
+            f"p99 {1e3 * lat['p99_s']:.1f}ms"
+        )
+    comp = report["comparison"]
+    print(
+        f"  miss-rate reduction {comp['miss_rate_reduction']:+.3f}, "
+        f"goodput ratio {comp['goodput_ratio']:.2f}x, "
+        f"scheduler lost {comp['scheduler_lost']} requests"
+    )
     return 0
 
 

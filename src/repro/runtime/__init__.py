@@ -1,6 +1,11 @@
 """Runtime adaptation: failure monitoring, policy, micro-batched serving."""
 
-from repro.runtime.batching import BatchingConfig, BatchingStats, MicroBatchQueue
+from repro.runtime.batching import (
+    BatchingConfig,
+    BatchingStats,
+    DeadlineExceeded,
+    MicroBatchQueue,
+)
 from repro.runtime.controller import SystemController, Timeline, Transition
 from repro.runtime.live import LiveLog, LiveSystem, ServedBatch
 from repro.runtime.monitor import HeartbeatMonitor, ScheduleMonitor
@@ -18,6 +23,7 @@ __all__ = [
     "TARGETS",
     "BatchingConfig",
     "BatchingStats",
+    "DeadlineExceeded",
     "HeartbeatMonitor",
     "LiveSystem",
     "LiveLog",

@@ -31,6 +31,16 @@ import numpy as np
 _SHUTDOWN = object()
 
 
+class DeadlineExceeded(RuntimeError):
+    """A request's deadline expired before it could be served.
+
+    Raised through the request future — either immediately at submit time
+    (fail-fast: an already-expired request must not occupy batch-row
+    budget) or by the SLA-aware scheduler when it rejects an infeasible
+    request at admission.
+    """
+
+
 @dataclass(frozen=True)
 class BatchingConfig:
     """Budgets for one micro-batching queue."""
@@ -60,6 +70,7 @@ class BatchingStats:
     rows: int = 0
     full_flushes: int = 0      # flushed because max_batch rows were pending
     deadline_flushes: int = 0  # flushed because max_delay_s expired
+    expired_rejects: int = 0   # requests failed fast: deadline already past at submit
     recent_batch_sizes: "deque" = field(
         default_factory=lambda: deque(maxlen=RECENT_BATCH_WINDOW)
     )
@@ -103,11 +114,27 @@ class MicroBatchQueue:
 
     # -- client side -----------------------------------------------------------
 
-    def submit(self, x: np.ndarray) -> "Future[np.ndarray]":
-        """Enqueue one request (rows = ``x.shape[0]``); returns its future."""
+    def submit(
+        self, x: np.ndarray, *, deadline: Optional[float] = None
+    ) -> "Future[np.ndarray]":
+        """Enqueue one request (rows = ``x.shape[0]``); returns its future.
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp.  A
+        request whose deadline has already passed at submit time resolves
+        its future with :class:`DeadlineExceeded` immediately and never
+        enters the queue — an expired request must not occupy batch-row
+        budget that live requests could use.
+        """
         if x.ndim < 1 or x.shape[0] == 0:
             raise ValueError(f"request must have at least one row, got shape {x.shape}")
         future: "Future[np.ndarray]" = Future()
+        if deadline is not None and time.monotonic() >= deadline:
+            with self._submit_lock:
+                self.stats.expired_rejects += 1
+            future.set_exception(
+                DeadlineExceeded(f"deadline {deadline:.6f} already passed at submit")
+            )
+            return future
         # The lock orders the closed-check against close()'s sentinel put, so
         # no request can land behind _SHUTDOWN and silently never resolve.
         with self._submit_lock:

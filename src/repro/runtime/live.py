@@ -19,7 +19,9 @@ from repro.distributed.master import MasterRuntime, WorkerUnavailable
 from repro.distributed.modes import ExecutionMode
 from repro.distributed.plan import DeploymentPlan
 from repro.runtime.batching import BatchingConfig, MicroBatchQueue
+from repro.runtime.monitor import HeartbeatMonitor
 from repro.runtime.policy import AdaptationPolicy
+from repro.utils.config import Config
 from repro.utils.logging import get_logger
 
 
@@ -52,11 +54,24 @@ class LiveLog:
 class LiveSystem:
     """Serves batches under the current plan; re-plans on worker failure."""
 
-    def __init__(self, master: MasterRuntime, policy: AdaptationPolicy) -> None:
+    def __init__(
+        self,
+        master: MasterRuntime,
+        policy: AdaptationPolicy,
+        *,
+        config: Optional[Config] = None,
+    ) -> None:
         self.master = master
         self.policy = policy
         self.logger = get_logger("runtime.live")
         self._worker_alive = master.worker_attached()
+        # The same configurable detector the scheduler's replica pool uses
+        # (``heartbeat_threshold`` / ``heartbeat_interval_s`` config keys);
+        # the live master/worker path historically declared death after a
+        # single failed ping, so that stays the default here.
+        self.monitor = HeartbeatMonitor.from_config(
+            master.ping_worker, config, default_threshold=1
+        )
         self.plan: DeploymentPlan = self._replan()
 
     def _alive_set(self) -> frozenset:
@@ -76,8 +91,12 @@ class LiveSystem:
             self.plan = self._replan()
 
     def heartbeat(self) -> bool:
-        """Ping the worker; on failure, re-plan. Returns worker liveness."""
-        if self._worker_alive and not self.master.ping_worker():
+        """Run one heartbeat; re-plan once the monitor declares death.
+
+        Returns worker liveness.  The declaration threshold and expected
+        cadence come from the shared heartbeat config keys.
+        """
+        if self._worker_alive and not self.monitor.check():
             self.declare_worker_dead()
         return self._worker_alive
 
@@ -148,3 +167,16 @@ class LiveSystem:
             return served.logits
 
         return MicroBatchQueue(_run, config)
+
+    def scheduled_queue(self, config=None, **frontend_kwargs):
+        """SLA-aware front door over this system's model family.
+
+        Returns a :class:`~repro.scheduler.frontend.ServingFrontend`
+        (admission -> deadline-driven width selection -> failure-aware
+        replica pool -> micro-batching) serving the same shared weight
+        store this live system deploys.  ``config`` is a
+        :class:`~repro.scheduler.frontend.SchedulerConfig`.
+        """
+        from repro.scheduler.frontend import ServingFrontend
+
+        return ServingFrontend(self.policy.model, config, **frontend_kwargs)

@@ -15,20 +15,61 @@ from typing import Callable, FrozenSet, Optional
 
 from repro.device.failure import FailureSchedule
 from repro.distributed.partition import MASTER, WORKER
+from repro.utils.config import Config
 from repro.utils.logging import get_logger
+
+#: Config keys (see :class:`~repro.utils.config.Config`) recognised by
+#: :meth:`HeartbeatMonitor.from_config`.
+HEARTBEAT_THRESHOLD_KEY = "heartbeat_threshold"
+HEARTBEAT_INTERVAL_KEY = "heartbeat_interval_s"
+
+DEFAULT_HEARTBEAT_THRESHOLD = 2
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.05
 
 
 class HeartbeatMonitor:
-    """Declares a peer dead after ``threshold`` consecutive failed pings."""
+    """Declares a peer dead after ``threshold`` consecutive failed pings.
 
-    def __init__(self, ping: Callable[[], bool], threshold: int = 2) -> None:
+    ``interval_s`` is the cadence at which the owner is expected to call
+    :meth:`check`; the monitor itself never sleeps, it just records the
+    configured cadence so health loops (the scheduler's replica-pool
+    ejector, live-serving heartbeats) all read one source of truth.
+    """
+
+    def __init__(
+        self,
+        ping: Callable[[], bool],
+        threshold: int = DEFAULT_HEARTBEAT_THRESHOLD,
+        interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+    ) -> None:
         if threshold <= 0:
             raise ValueError("threshold must be positive")
+        if interval_s < 0:
+            raise ValueError("interval_s must be non-negative")
         self._ping = ping
         self.threshold = threshold
+        self.interval_s = interval_s
         self.consecutive_failures = 0
         self.declared_dead = False
         self.logger = get_logger("monitor")
+
+    @classmethod
+    def from_config(
+        cls,
+        ping: Callable[[], bool],
+        config: Optional[Config] = None,
+        *,
+        default_threshold: int = DEFAULT_HEARTBEAT_THRESHOLD,
+        default_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+    ) -> "HeartbeatMonitor":
+        """Build a monitor from ``heartbeat_threshold`` / ``heartbeat_interval_s``
+        config keys, falling back to the caller's defaults when absent."""
+        cfg = config or Config()
+        return cls(
+            ping,
+            threshold=int(cfg.get(HEARTBEAT_THRESHOLD_KEY, default_threshold)),
+            interval_s=float(cfg.get(HEARTBEAT_INTERVAL_KEY, default_interval_s)),
+        )
 
     def check(self) -> bool:
         """Run one heartbeat; returns current liveness verdict."""

@@ -1,0 +1,261 @@
+"""Synthetic open-loop serving trace for the SLA scheduler.
+
+Drives the *same* deterministic arrival process (seeded through
+:func:`repro.utils.rng.derive_seed`, so bench JSONs are reproducible
+run-to-run) through two frontends over one shared weight store:
+
+* **scheduler** — admission + deadline-driven width selection + hedged,
+  failure-aware routing;
+* **fixed_widest** — the same pool and micro-batching, but every request
+  pinned to the widest sub-network with admission and hedging disabled
+  (what a width-oblivious server would do).
+
+The trace has three phases (steady → overload burst → steady) and
+optionally kills one replica mid-burst.  Reported per run: goodput
+(requests completed within deadline per second), deadline-miss rate,
+lost-request count and p50/p95/p99 latency.
+
+Used by ``python -m repro serve --sla <ms> --replicas <k>`` and by
+``benchmarks/bench_scheduler.py`` (which records ``BENCH_scheduler.json``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.runtime.batching import DeadlineExceeded
+from repro.scheduler.admission import SLA
+from repro.scheduler.frontend import SchedulerConfig, ServingFrontend
+from repro.scheduler.telemetry import nearest_rank
+from repro.utils.rng import derive_seed, make_rng
+
+#: Outcome labels for one traced request.
+OK = "ok"               # completed within its deadline
+LATE = "late"           # completed, but after the deadline
+REJECTED = "rejected"   # failed fast at admission (no compute spent)
+LOST = "lost"           # errored / never produced a result
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """A three-phase open-loop arrival process with an optional mid-run kill."""
+
+    seed: int = 0
+    base_rate_rps: float = 400.0    # steady phases (below widest capacity)
+    burst_rate_rps: float = 3500.0  # overload (above widest, below narrowest)
+    pre_s: float = 0.5
+    burst_s: float = 0.4
+    post_s: float = 0.5
+    deadline_s: float = 0.04
+    kill_at_s: Optional[float] = None  # kill a replica this far into the run
+    kill_replica: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.base_rate_rps, self.burst_rate_rps) <= 0:
+            raise ValueError("arrival rates must be positive")
+        if min(self.pre_s, self.burst_s, self.post_s) < 0:
+            raise ValueError("phase durations must be non-negative")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        return self.pre_s + self.burst_s + self.post_s
+
+    def arrivals(self) -> List[float]:
+        """Deterministic Poisson arrival times (seconds from trace start)."""
+        rng = make_rng(derive_seed(self.seed, "arrivals"))
+        times: List[float] = []
+        t = 0.0
+        for rate, end in (
+            (self.base_rate_rps, self.pre_s),
+            (self.burst_rate_rps, self.pre_s + self.burst_s),
+            (self.base_rate_rps, self.duration_s),
+        ):
+            while True:
+                t += rng.exponential(1.0 / rate)
+                if t >= end:
+                    t = end  # phase boundary: restart the clock at the new rate
+                    break
+                times.append(t)
+        return times
+
+
+#: Acceptance trace: a real overload burst plus a mid-burst replica kill.
+ACCEPTANCE_TRACE = TraceConfig(seed=0, kill_at_s=0.7)
+#: CI smoke trace: same shape, small enough for shared runners.
+SMOKE_TRACE = TraceConfig(
+    seed=0,
+    base_rate_rps=300.0,
+    burst_rate_rps=2500.0,
+    pre_s=0.25,
+    burst_s=0.25,
+    post_s=0.25,
+    kill_at_s=0.35,
+)
+
+
+def _make_payloads(model, count: int, seed: int) -> List[np.ndarray]:
+    from repro.serving_bench import make_single_image_requests
+
+    net = getattr(model, "net", model)
+    return make_single_image_requests(
+        count, net.image_size, net.in_channels, seed, "payloads"
+    )
+
+
+def _drive(
+    frontend: ServingFrontend,
+    trace: TraceConfig,
+    payloads: List[np.ndarray],
+    sla: SLA,
+) -> List[Dict]:
+    """Submit the trace open-loop; returns one record per request."""
+    arrivals = trace.arrivals()
+    records: List[Dict] = [
+        {"arrival_s": t, "outcome": LOST, "latency_s": None} for t in arrivals
+    ]
+    done = threading.Event()
+    remaining = [len(arrivals)]
+    remaining_lock = threading.Lock()
+
+    killer: Optional[threading.Timer] = None
+    if trace.kill_at_s is not None:
+        replica = frontend.pool.replicas[trace.kill_replica % len(frontend.pool.replicas)]
+        killer = threading.Timer(trace.kill_at_s, replica.kill)
+        killer.daemon = True
+
+    def _finish(index: int, submit_t: float, future) -> None:
+        now = time.monotonic()
+        record = records[index]
+        exc = future.exception()
+        if exc is None:
+            record["latency_s"] = now - submit_t
+            record["outcome"] = OK if record["latency_s"] <= trace.deadline_s else LATE
+        elif isinstance(exc, DeadlineExceeded):
+            record["outcome"] = REJECTED  # fail-fast: no compute was spent
+        else:
+            record["outcome"] = LOST
+        with remaining_lock:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.set()
+
+    start = time.monotonic()
+    if killer is not None:
+        killer.start()
+    for index, arrival in enumerate(arrivals):
+        delay = (start + arrival) - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        submit_t = time.monotonic()
+        future = frontend.submit(payloads[index % len(payloads)], sla)
+        future.add_done_callback(
+            lambda f, i=index, t=submit_t: _finish(i, t, f)
+        )
+    if not done.wait(timeout=60.0):
+        raise RuntimeError(f"trace did not drain: {remaining[0]} requests unresolved")
+    if killer is not None:
+        killer.cancel()
+    return records
+
+
+def summarize(records: List[Dict], trace: TraceConfig) -> Dict:
+    """Goodput / miss-rate / tail-latency stats for one driven trace."""
+    total = len(records)
+    by_outcome = {k: 0 for k in (OK, LATE, REJECTED, LOST)}
+    for r in records:
+        by_outcome[r["outcome"]] += 1
+    latencies = sorted(r["latency_s"] for r in records if r["latency_s"] is not None)
+
+    def pct(p: float) -> float:
+        return nearest_rank(latencies, p)
+
+    misses = total - by_outcome[OK]
+    return {
+        "requests": total,
+        "outcomes": by_outcome,
+        "lost": by_outcome[LOST],
+        "miss_rate": misses / total if total else 0.0,
+        "goodput_rps": by_outcome[OK] / trace.duration_s,
+        "latency": {
+            "p50_s": pct(50),
+            "p95_s": pct(95),
+            "p99_s": pct(99),
+            "max_s": latencies[-1] if latencies else 0.0,
+        },
+    }
+
+
+def run_scheduler_comparison(
+    model,
+    trace: TraceConfig = SMOKE_TRACE,
+    *,
+    replicas: int = 2,
+    scheduler_config: Optional[SchedulerConfig] = None,
+) -> Dict:
+    """Drive the trace through the scheduler and the fixed-widest baseline.
+
+    ``replicas`` sizes both pools; an explicit ``scheduler_config`` is the
+    single source of truth (its ``replicas`` wins), so the two runs can
+    never compare unequal pools.
+    """
+    arrivals = trace.arrivals()
+    payloads = _make_payloads(model, min(256, len(arrivals)), trace.seed)
+
+    sched_config = scheduler_config or SchedulerConfig(
+        replicas=replicas, default_sla=SLA(deadline_s=trace.deadline_s)
+    )
+    replicas = sched_config.replicas
+    runs: Dict[str, Dict] = {}
+    for label in ("fixed_widest", "scheduler"):
+        if label == "scheduler":
+            config, sla = sched_config, SLA(deadline_s=trace.deadline_s)
+        else:
+            net = getattr(model, "net", model)
+            # _default_candidates returns the lower family narrowest-first.
+            widest = ServingFrontend._default_candidates(model, net)[-1].name
+            config = SchedulerConfig(
+                replicas=replicas,
+                enable_admission=False,
+                enable_hedging=False,
+                max_batch=sched_config.max_batch,
+                max_delay_s=sched_config.max_delay_s,
+            )
+            sla = SLA(
+                deadline_s=trace.deadline_s, min_width=widest, max_width=widest
+            )
+        frontend = ServingFrontend(model, config)
+        try:
+            records = _drive(frontend, trace, payloads, sla)
+            runs[label] = {
+                **summarize(records, trace),
+                "frontend": frontend.report(),
+            }
+        finally:
+            frontend.close()
+
+    sched, base = runs["scheduler"], runs["fixed_widest"]
+    return {
+        "trace": asdict(trace),
+        "replicas": replicas,
+        "arrivals": len(arrivals),
+        "fixed_widest": base,
+        "scheduler": sched,
+        "comparison": {
+            "miss_rate_fixed_widest": base["miss_rate"],
+            "miss_rate_scheduler": sched["miss_rate"],
+            "miss_rate_reduction": base["miss_rate"] - sched["miss_rate"],
+            "goodput_ratio": (
+                sched["goodput_rps"] / base["goodput_rps"]
+                if base["goodput_rps"] > 0
+                else float("inf")
+            ),
+            "scheduler_lost": sched["lost"],
+        },
+    }

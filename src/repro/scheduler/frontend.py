@@ -1,0 +1,498 @@
+"""The serving frontend: admission -> width policy -> replica pool -> batching.
+
+One :class:`ServingFrontend` is the SLA-aware front door over a shared
+slimmable weight store:
+
+1. **Admission** fails infeasible requests fast (no compute spent).
+2. The **width policy** picks the widest sub-network slice predicted to
+   meet the remaining deadline budget.
+3. The **replica pool** routes to the least-loaded healthy replica;
+   replicas are ejected by heartbeat, and a request whose replica dies
+   mid-flight is transparently rerouted — zero lost requests.
+4. Per-(replica, width) :class:`~repro.runtime.batching.MicroBatchQueue`
+   instances coalesce same-width requests into large batched forwards.
+
+A background health loop drives the pool's heartbeat monitors, and a
+watchdog thread **hedges stragglers**: a request still unresolved well
+past its predicted latency gets a duplicate at a narrower width on a
+different replica; whichever finishes first resolves the caller's future.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.batching import BatchingConfig, DeadlineExceeded, MicroBatchQueue
+from repro.scheduler.admission import (
+    CRITICAL_PRIORITY,
+    SLA,
+    AdmissionController,
+    AdmissionRejected,
+)
+from repro.scheduler.pool import Replica, ReplicaPool, ReplicaUnavailable
+from repro.scheduler.telemetry import MetricsRegistry
+from repro.scheduler.width_policy import WidthPolicy
+from repro.slimmable.spec import SubNetSpec
+from repro.utils.config import Config
+from repro.utils.logging import get_logger
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables of one serving frontend."""
+
+    replicas: int = 2
+    default_sla: SLA = field(default_factory=lambda: SLA(deadline_s=0.05))
+    admission_headroom: float = 1.0
+    enable_admission: bool = True
+    enable_hedging: bool = True
+    hedge_factor: float = 4.0   # hedge a request older than factor x predicted
+    hedge_min_s: float = 0.004  # ...but never earlier than this
+    hedge_ratio: float = 0.1    # hedges may add at most this fraction of load
+    warmup: bool = True         # prime the latency EWMAs with one run per width
+    max_batch: int = 16
+    max_delay_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.replicas <= 0:
+            raise ValueError("replicas must be positive")
+        if self.hedge_factor <= 1.0:
+            raise ValueError("hedge_factor must exceed 1.0")
+        if not 0.0 <= self.hedge_ratio <= 1.0:
+            raise ValueError("hedge_ratio must be in [0, 1]")
+        if self.hedge_min_s < 0 or self.max_delay_s < 0:
+            raise ValueError("time budgets must be non-negative")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+
+
+class _Entry:
+    """One in-flight request's scheduling state."""
+
+    __slots__ = (
+        "x", "sla", "arrival", "deadline", "width", "future",
+        "exclude", "primary_replica", "hedged", "lock",
+    )
+
+    def __init__(self, x: np.ndarray, sla: SLA, arrival: float) -> None:
+        self.x = x
+        self.sla = sla
+        self.arrival = arrival
+        self.deadline = arrival + sla.deadline_s
+        self.width: Optional[str] = None
+        self.future: "Future[np.ndarray]" = Future()
+        self.exclude: Tuple[int, ...] = ()
+        self.primary_replica: Optional[int] = None  # where the live leg waits
+        self.hedged = False
+        self.lock = threading.Lock()
+
+
+class _HedgeWatchdog:
+    """Single thread firing hedge callbacks at scheduled times."""
+
+    def __init__(self, fire) -> None:
+        self._fire = fire
+        self._heap: List[Tuple[float, int, _Entry]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="hedge-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def arm(self, at: float, entry: _Entry) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            heapq.heappush(self._heap, (at, next(self._seq), entry))
+            self._cond.notify()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._closed and (
+                    not self._heap or self._heap[0][0] > time.monotonic()
+                ):
+                    if self._heap:
+                        self._cond.wait(self._heap[0][0] - time.monotonic())
+                    else:
+                        self._cond.wait()
+                if self._closed:
+                    return
+                _, _, entry = heapq.heappop(self._heap)
+            self._fire(entry)
+
+
+class ServingFrontend:
+    """SLA-aware scheduling over a shared slimmable weight store."""
+
+    def __init__(
+        self,
+        model,
+        config: Optional[SchedulerConfig] = None,
+        *,
+        candidates: Optional[Sequence[SubNetSpec]] = None,
+        heartbeat_config: Optional[Config] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or SchedulerConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.logger = get_logger("scheduler.frontend")
+        net = getattr(model, "net", model)
+        if candidates is None:
+            candidates = self._default_candidates(model, net)
+        self.policy = WidthPolicy(net, candidates)
+        self.admission = AdmissionController(
+            headroom=self.config.admission_headroom, metrics=self.metrics
+        )
+        self.pool = ReplicaPool(
+            model, self.config.replicas, config=heartbeat_config, metrics=self.metrics
+        )
+        self._queues: Dict[Tuple[int, str], MicroBatchQueue] = {}
+        self._queues_lock = threading.Lock()
+        self._closing = False  # submit() stops accepting
+        self._closed = False   # dispatch (incl. reroutes) fully stopped
+        self._watchdog = _HedgeWatchdog(self._hedge) if self.config.enable_hedging else None
+        self._health_stop = threading.Event()
+        self._health_thread = threading.Thread(
+            target=self._health_loop, name="pool-health", daemon=True
+        )
+        self._health_thread.start()
+        if self.config.warmup:
+            self._warmup(net)
+
+    @staticmethod
+    def _default_candidates(model, net) -> List[SubNetSpec]:
+        """Certified standalone *lower* sub-networks, narrowest first.
+
+        Upper sub-networks are partitioning alternates sharing the lower
+        family's latency tiers, so the width ladder uses the nested lower
+        slices (each strictly wider = strictly more accurate).  A family
+        that certifies *no* standalone sub-network (a Static DNN) gets
+        only the full width: serving a narrower slice it never trained
+        standalone would return garbage, so the scheduler must not
+        downgrade to it under load.
+        """
+        spec = net.width_spec
+        certified = getattr(model, "certified_standalone", None)
+        lowers = spec.lower_family()
+        if certified is None:
+            return lowers  # bare net: every slice is fair game
+        chosen = [s for s in lowers if s.name in certified]
+        return chosen if chosen else [spec.full()]
+
+    def _warmup(self, net) -> None:
+        """One serial forward per width on replica 0: primes the EWMAs so the
+        first real requests see calibrated wall-clock predictions."""
+        x = np.zeros((1, net.in_channels, net.image_size, net.image_size))
+        replica = self.pool.replicas[0]
+        for spec in self.policy.candidates:
+            started = time.perf_counter()
+            replica.run(x, spec.name)
+            elapsed = time.perf_counter() - started
+            self.policy.observe(spec.name, elapsed)
+            self.metrics.ewma("frontend.row_service_s").observe(elapsed)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, x: np.ndarray, sla: Optional[SLA] = None) -> "Future[np.ndarray]":
+        """Schedule one request; the future resolves with its output rows.
+
+        The future fails with :class:`AdmissionRejected` (fail-fast, no
+        compute spent) when the SLA is infeasible, or with
+        :class:`ReplicaUnavailable` when the whole pool is dead.
+        """
+        if self._closing:
+            raise RuntimeError("submit on a closed ServingFrontend")
+        sla = sla or self.config.default_sla
+        entry = _Entry(x, sla, time.monotonic())
+        self.metrics.counter("frontend.requests").inc()
+
+        floor = self.policy.predict(
+            self.policy.narrowest(sla.min_width, sla.max_width).name
+        )
+        healthy = self.pool.healthy()
+        least_pending = min((r.pending for r in healthy), default=0)
+        # Queue wait = requests already ahead on the least-loaded replica
+        # times the measured per-row service rate of the live width mix
+        # (batching amortisation included, since the EWMA is per batched
+        # row).  Before any batch has run, fall back to the narrowest
+        # width's predicted batch time spread over a full batch.
+        row_time = self.metrics.ewma("frontend.row_service_s").value
+        if row_time is None:
+            row_time = floor / self.config.max_batch
+        queue_wait = least_pending * row_time
+        if self.config.enable_admission:
+            decision = self.admission.decide_remaining(
+                sla,
+                remaining_s=entry.deadline - time.monotonic(),
+                queue_wait_s=queue_wait,
+                service_floor_s=floor,
+            )
+            if not decision.admitted:
+                self.metrics.counter("frontend.rejected").inc()
+                entry.future.set_exception(AdmissionRejected(decision.reason))
+                return entry.future
+
+        budget = (entry.deadline - time.monotonic()) - queue_wait
+        spec, predicted = self.policy.choose(
+            max(budget, 0.0), min_width=sla.min_width, max_width=sla.max_width
+        )
+        entry.width = spec.name
+        self.metrics.counter(f"frontend.width.{spec.name}").inc()
+        # Critical-priority requests were admitted on "a late answer beats
+        # none", so their leg carries no fail-fast deadline.
+        leg_deadline = entry.deadline if sla.priority < CRITICAL_PRIORITY else None
+        self._dispatch(entry, spec.name, deadline=leg_deadline, primary=True)
+        if self._watchdog is not None:
+            # Hedge a true straggler, not ordinary backlog: no earlier than
+            # several predicted service times AND half the remaining budget
+            # — under a burst every request is "old", and hedging them all
+            # would double the overload.
+            now = time.monotonic()
+            hedge_at = now + max(
+                self.config.hedge_min_s,
+                self.config.hedge_factor * predicted,
+                0.5 * (entry.deadline - now),
+            )
+            self._watchdog.arm(hedge_at, entry)
+        return entry.future
+
+    # -- dispatch / completion -------------------------------------------------
+
+    def _queue_for(self, replica: Replica, width: str) -> MicroBatchQueue:
+        key = (replica.index, width)
+        with self._queues_lock:
+            # Checked under the same lock close() holds for its final
+            # sweep: either this insertion happens before the sweep (and
+            # is swept) or _closed is already visible here and refused.
+            if self._closed:
+                raise RuntimeError("frontend closed")
+            if key not in self._queues:
+                batching = BatchingConfig(
+                    max_batch=self.config.max_batch,
+                    max_delay_s=self.config.max_delay_s,
+                )
+
+                def _run(batch: np.ndarray, r=replica, w=width) -> np.ndarray:
+                    # Observe *pure* service time (one batched forward), not
+                    # dispatch-to-done latency: queue wait is accounted
+                    # separately from live pending counts, so backlog never
+                    # poisons the width calibration.  The observation is
+                    # deliberately per-batch, not per-row: a request rides
+                    # its whole batch, so "one batched forward at the live
+                    # batch-size mix" is exactly the service time its
+                    # deadline budget must absorb.
+                    started = time.monotonic()
+                    out = r.run(batch, w)
+                    service = time.monotonic() - started
+                    self.policy.observe(w, service)
+                    # Pooled per-row rate over the live width mix: pending
+                    # rows x this EWMA estimates queue wait at admission.
+                    self.metrics.ewma("frontend.row_service_s").observe(
+                        service / batch.shape[0]
+                    )
+                    return out
+
+                self._queues[key] = MicroBatchQueue(_run, batching)
+            return self._queues[key]
+
+    def _dispatch(
+        self,
+        entry: _Entry,
+        width: str,
+        *,
+        exclude: Tuple[int, ...] = (),
+        deadline: Optional[float] = None,
+        primary: bool = False,
+    ) -> None:
+        """Queue one leg of a request on a routed replica.
+
+        ``deadline`` is forwarded to the micro-batch queue's fail-fast
+        check on the *initial* leg only; reroute and hedge legs carry no
+        deadline because once work was admitted the plane commits to
+        producing a result (a late answer is a miss, never a loss).
+        """
+        if self._closed:
+            self._fail(entry, ReplicaUnavailable("frontend closed"))
+            return
+        try:
+            replica = self.pool.route(exclude=exclude)
+        except ReplicaUnavailable as exc:
+            self._fail(entry, exc)
+            return
+        if primary:
+            with entry.lock:
+                entry.primary_replica = replica.index
+        try:
+            inner = self._queue_for(replica, width).submit(entry.x, deadline=deadline)
+        except (RuntimeError, ValueError) as exc:
+            # Closed queue (frontend shutting down under a reroute/hedge) or
+            # an invalid payload; either way the routed replica's pending
+            # count must be released before the future is failed.
+            replica.finish()
+            self._fail(entry, exc if isinstance(exc, ValueError) else ReplicaUnavailable(str(exc)))
+            return
+        inner.add_done_callback(lambda f: self._on_done(entry, replica, width, f))
+
+    def _on_done(
+        self,
+        entry: _Entry,
+        replica: Replica,
+        width: str,
+        inner: "Future[np.ndarray]",
+    ) -> None:
+        replica.finish()
+        exc = None if inner.cancelled() else inner.exception()
+        if not inner.cancelled() and exc is None:
+            self._resolve(entry, inner.result())
+            return
+        if isinstance(exc, ReplicaUnavailable):
+            # The endpoint died under this request: eject it through the
+            # heartbeat state machine and reroute to a survivor.
+            self.pool.report_failure(replica)
+            if entry.future.done():
+                return
+            self.metrics.counter("frontend.reroutes").inc()
+            with entry.lock:
+                entry.exclude = entry.exclude + (replica.index,)
+                exclude = entry.exclude
+            self.logger.warning(
+                "replica %d lost mid-request; rerouting at width %s", replica.index, width
+            )
+            self._dispatch(entry, width, exclude=exclude, primary=True)
+            return
+        if isinstance(exc, DeadlineExceeded):
+            # The initial leg expired before it could even enter a batch
+            # (fail-fast in the queue): a miss, recorded distinctly from
+            # infrastructure failures.
+            self.metrics.counter("frontend.expired").inc()
+        self._fail(entry, exc or RuntimeError("request cancelled"))
+
+    def _hedge(self, entry: _Entry) -> None:
+        """Watchdog callback: duplicate a straggler at a narrower width.
+
+        Subject to the hedge budget: duplicated work may add at most
+        ``hedge_ratio`` of total traffic, so a backlog where *every*
+        request looks old cannot trigger a load-doubling hedge storm.
+        """
+        with entry.lock:
+            if entry.future.done() or entry.hedged:
+                return
+            entry.hedged = True
+            hedge_exclude = entry.exclude
+            # Steer the hedge off the replica where the straggling leg
+            # waits — a duplicate behind the same backlog only doubles that
+            # replica's load.  route() still falls back to it when nothing
+            # else is healthy.
+            if entry.primary_replica is not None:
+                hedge_exclude = hedge_exclude + (entry.primary_replica,)
+        budget = self.config.hedge_ratio * self.metrics.counter("frontend.requests").value
+        if self.metrics.counter("frontend.hedges").value + 1 > budget:
+            self.metrics.counter("frontend.hedges_suppressed").inc()
+            return
+        narrower = self.policy.narrower_than(entry.width, entry.sla.min_width)
+        width = (narrower or self.policy.narrowest(entry.sla.min_width)).name
+        self.metrics.counter("frontend.hedges").inc()
+        self._dispatch(entry, width, exclude=hedge_exclude)
+
+    def _resolve(self, entry: _Entry, result: np.ndarray) -> None:
+        try:
+            entry.future.set_result(result)
+        except InvalidStateError:
+            return  # the other leg of a hedge won
+        latency = time.monotonic() - entry.arrival
+        self.metrics.histogram("frontend.latency").observe(latency)
+        self.metrics.counter("frontend.completed").inc()
+        if time.monotonic() <= entry.deadline:
+            self.metrics.counter("frontend.completed_within_deadline").inc()
+        else:
+            self.metrics.counter("frontend.completed_late").inc()
+
+    def _fail(self, entry: _Entry, exc: BaseException) -> None:
+        try:
+            entry.future.set_exception(exc)
+        except InvalidStateError:
+            return
+        self.metrics.counter("frontend.failed").inc()
+
+    # -- background health -----------------------------------------------------
+
+    def _health_loop(self) -> None:
+        interval = max(self.pool.heartbeat_interval_s, 1e-3)
+        while not self._health_stop.wait(interval):
+            for replica in self.pool.check_health():
+                self.logger.warning("health loop ejected replica %d", replica.index)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def report(self) -> Dict:
+        """JSON-friendly snapshot: metrics + width-policy calibration."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "calibration": self.policy.calibration_snapshot(),
+            "replicas": [
+                {"index": r.index, "alive": r.alive, "pending": r.pending}
+                for r in self.pool.replicas
+            ],
+        }
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Drain every queue, stop the watchdog and the health loop.
+
+        Draining happens in rounds with rerouting still enabled: if a
+        replica dies while its queue drains, the displaced requests spawn
+        fresh queues on survivors, which the next round drains too — so a
+        mid-close failure still loses zero requests.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        # Stop the watchdog first: a hedge firing mid-drain could insert a
+        # queue after the final drain round and leak its collector thread.
+        # Reroutes stay enabled throughout — they run synchronously inside
+        # each queue's close(), so every round catches what they spawn.
+        if self._watchdog is not None:
+            self._watchdog.close()
+        while True:
+            with self._queues_lock:
+                if not self._queues:
+                    break
+                queues = list(self._queues.values())
+                self._queues.clear()
+            for queue in queues:
+                queue.close(timeout=timeout)
+        # Final sweep: a submit() that raced past the _closing check may
+        # have inserted a queue between the last drain round and now.
+        # Setting _closed under the queues lock makes this exhaustive:
+        # _queue_for refuses insertions once _closed is visible, and any
+        # insertion that won the lock first is captured in the snapshot.
+        with self._queues_lock:
+            self._closed = True
+            stragglers = list(self._queues.values())
+            self._queues.clear()
+        for queue in stragglers:
+            queue.close(timeout=timeout)
+        self._health_stop.set()
+        self._health_thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,231 @@
+"""Failure-aware replica pool.
+
+A :class:`Replica` models one serving endpoint: a set of
+:class:`~repro.engine.session.InferenceSession` handles (one per
+sub-network width, created lazily) over the *shared* weight store — so N
+replicas still hold zero parameter copies, exactly like the engine's
+in-process endpoints.  The :class:`ReplicaPool` routes each request to
+the least-loaded healthy replica, ejects replicas via the same
+:class:`~repro.runtime.monitor.HeartbeatMonitor` the live system uses
+(threshold / interval from config keys), and retries a request on a
+surviving replica when its endpoint dies mid-flight — the HA story at
+request granularity.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.session import InferenceSession
+from repro.runtime.monitor import HeartbeatMonitor
+from repro.scheduler.telemetry import MetricsRegistry
+from repro.utils.config import Config
+
+
+class ReplicaUnavailable(RuntimeError):
+    """The targeted replica (or every replica) cannot serve the request."""
+
+
+class Replica:
+    """One serving endpoint: per-width sessions over shared weights."""
+
+    def __init__(self, index: int, model) -> None:
+        self.index = index
+        self._model = model
+        self._sessions: Dict[str, InferenceSession] = {}
+        self._session_lock = threading.Lock()
+        self._pending = 0          # dispatched but not yet completed requests
+        self._pending_lock = threading.Lock()
+        self._alive = True
+
+    # -- health ---------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def ping(self) -> bool:
+        """Heartbeat target (what a transport-level ping would report)."""
+        return self._alive
+
+    def kill(self) -> None:
+        """Simulate endpoint death: every subsequent run raises."""
+        self._alive = False
+
+    def revive(self) -> None:
+        self._alive = True
+
+    # -- load accounting ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        with self._pending_lock:
+            return self._pending
+
+    def begin(self) -> None:
+        with self._pending_lock:
+            self._pending += 1
+
+    def finish(self) -> None:
+        with self._pending_lock:
+            self._pending = max(0, self._pending - 1)
+
+    # -- serving --------------------------------------------------------------
+
+    def session(self, width: str) -> InferenceSession:
+        with self._session_lock:
+            if width not in self._sessions:
+                self._sessions[width] = InferenceSession(self._model, width)
+            return self._sessions[width]
+
+    def run(self, x: np.ndarray, width: str) -> np.ndarray:
+        """Serve one (possibly batched) request at the given width."""
+        if not self._alive:
+            raise ReplicaUnavailable(f"replica {self.index} is down")
+        out = self.session(width).run(x)
+        if not self._alive:
+            # Killed mid-forward: the caller must not trust a result a dead
+            # endpoint could never have delivered.
+            raise ReplicaUnavailable(f"replica {self.index} died mid-request")
+        return out
+
+    def __repr__(self) -> str:
+        state = "up" if self._alive else "down"
+        return f"Replica({self.index}, {state}, pending={self.pending})"
+
+
+class ReplicaPool:
+    """Least-loaded routing over N replicas with heartbeat-driven ejection."""
+
+    def __init__(
+        self,
+        model,
+        num_replicas: int,
+        *,
+        config: Optional[Config] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        self.replicas: List[Replica] = [Replica(i, model) for i in range(num_replicas)]
+        self.metrics = metrics or MetricsRegistry()
+        # One monitor per replica, all reading the shared heartbeat config
+        # keys — the same detector the live master/worker path uses.
+        self.monitors: List[HeartbeatMonitor] = [
+            HeartbeatMonitor.from_config(replica.ping, config)
+            for replica in self.replicas
+        ]
+        self.heartbeat_interval_s = self.monitors[0].interval_s
+        self._lock = threading.Lock()         # routing decisions
+        self._health_lock = threading.Lock()  # monitor state transitions
+
+    # -- health ---------------------------------------------------------------
+
+    def healthy(self) -> List[Replica]:
+        return [
+            r for r, m in zip(self.replicas, self.monitors) if not m.declared_dead
+        ]
+
+    def check_health(self) -> List[Replica]:
+        """Run one heartbeat round; returns replicas newly declared dead.
+
+        Serialised with :meth:`report_failure` (one lock) so a death seen
+        simultaneously by the health loop and a failing request counts as
+        exactly one ejection.
+        """
+        ejected = []
+        with self._health_lock:
+            for replica, monitor in zip(self.replicas, self.monitors):
+                if monitor.declared_dead:
+                    continue
+                if not monitor.check() and monitor.declared_dead:
+                    ejected.append(replica)
+                    self.metrics.counter("pool.ejections").inc()
+        return ejected
+
+    def report_failure(self, replica: Replica) -> None:
+        """Account an observed request failure as missed heartbeats.
+
+        A hard transport failure is stronger evidence than a silent miss,
+        so the monitor is driven to its threshold immediately — the
+        replica is ejected through the same state machine the periodic
+        heartbeat uses, keeping one definition of "dead".
+        """
+        monitor = self.monitors[replica.index]
+        with self._health_lock:
+            was_dead = monitor.declared_dead
+            while not monitor.declared_dead and not replica.ping():
+                monitor.check()
+            if monitor.declared_dead and not was_dead:
+                self.metrics.counter("pool.ejections").inc()
+
+    # -- routing --------------------------------------------------------------
+
+    def total_pending(self) -> int:
+        return sum(r.pending for r in self.healthy())
+
+    def route(self, exclude: Tuple[int, ...] = ()) -> Replica:
+        """Least-loaded healthy replica, skipping ``exclude`` indices."""
+        with self._lock:
+            options = [r for r in self.healthy() if r.index not in exclude]
+            if not options:
+                # Nothing else left: fall back to any healthy replica (a
+                # hedge would rather reuse the primary's replica than fail).
+                options = self.healthy()
+            if not options:
+                raise ReplicaUnavailable("no healthy replicas")
+            choice = min(options, key=lambda r: (r.pending, r.index))
+            choice.begin()
+            return choice
+
+    def execute(
+        self, x: np.ndarray, width: str, *, exclude: Tuple[int, ...] = ()
+    ) -> Tuple[np.ndarray, Replica]:
+        """Serve ``x`` on the least-loaded healthy replica; reroute on death.
+
+        Tries every healthy replica at most once; a replica that fails is
+        reported to its monitor (ejection) before the next is tried.
+        Raises :class:`ReplicaUnavailable` only when the whole pool is dead.
+
+        This is the *synchronous* serving path (no batching, no futures);
+        :class:`~repro.scheduler.frontend.ServingFrontend` implements the
+        same route/report/reroute cycle asynchronously over its queues —
+        keep the two semantically aligned when changing either.
+        """
+        tried = tuple(exclude)
+        for _ in range(len(self.replicas)):
+            replica = self.route(exclude=tried)
+            try:
+                out = replica.run(x, width)
+                return out, replica
+            except ReplicaUnavailable:
+                self.report_failure(replica)
+                self.metrics.counter("pool.reroutes").inc()
+                tried = tried + (replica.index,)
+            finally:
+                replica.finish()
+        raise ReplicaUnavailable("no healthy replicas")
+
+    def __repr__(self) -> str:
+        return f"ReplicaPool({self.replicas!r})"
+
+
+def wait_for_ejection(
+    pool: ReplicaPool, *, timeout_s: float = 1.0
+) -> List[Replica]:
+    """Drive heartbeat rounds until an ejection happens or ``timeout_s`` passes.
+
+    Test/benchmark helper mirroring what the frontend's background health
+    loop does continuously.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        ejected = pool.check_health()
+        if ejected:
+            return ejected
+        time.sleep(pool.heartbeat_interval_s)
+    return []

@@ -21,6 +21,15 @@ class Config:
         cfg = Config({"epochs": 3, "lr": 0.1})
         cfg.epochs  # 3
         cfg["lr"]   # 0.1
+
+    Well-known key groups consumed elsewhere:
+
+    * ``inference_dtype`` / ``training_dtype`` / ``wire_dtype`` — see
+      :meth:`dtype_policy`;
+    * ``heartbeat_threshold`` / ``heartbeat_interval_s`` — failure
+      detection cadence, read by
+      :meth:`repro.runtime.monitor.HeartbeatMonitor.from_config` (used by
+      both the live master/worker path and the scheduler's replica pool).
     """
 
     values: Dict[str, Any] = field(default_factory=dict)

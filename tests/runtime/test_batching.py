@@ -248,3 +248,52 @@ class TestStats:
             stats.recent_batch_sizes.append(i)
         assert len(stats.recent_batch_sizes) == RECENT_BATCH_WINDOW
         assert stats.recent_batch_sizes[-1] == RECENT_BATCH_WINDOW + 49
+
+
+class TestDeadlineFailFast:
+    def test_expired_deadline_resolves_immediately(self):
+        """An already-expired request fails fast and never occupies the queue."""
+        from repro.runtime.batching import DeadlineExceeded
+
+        calls = []
+        queue = MicroBatchQueue(
+            rows_runner(calls),
+            BatchingConfig(max_batch=2, max_delay_s=5.0),
+            autostart=False,
+        )
+        expired = queue.submit(
+            np.full((1,), 99.0), deadline=time.monotonic() - 0.001
+        )
+        assert expired.done()  # resolved before the collector even starts
+        with pytest.raises(DeadlineExceeded):
+            expired.result(timeout=1.0)
+        assert queue.stats.expired_rejects == 1
+
+        # The expired request did not consume batch-row budget: the next two
+        # live requests alone fill the 2-row batch and flush together.
+        live = [
+            queue.submit(np.full((1,), float(i)), deadline=time.monotonic() + 60.0)
+            for i in range(2)
+        ]
+        queue.start()
+        for i, future in enumerate(live):
+            np.testing.assert_array_equal(
+                future.result(timeout=10.0), np.full((1,), 10.0 * i)
+            )
+        assert queue.stats.requests == 2
+        assert queue.stats.full_flushes == 1
+        assert len(calls) == 1 and calls[0].shape == (2,)
+        queue.close()
+
+    def test_no_deadline_keeps_legacy_behaviour(self):
+        queue = MicroBatchQueue(rows_runner(), BatchingConfig(max_batch=1))
+        future = queue.submit(np.ones((1,)))
+        np.testing.assert_array_equal(future.result(timeout=10.0), np.full((1,), 10.0))
+        assert queue.stats.expired_rejects == 0
+        queue.close()
+
+    def test_future_deadline_is_accepted(self):
+        queue = MicroBatchQueue(rows_runner(), BatchingConfig(max_batch=1))
+        future = queue.submit(np.ones((1,)), deadline=time.monotonic() + 60.0)
+        np.testing.assert_array_equal(future.result(timeout=10.0), np.full((1,), 10.0))
+        queue.close()

@@ -141,3 +141,55 @@ class TestHeartbeatPath:
         log = live.serve_stream(batches[:2])
         assert log.served_count() == 2
         thread.join(timeout=5.0)
+
+    def test_heartbeat_threshold_from_config(self, batches):
+        """Config keys make death declaration require N consecutive misses."""
+        from repro.utils.config import Config
+
+        model = build_model("fluid", rng=make_rng(0))
+        net = model.net
+        chan = InProcChannel()
+        worker_device = EmulatedDevice(jetson_nx_worker(), net)
+        server = WorkerServer(worker_device, chan.b, partition_split=net.width_spec.split)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        master = MasterRuntime(
+            EmulatedDevice(jetson_nx_master(), net),
+            chan.a,
+            partition_split=net.width_spec.split,
+            request_timeout=2.0,
+        )
+        tm = SystemThroughputModel(
+            net, jetson_nx_master(), jetson_nx_worker(), CommLatencyModel()
+        )
+        policy = AdaptationPolicy(model, tm, target="accuracy")
+        live = LiveSystem(master, policy, config=Config({"heartbeat_threshold": 2}))
+        assert live.monitor.threshold == 2
+        live.master.crash_worker()
+        assert live.heartbeat()       # first miss: still considered alive
+        assert not live.heartbeat()   # second miss: declared dead, re-planned
+        assert live.plan.mode is ExecutionMode.SOLO
+        thread.join(timeout=5.0)
+
+
+class TestScheduledQueue:
+    def test_scheduled_queue_serves_with_sla(self, rng):
+        from repro.scheduler import SLA, SchedulerConfig
+
+        live, thread = make_live("fluid", "accuracy")
+        frontend = live.scheduled_queue(SchedulerConfig(replicas=2, warmup=False))
+        try:
+            futures = [
+                frontend.submit(
+                    rng.standard_normal((1, 1, 28, 28)), SLA(deadline_s=10.0)
+                )
+                for _ in range(6)
+            ]
+            for future in futures:
+                assert future.result(timeout=30.0).shape == (1, 10)
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters["frontend.completed"] == 6
+        finally:
+            frontend.close()
+            live.master.shutdown_worker()
+            thread.join(timeout=5.0)

@@ -1,0 +1,293 @@
+"""Serving frontend: admission -> width -> pool -> micro-batching, end to end.
+
+Includes the PR acceptance property: a replica killed mid-stream is
+absorbed with zero lost requests (every future resolves with a result).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.runtime.batching import DeadlineExceeded
+from repro.scheduler import (
+    SLA,
+    AdmissionRejected,
+    SchedulerConfig,
+    ServingFrontend,
+)
+from repro.utils import make_rng
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("fluid", rng=make_rng(0))
+
+
+def one_image(seed=1):
+    return make_rng(seed).standard_normal((1, 1, 28, 28))
+
+
+def make_frontend(model, **overrides):
+    defaults = dict(replicas=2, warmup=False)
+    defaults.update(overrides)
+    return ServingFrontend(model, SchedulerConfig(**defaults))
+
+
+class TestBasicServing:
+    def test_roundtrip_single_request(self, model):
+        with make_frontend(model) as frontend:
+            out = frontend.submit(one_image(), SLA(deadline_s=5.0)).result(timeout=10.0)
+            assert out.shape == (1, 10)
+
+    def test_many_requests_all_complete(self, model):
+        with make_frontend(model) as frontend:
+            futures = [
+                frontend.submit(one_image(i), SLA(deadline_s=5.0)) for i in range(40)
+            ]
+            for future in futures:
+                assert future.result(timeout=10.0).shape == (1, 10)
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters["frontend.completed"] == 40
+
+    def test_output_matches_direct_session(self, model):
+        """Scheduling must not change the computation, only route/batch it."""
+        from repro.engine.session import InferenceSession
+
+        x = one_image(7)
+        with make_frontend(model) as frontend:
+            # Pin the width so the comparison is like-for-like.
+            sla = SLA(deadline_s=5.0, min_width="lower100", max_width="lower100")
+            served = frontend.submit(x, sla).result(timeout=10.0)
+        direct = InferenceSession(model, "lower100").run(x)
+        np.testing.assert_allclose(served, direct, rtol=1e-9, atol=1e-9)
+
+    def test_submit_after_close_raises(self, model):
+        frontend = make_frontend(model)
+        frontend.close()
+        with pytest.raises(RuntimeError):
+            frontend.submit(one_image(), SLA(deadline_s=1.0))
+
+
+class TestAdmission:
+    def test_infeasible_deadline_fails_fast(self, model):
+        with make_frontend(model) as frontend:
+            # Make every width look slower than the budget.
+            for spec in frontend.policy.candidates:
+                frontend.policy.observe(spec.name, 10.0)
+            future = frontend.submit(one_image(), SLA(deadline_s=0.001))
+            with pytest.raises(AdmissionRejected):
+                future.result(timeout=5.0)
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters["frontend.rejected"] == 1
+            # Fail-fast means no compute happened for the rejected request.
+            assert counters.get("frontend.completed", 0) == 0
+
+    def test_rejection_is_deadline_exceeded(self, model):
+        with make_frontend(model) as frontend:
+            for spec in frontend.policy.candidates:
+                frontend.policy.observe(spec.name, 10.0)
+            future = frontend.submit(one_image(), SLA(deadline_s=0.001))
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=5.0)
+
+    def test_critical_priority_is_served_anyway(self, model):
+        with make_frontend(model) as frontend:
+            for spec in frontend.policy.candidates:
+                frontend.policy.observe(spec.name, 10.0)
+            future = frontend.submit(one_image(), SLA(deadline_s=0.001, priority=1))
+            assert future.result(timeout=30.0).shape == (1, 10)
+
+    def test_admission_disabled_serves_everything(self, model):
+        """Without admission, even an infeasible-*looking* request is served.
+
+        Predictions say 10s per request vs a 5s deadline (admission would
+        reject), but the deadline itself is far enough out that the leg's
+        fail-fast check cannot race the dispatch on a slow CI machine.
+        """
+        with make_frontend(model, enable_admission=False) as frontend:
+            for spec in frontend.policy.candidates:
+                frontend.policy.observe(spec.name, 10.0)
+            future = frontend.submit(one_image(), SLA(deadline_s=5.0))
+            assert future.result(timeout=30.0).shape == (1, 10)
+
+
+class TestWidthSelection:
+    def test_tight_budget_narrows_width(self, model):
+        with make_frontend(model) as frontend:
+            # Calibrate: only the narrowest width fits a 20ms budget.
+            times = {"lower100": 0.5, "lower75": 0.3, "lower50": 0.1, "lower25": 0.001}
+            for name, t in times.items():
+                frontend.policy.observe(name, t)
+            frontend.submit(one_image(), SLA(deadline_s=0.02)).result(timeout=10.0)
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters["frontend.width.lower25"] == 1
+
+    def test_loose_budget_keeps_widest(self, model):
+        with make_frontend(model) as frontend:
+            frontend.submit(one_image(), SLA(deadline_s=60.0)).result(timeout=10.0)
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters["frontend.width.lower100"] == 1
+
+    def test_sla_width_bounds_are_respected(self, model):
+        with make_frontend(model) as frontend:
+            sla = SLA(deadline_s=60.0, max_width="lower50")
+            frontend.submit(one_image(), sla).result(timeout=10.0)
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters["frontend.width.lower50"] == 1
+
+
+class TestFailureAbsorption:
+    def test_replica_kill_mid_stream_loses_zero_requests(self, model):
+        """The acceptance property: mid-run kill => rerouted, zero lost."""
+        with make_frontend(model, replicas=2, max_delay_s=0.005) as frontend:
+            futures = []
+            for i in range(60):
+                futures.append(frontend.submit(one_image(i), SLA(deadline_s=30.0)))
+                if i == 20:
+                    frontend.pool.replicas[0].kill()
+            results = [f.result(timeout=30.0) for f in futures]
+            assert len(results) == 60
+            assert all(r.shape == (1, 10) for r in results)
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters["frontend.completed"] == 60
+            assert counters.get("frontend.failed", 0) == 0
+            # The dead replica was ejected through its heartbeat monitor.
+            assert frontend.pool.monitors[0].declared_dead
+            assert [r.index for r in frontend.pool.healthy()] == [1]
+
+    def test_whole_pool_dead_fails_futures_not_hangs(self, model):
+        with make_frontend(model, replicas=2) as frontend:
+            for replica in frontend.pool.replicas:
+                replica.kill()
+                frontend.pool.report_failure(replica)
+            future = frontend.submit(one_image(), SLA(deadline_s=1.0))
+            with pytest.raises(Exception):
+                future.result(timeout=10.0)
+
+    def test_health_loop_ejects_without_traffic(self, model):
+        from repro.utils.config import Config
+
+        frontend = ServingFrontend(
+            model,
+            SchedulerConfig(replicas=2, warmup=False),
+            heartbeat_config=Config({"heartbeat_interval_s": 0.005}),
+        )
+        try:
+            frontend.pool.replicas[1].kill()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if frontend.pool.monitors[1].declared_dead:
+                    break
+                time.sleep(0.005)
+            assert frontend.pool.monitors[1].declared_dead
+        finally:
+            frontend.close()
+
+
+class TestHedging:
+    """The watchdog's firing *schedule* is wall-clock driven (covered by the
+    bench, where hedges fire under real backlog); these tests drive the
+    hedge callback directly so CI never depends on thread timing."""
+
+    def _straggler(self, frontend, width="lower100"):
+        from repro.scheduler.frontend import _Entry
+
+        entry = _Entry(one_image(0), SLA(deadline_s=5.0), time.monotonic())
+        entry.width = width
+        entry.primary_replica = 0
+        return entry
+
+    def test_hedge_runs_narrower_on_another_replica(self, model):
+        with make_frontend(model, hedge_ratio=1.0) as frontend:
+            frontend.metrics.counter("frontend.requests").inc(10)  # budget base
+            entry = self._straggler(frontend)
+            frontend._hedge(entry)
+            assert entry.future.result(timeout=10.0).shape == (1, 10)
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters["frontend.hedges"] == 1
+            # One width narrower than the straggler, off its replica (0).
+            assert (1, "lower75") in frontend._queues
+
+    def test_hedge_is_one_shot_per_request(self, model):
+        with make_frontend(model, hedge_ratio=1.0) as frontend:
+            frontend.metrics.counter("frontend.requests").inc(10)
+            entry = self._straggler(frontend)
+            frontend._hedge(entry)
+            frontend._hedge(entry)  # second fire: entry.hedged blocks it
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters["frontend.hedges"] == 1
+
+    def test_done_requests_are_never_hedged(self, model):
+        with make_frontend(model, hedge_ratio=1.0) as frontend:
+            frontend.metrics.counter("frontend.requests").inc(10)
+            entry = self._straggler(frontend)
+            entry.future.set_result(np.zeros((1, 10)))
+            frontend._hedge(entry)
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters.get("frontend.hedges", 0) == 0
+
+    def test_hedge_budget_suppresses_storms(self, model):
+        with make_frontend(model, hedge_ratio=0.0) as frontend:
+            frontend.metrics.counter("frontend.requests").inc(100)
+            entry = self._straggler(frontend)
+            frontend._hedge(entry)
+            counters = frontend.metrics.snapshot()["counters"]
+            assert counters.get("frontend.hedges", 0) == 0
+            assert counters["frontend.hedges_suppressed"] == 1
+            assert not entry.future.done()  # primary leg still owns it
+
+    def test_min_width_floor_bounds_the_hedge(self, model):
+        with make_frontend(model, hedge_ratio=1.0) as frontend:
+            frontend.metrics.counter("frontend.requests").inc(10)
+            entry = self._straggler(frontend, width="lower25")
+            entry.sla = SLA(deadline_s=5.0, min_width="lower25")
+            frontend._hedge(entry)
+            assert entry.future.result(timeout=10.0).shape == (1, 10)
+            # No narrower candidate exists: the hedge reuses the floor width.
+            assert (1, "lower25") in frontend._queues
+
+
+class TestCandidateSelection:
+    def test_fluid_candidates_are_certified_lowers(self, model):
+        with make_frontend(model) as frontend:
+            assert {s.name for s in frontend.policy.candidates} == {
+                "lower25", "lower50", "lower75", "lower100",
+            }
+
+    def test_static_model_never_downgrades_width(self):
+        """A family with no standalone-certified subnets serves full width only:
+        narrower slices it never trained standalone must not be picked under
+        load (they would return garbage)."""
+        static = build_model("static", rng=make_rng(0))
+        with ServingFrontend(
+            static, SchedulerConfig(replicas=1, warmup=False)
+        ) as frontend:
+            assert [s.name for s in frontend.policy.candidates] == ["lower100"]
+            # Even a hopeless budget stays at full width.
+            spec, _ = frontend.policy.choose(1e-9)
+            assert spec.name == "lower100"
+
+    def test_bare_net_uses_full_lower_family(self, model):
+        with ServingFrontend(
+            model.net, SchedulerConfig(replicas=1, warmup=False)
+        ) as frontend:
+            assert len(frontend.policy.candidates) == 4
+
+
+class TestReport:
+    def test_report_shape(self, model):
+        with make_frontend(model) as frontend:
+            frontend.submit(one_image(), SLA(deadline_s=5.0)).result(timeout=10.0)
+            report = frontend.report()
+            assert set(report) == {"metrics", "calibration", "replicas"}
+            assert len(report["replicas"]) == 2
+            assert "lower100" in report["calibration"]
+
+    def test_warmup_primes_every_width(self, model):
+        with ServingFrontend(model, SchedulerConfig(replicas=1)) as frontend:
+            for spec in frontend.policy.candidates:
+                assert frontend.policy.calibration_snapshot()[spec.name][
+                    "observed_ewma_s"
+                ] is not None

@@ -1,0 +1,137 @@
+"""Replica pool: least-loaded routing, heartbeat ejection, rerouting."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.runtime.monitor import HeartbeatMonitor
+from repro.scheduler.pool import ReplicaPool, ReplicaUnavailable, wait_for_ejection
+from repro.utils import make_rng
+from repro.utils.config import Config
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("fluid", rng=make_rng(0))
+
+
+@pytest.fixture
+def pool(model):
+    return ReplicaPool(model, 3, config=Config({"heartbeat_interval_s": 0.001}))
+
+
+def one_image(seed=1):
+    return make_rng(seed).standard_normal((1, 1, 28, 28))
+
+
+class TestRouting:
+    def test_route_picks_least_pending(self, pool):
+        pool.replicas[0].begin()
+        pool.replicas[0].begin()
+        pool.replicas[1].begin()
+        choice = pool.route()
+        assert choice.index == 2  # untouched replica
+        choice.finish()
+
+    def test_route_excludes_indices(self, pool):
+        choice = pool.route(exclude=(0, 1))
+        assert choice.index == 2
+        choice.finish()
+
+    def test_route_with_everything_excluded_falls_back_to_healthy(self, pool):
+        choice = pool.route(exclude=(0, 1, 2))
+        assert choice.index in (0, 1, 2)
+        choice.finish()
+
+    def test_route_raises_when_pool_dead(self, pool):
+        for replica in pool.replicas:
+            replica.kill()
+            pool.report_failure(replica)
+        with pytest.raises(ReplicaUnavailable):
+            pool.route()
+
+
+class TestServing:
+    def test_execute_runs_on_a_replica(self, pool):
+        out, replica = pool.execute(one_image(), "lower50")
+        assert out.shape == (1, 10)
+        assert replica.pending == 0  # released after completion
+
+    def test_sessions_share_weights_zero_copy(self, pool):
+        ids = None
+        for replica in pool.replicas:
+            session = replica.session("lower100")
+            current = [id(p.data) for p in session.parameters()]
+            assert ids is None or current == ids
+            ids = current
+
+    def test_dead_replica_raises(self, model):
+        pool = ReplicaPool(model, 1)
+        pool.replicas[0].kill()
+        with pytest.raises(ReplicaUnavailable):
+            pool.replicas[0].run(one_image(), "lower25")
+
+    def test_execute_reroutes_around_dead_replica(self, pool):
+        pool.replicas[0].kill()
+        # Force routing to consider the dead replica first.
+        pool.replicas[1].begin()
+        pool.replicas[2].begin()
+        out, replica = pool.execute(one_image(), "lower25")
+        assert out.shape == (1, 10)
+        assert replica.index != 0
+        assert pool.metrics.counter("pool.reroutes").value >= 1
+        # The failure was reported through the heartbeat state machine.
+        assert pool.monitors[0].declared_dead
+
+    def test_execute_raises_when_all_replicas_dead(self, pool):
+        for replica in pool.replicas:
+            replica.kill()
+        with pytest.raises(ReplicaUnavailable):
+            pool.execute(one_image(), "lower25")
+
+
+class TestHealth:
+    def test_check_health_ejects_after_threshold(self, model):
+        pool = ReplicaPool(
+            model, 2, config=Config({"heartbeat_threshold": 2})
+        )
+        pool.replicas[1].kill()
+        assert pool.check_health() == []  # one miss: not declared yet
+        assert pool.check_health() == [pool.replicas[1]]  # threshold reached
+        assert [r.index for r in pool.healthy()] == [0]
+        assert pool.metrics.counter("pool.ejections").value == 1
+
+    def test_heartbeat_config_keys_are_honoured(self, model):
+        pool = ReplicaPool(
+            model,
+            1,
+            config=Config({"heartbeat_threshold": 5, "heartbeat_interval_s": 0.25}),
+        )
+        assert all(m.threshold == 5 for m in pool.monitors)
+        assert pool.heartbeat_interval_s == 0.25
+
+    def test_monitors_are_the_shared_heartbeat_monitor(self, pool):
+        assert all(isinstance(m, HeartbeatMonitor) for m in pool.monitors)
+
+    def test_wait_for_ejection_observes_kill(self, pool):
+        pool.replicas[2].kill()
+        ejected = wait_for_ejection(pool, timeout_s=2.0)
+        assert [r.index for r in ejected] == [2]
+
+    def test_report_failure_is_idempotent(self, pool):
+        pool.replicas[0].kill()
+        pool.report_failure(pool.replicas[0])
+        pool.report_failure(pool.replicas[0])
+        assert pool.metrics.counter("pool.ejections").value == 1
+
+    def test_total_pending_counts_only_healthy(self, pool):
+        pool.replicas[0].begin()
+        pool.replicas[1].begin()
+        pool.replicas[1].kill()
+        pool.report_failure(pool.replicas[1])
+        assert pool.total_pending() == 1
+
+
+def test_pool_validates_replica_count(model):
+    with pytest.raises(ValueError):
+        ReplicaPool(model, 0)

@@ -1,0 +1,127 @@
+"""Telemetry registry: counters, EWMAs, windowed latency histograms."""
+
+import threading
+
+import pytest
+
+from repro.scheduler.telemetry import (
+    Counter,
+    EWMA,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_concurrent_increments_are_lossless(self):
+        c = Counter()
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestEWMA:
+    def test_none_before_first_observation(self):
+        assert EWMA().value is None
+
+    def test_first_observation_sets_value(self):
+        e = EWMA(alpha=0.5)
+        e.observe(10.0)
+        assert e.value == 10.0
+        assert e.count == 1
+
+    def test_exponential_update(self):
+        e = EWMA(alpha=0.5)
+        e.observe(10.0)
+        e.observe(20.0)
+        assert e.value == pytest.approx(15.0)
+
+    def test_alpha_one_tracks_last(self):
+        e = EWMA(alpha=1.0)
+        for x in (1.0, 2.0, 9.0):
+            e.observe(x)
+        assert e.value == 9.0
+
+    def test_invalid_alpha(self):
+        for alpha in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                EWMA(alpha=alpha)
+
+
+class TestLatencyHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = LatencyHistogram()
+        for ms in range(1, 101):  # 1..100 ms
+            h.observe(ms / 1000.0)
+        assert h.percentile(50) == pytest.approx(0.050)
+        assert h.percentile(95) == pytest.approx(0.095)
+        assert h.percentile(99) == pytest.approx(0.099)
+        assert h.percentile(100) == pytest.approx(0.100)
+
+    def test_empty_percentile_is_zero(self):
+        assert LatencyHistogram().percentile(99) == 0.0
+
+    def test_window_bounds_memory_but_totals_exact(self):
+        h = LatencyHistogram(window=4)
+        for x in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            h.observe(x)
+        assert h.count == 6
+        assert h.mean() == pytest.approx(21.0 / 6)
+        # Window holds only the last 4 samples: the median moved up.
+        assert h.percentile(50) >= 4.0
+
+    def test_summary_keys(self):
+        h = LatencyHistogram()
+        h.observe(0.01)
+        summary = h.summary()
+        assert set(summary) == {"count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"}
+        assert summary["count"] == 1
+
+    def test_rejects_bad_inputs(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.observe(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(window=0)
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.ewma("e") is reg.ewma("e")
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("served").inc(3)
+        reg.histogram("lat").observe(0.02)
+        reg.ewma("rate").observe(1.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["served"] == 3
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert snap["ewmas"]["rate"]["value"] == 1.5
+        json.dumps(snap)  # must not raise

@@ -100,3 +100,42 @@ class TestTrainEvaluateRoundtrip:
         assert code == 0
         out = capsys.readouterr().out
         assert "upper50" in out and "standalone" in out
+
+
+class TestScheduledServe:
+    def test_sla_flags_parse(self):
+        args = build_parser().parse_args(["serve", "--sla", "40", "--replicas", "3"])
+        assert args.sla == 40.0
+        assert args.replicas == 3
+
+    def test_sla_defaults_off(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.sla is None
+        assert args.replicas == 2
+
+    def test_invalid_sla_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--sla", "-5"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--sla", "40", "--replicas", "0"])
+
+    @pytest.mark.slow
+    def test_sla_mode_end_to_end(self, capsys, monkeypatch):
+        """serve --sla drives the comparison trace and prints the summary."""
+        from dataclasses import replace
+
+        import repro.scheduler.bench as sched_bench
+
+        # Shrink the trace so the CLI round-trip stays fast in CI.
+        monkeypatch.setattr(
+            sched_bench,
+            "ACCEPTANCE_TRACE",
+            replace(
+                sched_bench.SMOKE_TRACE,
+                pre_s=0.1, burst_s=0.1, post_s=0.1, kill_at_s=0.15,
+            ),
+        )
+        assert main(["serve", "--sla", "40", "--replicas", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler" in out and "fixed_widest" in out
+        assert "miss-rate" in out and "p99" in out
