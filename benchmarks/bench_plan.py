@@ -1,0 +1,220 @@
+"""Compiled inference plans vs the eager per-request serving path.
+
+The PR-4 acceptance benchmark.  The serving workload — micro-batches at
+every certified sub-network width — is driven single-stream through the
+eager :class:`~repro.engine.session.InferenceSession` path (per-call
+slice/cast/allocate) and through a compiled
+:class:`~repro.nn.plan.InferencePlan` (packed width-sliced weights,
+workspace arenas, fused zero-allocation kernels).  The report — per-width
+throughput, overall speedup, and tracemalloc-measured steady-state
+allocations per request — is recorded to ``BENCH_plan.json``.
+
+Functional facts asserted on every run (CI smoke included): plan and
+eager outputs are **bitwise identical** at every width, and the plan's
+steady-state allocations stay under a small fixed budget.  Wall-clock
+speedup varies on shared runners, so CI gates it only when
+``REPRO_MIN_PLAN_SPEEDUP`` is set (local acceptance runs use 1.5).
+
+Run directly for the acceptance record::
+
+    PYTHONPATH=src python benchmarks/bench_plan.py
+
+or as the CI smoke (same code path, smaller grid, no record written)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_plan.py -q
+    PYTHONPATH=src python benchmarks/bench_plan.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.session import InferenceSession
+from repro.models import build_model
+from repro.nn.plan import compile_width_plans
+from repro.utils import make_rng
+from repro.utils.dtypes import DtypePolicy, dtype_policy
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_plan.json"
+
+#: Steady-state allocation ceiling per plan request (bytes); the plan's
+#: only per-run allocation is the returned logits copy plus interpreter
+#: noise — the eager path allocates hundreds of kilobytes per call.
+ALLOC_BUDGET_BYTES = 16 * 1024
+
+WIDTHS = ("lower25", "lower50", "lower75", "lower100")
+
+
+def _throughput(run, x, iters: int) -> float:
+    """Single-stream rows/second of ``run`` over ``iters`` calls."""
+    run(x)  # warm
+    started = time.perf_counter()
+    for _ in range(iters):
+        run(x)
+    elapsed = time.perf_counter() - started
+    return iters * x.shape[0] / elapsed
+
+
+def _alloc_per_request(run, x, runs: int = 20) -> float:
+    """tracemalloc peak bytes per request at steady state."""
+    run(x)  # warm (arenas + packed cache)
+    tracemalloc.start()
+    for _ in range(runs):
+        run(x)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak / runs
+
+
+def run_plan_comparison(
+    *, batches=(1, 4, 16), iters: int = 200, policy: DtypePolicy = None
+) -> dict:
+    """Eager vs compiled-plan serving over the width x batch grid."""
+    policy = policy or DtypePolicy.fast_inference()
+    model = build_model("fluid", rng=make_rng(0))
+    rng = make_rng(1)
+    with dtype_policy(policy):
+        plans = compile_width_plans(model, list(WIDTHS), batch_rows=max(batches))
+        sessions = {w: InferenceSession(model, w) for w in WIDTHS}
+        grid = []
+        eager_total = plan_total = 0.0
+        for width in WIDTHS:
+            for batch in batches:
+                x = rng.standard_normal((batch, 1, 28, 28))
+                # Functional acceptance fact, asserted on every run: the
+                # compiled plan is bitwise identical to the eager path.
+                eager_out = sessions[width].run(x)
+                plan_out = plans[width].run(x)
+                if not np.array_equal(plan_out, eager_out):
+                    raise AssertionError(
+                        f"plan output diverged from eager at {width}, batch {batch}"
+                    )
+                eager_rps = _throughput(sessions[width].run, x, iters)
+                plan_rps = _throughput(plans[width].run, x, iters)
+                eager_total += iters * batch / eager_rps
+                plan_total += iters * batch / plan_rps
+                grid.append(
+                    {
+                        "width": width,
+                        "batch": batch,
+                        "eager_rows_per_s": eager_rps,
+                        "plan_rows_per_s": plan_rps,
+                        "speedup": plan_rps / eager_rps,
+                    }
+                )
+        probe = rng.standard_normal((max(batches), 1, 28, 28))
+        plan_alloc = _alloc_per_request(plans["lower100"].run, probe)
+        eager_alloc = _alloc_per_request(sessions["lower100"].run, probe)
+    return {
+        "dtype_policy": policy.inference,
+        "grid": grid,
+        "speedup_overall": eager_total / plan_total,
+        "alloc_bytes_per_request": {
+            "plan": plan_alloc,
+            "eager": eager_alloc,
+            "budget": ALLOC_BUDGET_BYTES,
+        },
+    }
+
+
+# -- CI smoke ---------------------------------------------------------------
+
+
+def test_plan_matches_eager_and_stays_in_alloc_budget_smoke():
+    """CI smoke: bitwise equality + allocation budget always; the
+    wall-clock speedup is a hard gate only when REPRO_MIN_PLAN_SPEEDUP is
+    set (shared runners are too noisy for an unconditional gate), with
+    three attempts before failing."""
+    threshold = float(os.environ.get("REPRO_MIN_PLAN_SPEEDUP", "0"))
+    last = None
+    for _ in range(3):
+        report = run_plan_comparison(batches=(1, 8), iters=30)
+        last = report
+        alloc = report["alloc_bytes_per_request"]
+        assert alloc["plan"] < ALLOC_BUDGET_BYTES, (
+            f"plan allocates {alloc['plan']:.0f} B/request "
+            f"(budget {ALLOC_BUDGET_BYTES})"
+        )
+        assert alloc["plan"] < alloc["eager"]
+        if report["speedup_overall"] >= threshold:
+            print(
+                f"overall speedup {report['speedup_overall']:.2f}x, "
+                f"plan {alloc['plan']:.0f} B/request vs eager {alloc['eager']:.0f}"
+            )
+            return
+    raise AssertionError(
+        f"plan speedup below {threshold} in 3 attempts: last "
+        f"{last['speedup_overall']:.2f}x"
+    )
+
+
+def test_plan_equivalence_float64_smoke():
+    """The float64 policy takes the same compiled path (grid asserts
+    bitwise equality internally)."""
+    report = run_plan_comparison(batches=(2,), iters=5, policy=DtypePolicy())
+    assert report["dtype_policy"] == "float64"
+
+
+# -- acceptance record -------------------------------------------------------
+
+
+def _record(report, path=RECORD_PATH) -> None:
+    payload = {
+        "benchmark": "benchmarks/bench_plan.py",
+        "description": (
+            "Single-stream serving workload (micro-batches at every certified "
+            "width) through the eager per-request path vs a compiled "
+            "InferencePlan (packed width-sliced weights, workspace arenas, "
+            "fused zero-allocation kernels); outputs bitwise identical"
+        ),
+        **report,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI functional assertions on a small grid (no record)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        test_plan_matches_eager_and_stays_in_alloc_budget_smoke()
+        test_plan_equivalence_float64_smoke()
+        print("smoke OK")
+        return 0
+    report = run_plan_comparison()
+    if report["speedup_overall"] < 1.5:
+        raise AssertionError(
+            f"acceptance requires >=1.5x, measured {report['speedup_overall']:.2f}x"
+        )
+    _record(report)
+    print(f"wrote {RECORD_PATH}")
+    for row in report["grid"]:
+        print(
+            f"  {row['width']:9s} batch {row['batch']:3d}  "
+            f"eager {row['eager_rows_per_s']:8.0f} rows/s  "
+            f"plan {row['plan_rows_per_s']:8.0f} rows/s  "
+            f"{row['speedup']:.2f}x"
+        )
+    alloc = report["alloc_bytes_per_request"]
+    print(
+        f"  overall speedup {report['speedup_overall']:.2f}x; steady-state "
+        f"allocations {alloc['plan']:.0f} B/request (eager {alloc['eager']:.0f})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

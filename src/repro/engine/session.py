@@ -20,6 +20,12 @@ Accepted model objects (duck-typed):
 Sessions must be created before concurrent serving begins: construction
 flips the model to eval mode (idempotent), which is the only shared-state
 write in the session lifecycle.
+
+A session may carry a compiled :class:`~repro.nn.plan.InferencePlan`:
+requests the plan accepts (matching shape, batch fits the arena, active
+dtype policy matches the compiled dtype) run allocation-free through the
+plan's workspace pool; everything else falls back to the eager path.
+Plan and eager outputs are bitwise identical by construction.
 """
 
 from __future__ import annotations
@@ -36,8 +42,11 @@ from repro.nn.module import Module
 class InferenceSession:
     """One serving handle: shared read-only weights, per-call contexts."""
 
-    def __init__(self, model, subnet: Optional[str] = None) -> None:
+    def __init__(self, model, subnet: Optional[str] = None, *, plan=None) -> None:
         self.model = self._resolve(model, subnet)
+        self.plan = plan
+        if plan is not None and subnet is not None and plan.width != subnet:
+            raise ValueError(f"plan is compiled for {plan.width!r}, session serves {subnet!r}")
         # Eval mode is the one shared write; do it here, serially, so the
         # serve path is pure reads.
         self.model.train(False)
@@ -59,6 +68,20 @@ class InferenceSession:
 
     def run(self, x: np.ndarray) -> np.ndarray:
         """One inference request; reentrant and thread-safe."""
+        if self.plan is not None and self.plan.accepts(x):
+            return self.plan.run(x)
+        return self.model.forward(x, ForwardContext(recording=False))
+
+    def run_parts(self, parts: Sequence[np.ndarray]) -> np.ndarray:
+        """Serve a micro-batch given as per-request row groups.
+
+        On the compiled-plan path the rows are scattered straight into the
+        plan's input arena (no ``np.concatenate`` temporary); the eager
+        fallback concatenates first — outputs are identical either way.
+        """
+        if self.plan is not None and self.plan.accepts_parts(parts):
+            return self.plan.run_parts(parts)
+        x = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
         return self.model.forward(x, ForwardContext(recording=False))
 
     def parameters(self):

@@ -14,6 +14,8 @@ from repro.nn.metrics import accuracy, confusion_matrix, per_class_accuracy, top
 from repro.nn.module import Identity, Module, Sequential
 from repro.nn.optim import SGD, Adam, ConstantLR, CosineLR, LRScheduler, Optimizer, StepLR
 from repro.nn.parameter import Parameter
+from repro.nn.plan import InferencePlan, PackedWeightCache, compile_width_plans
+from repro.nn.workspace import BufferSpec, Workspace, WorkspacePool
 
 __all__ = [
     "functional",
@@ -47,4 +49,10 @@ __all__ = [
     "load_state",
     "save_model",
     "load_model",
+    "InferencePlan",
+    "PackedWeightCache",
+    "compile_width_plans",
+    "BufferSpec",
+    "Workspace",
+    "WorkspacePool",
 ]

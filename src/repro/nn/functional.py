@@ -24,11 +24,17 @@ from repro.utils.dtypes import compute_dtype
 def cast_compute(training: bool, *arrays: np.ndarray) -> Tuple[np.ndarray, ...]:
     """Cast arrays to the policy's compute dtype for the given mode.
 
-    Under the default float64 policy this is a no-op for float64 inputs, so
-    the training path never pays a copy.
+    An array already in the compute dtype and C-contiguous is returned
+    as-is (same object, no copy and no numpy dispatch) — on the serving
+    hot path that is every activation after the first layer, so only
+    genuinely mismatched inputs pay the ``ascontiguousarray`` conversion.
     """
     dtype = compute_dtype(training)
-    return tuple(np.ascontiguousarray(a, dtype=dtype) for a in arrays)
+    return tuple(
+        a if a.dtype == dtype and a.flags.c_contiguous
+        else np.ascontiguousarray(a, dtype=dtype)
+        for a in arrays
+    )
 
 
 def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -40,6 +46,25 @@ def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
             f"stride={stride}, padding={padding}"
         )
     return out
+
+
+def sliding_windows(
+    x: np.ndarray, kh: int, kw: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Read-only ``(N, C, out_h, out_w, kh, kw)`` window view of ``x``.
+
+    The one copy of the stride arithmetic behind im2col (both variants)
+    and window pooling — keep it that way: the compiled plans' bitwise
+    equality with the eager path rests on both reading windows through
+    identical views.
+    """
+    sn, sc, sh, sw = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(x.shape[0], x.shape[1], out_h, out_w, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
 
 
 def im2col(
@@ -65,17 +90,92 @@ def im2col(
     if padding > 0:
         x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
 
-    # Strided view: (N, C, out_h, out_w, kh, kw)
-    sn, sc, sh, sw = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
-        writeable=False,
-    )
+    windows = sliding_windows(x, kh, kw, stride, out_h, out_w)
     # -> (N, out_h, out_w, C, kh, kw) -> (N*out_h*out_w, C*kh*kw)
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
-    return np.ascontiguousarray(cols), (out_h, out_w)
+    # The reshape of the transposed strided view almost always had to copy
+    # (and that copy is C-contiguous); only the rare viewable cases (e.g.
+    # 1x1 kernels) still need an explicit contiguous conversion.
+    if not cols.flags.c_contiguous:
+        cols = np.ascontiguousarray(cols)
+    return cols, (out_h, out_w)
+
+
+def im2col_into(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, out: np.ndarray
+) -> Tuple[int, int]:
+    """Allocation-free :func:`im2col` for pre-padded inputs.
+
+    ``x`` must already include any zero padding (compiled plans keep a
+    persistent padded arena buffer whose border never changes).  The unfold
+    is written straight into ``out`` — a contiguous ``(N*oh*ow, C*kh*kw)``
+    workspace buffer — via a strided-view copy, so the call allocates
+    nothing.  Returns ``(out_h, out_w)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_out_size(h, kh, stride, 0)
+    out_w = conv_out_size(w, kw, stride, 0)
+    windows = sliding_windows(x, kh, kw, stride, out_h, out_w)
+    # out is contiguous, so the 6-d reshape is a view; copyto then performs
+    # the same (N, oh, ow, C, kh, kw) gather im2col's transpose-reshape does.
+    np.copyto(
+        out.reshape(n, out_h, out_w, c, kh, kw), windows.transpose(0, 2, 3, 1, 4, 5)
+    )
+    return out_h, out_w
+
+
+def gemm_bias(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Fused ``x @ weight.T + bias`` written in place into ``out``.
+
+    The linear epilogue of a compiled plan: one BLAS GEMM into an arena
+    buffer followed by an in-place broadcast bias add — bitwise identical
+    to the eager ``x @ w.T + b`` but with zero temporaries.
+    """
+    np.dot(x, weight.T, out=out)
+    out += bias
+    return out
+
+
+def gemm_bias_relu(
+    cols: np.ndarray, weight: np.ndarray, bias: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Fused conv epilogue: GEMM -> bias -> ReLU, all in place into ``out``.
+
+    Operates on the im2col/GEMM layout ``(rows, C_out)``; ReLU commutes
+    with the later NHWC->NCHW transpose, so applying it here is bitwise
+    identical to the eager conv -> ReLU sequence.
+    """
+    np.dot(cols, weight.T, out=out)
+    out += bias
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def maxpool2d_into(x: np.ndarray, kernel: int, stride: int, out: np.ndarray) -> np.ndarray:
+    """Allocation-free inference max pooling: window max written into ``out``.
+
+    Folds the window as ``kernel**2`` pairwise in-place ``np.maximum``
+    passes over strided offset views — no flattened window copy, no index
+    bookkeeping, and each pass is a simple 4-d elementwise kernel (an
+    order of magnitude faster than a strided window reduction).  Max is
+    exact, so the result is bitwise identical to the eager
+    reshape-then-max path regardless of fold order.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_out_size(h, kernel, stride, 0)
+    out_w = conv_out_size(w, kernel, stride, 0)
+    np.copyto(out, x[:, :, : 1 + stride * (out_h - 1) : stride, : 1 + stride * (out_w - 1) : stride])
+    for i in range(kernel):
+        for j in range(kernel):
+            if i == 0 and j == 0:
+                continue
+            shifted = x[
+                :, :, i : i + 1 + stride * (out_h - 1) : stride,
+                j : j + 1 + stride * (out_w - 1) : stride,
+            ]
+            np.maximum(out, shifted, out=out)
+    return out
 
 
 def col2im(
@@ -167,13 +267,7 @@ def maxpool2d_forward(
     n, c, h, w = x.shape
     out_h = conv_out_size(h, kernel, stride, 0)
     out_w = conv_out_size(w, kernel, stride, 0)
-    sn, sc, sh, sw = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, out_h, out_w, kernel, kernel),
-        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
-        writeable=False,
-    )
+    windows = sliding_windows(x, kernel, kernel, stride, out_h, out_w)
     flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
     if not need_indices:
         return flat.max(axis=-1), None

@@ -132,6 +132,7 @@ class Module:
                         f"checkpoint {state[name].shape} vs model {param.data.shape}"
                     )
                 np.copyto(param.data, state[name])
+                param.bump_version()
 
     # -- compute -------------------------------------------------------------
 

@@ -59,3 +59,4 @@ class Adam(Optimizer):
                 # (e.g. stale moments from before a mask change); clamp them.
                 update = update * p.grad_mask
             p.data -= self.lr * update
+            p.bump_version()

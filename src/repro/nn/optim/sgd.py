@@ -54,3 +54,4 @@ class SGD(Optimizer):
             else:
                 update = grad
             p.data -= self.lr * update
+            p.bump_version()

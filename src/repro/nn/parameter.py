@@ -9,6 +9,13 @@ the paper's Algorithm 1 rely on.
 Gradient masking: ``Parameter.grad_mask`` (same shape, float 0/1) supports
 freezing arbitrary weight regions, which incremental training uses to train
 only the newly added channel group of each wider sub-network.
+
+Version counter: ``Parameter.version`` increments on every mutation made
+through the standard update paths (optimizer steps, :meth:`Parameter.copy_`,
+``Module.load_state_dict``).  Derived caches — notably the packed
+compute-dtype weight blocks in :mod:`repro.nn.plan` — key on it to detect
+staleness without comparing array contents.  Code that writes ``.data``
+in place through some other route must call :meth:`bump_version` itself.
 """
 
 from __future__ import annotations
@@ -29,6 +36,16 @@ class Parameter:
         self.name = name
         self.requires_grad = True
         self.grad_mask: Optional[np.ndarray] = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (see module docstring)."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Mark the parameter values as changed (invalidates packed caches)."""
+        self._version += 1
 
     @property
     def shape(self):
@@ -72,6 +89,7 @@ class Parameter:
         if other.data.shape != self.data.shape:
             raise ValueError(f"cannot copy {other.data.shape} into {self.data.shape}")
         np.copyto(self.data, other.data)
+        self.bump_version()
 
     def __repr__(self) -> str:
         return f"Parameter(name={self.name!r}, shape={self.data.shape})"

@@ -1,0 +1,480 @@
+"""Compiled inference plans: the allocation-free serving hot path.
+
+Eager slimmable inference re-derives everything per request: each
+``SlicedConv2d`` call resolves its channel slices, copies the active weight
+sub-block into a contiguous compute-dtype array, allocates fresh im2col /
+GEMM / activation temporaries, and pads the input — millions of times for
+the same ``(width, batch-shape, dtype)``.  An :class:`InferencePlan` does
+all of that exactly once:
+
+* :meth:`InferencePlan.compile` walks the network for one sub-network spec
+  and precomputes every layer's geometry (output spatial sizes, im2col
+  column shapes, classifier feature slice) plus the arena
+  :class:`~repro.nn.workspace.BufferSpec` set the pass needs;
+* a :class:`PackedWeightCache` holds contiguous compute-dtype copies of
+  each layer's active weight sub-block, keyed by ``(layer, slices, dtype)``
+  and invalidated by the :class:`~repro.nn.parameter.Parameter` version
+  counter (bumped by optimizer steps / ``load_state_dict``), so weight
+  slicing and casting vanish from the steady-state hot path;
+* :meth:`InferencePlan.run` executes the pass through fused in-place
+  kernels (:func:`~repro.nn.functional.im2col_into`,
+  :func:`~repro.nn.functional.gemm_bias_relu`,
+  :func:`~repro.nn.functional.maxpool2d_into`,
+  :func:`~repro.nn.functional.gemm_bias`) into a workspace checked out
+  from the plan's :class:`~repro.nn.workspace.WorkspacePool` — zero
+  steady-state allocations beyond the returned logits.
+
+Outputs are **bitwise identical** to the eager path at every width and
+under both dtype policies: the plan preserves the eager reduction orders
+(same im2col column layout, same GEMM operand layouts, same elementwise
+epilogues), it just stops re-materialising the operands per call.
+
+Plans are immutable after compile and safe for concurrent use: all
+per-request state lives in the checked-out workspace, and the packed
+cache is lock-protected (many plans may share one cache — the serving
+frontend compiles one plan per width over a single shared cache).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.workspace import BufferSpec, Workspace, WorkspacePool
+from repro.slimmable.sliced_conv import SlicedConv2d
+from repro.slimmable.sliced_linear import SlicedLinear
+from repro.slimmable.spec import ChannelSlice, SubNetSpec
+from repro.utils.dtypes import compute_dtype
+
+
+class PackedWeightCache:
+    """Contiguous compute-dtype copies of active weight sub-blocks.
+
+    Entries are keyed by ``(layer, slices, dtype)`` and carry the weight /
+    bias version counters they were packed at; a lookup that observes a
+    newer parameter version re-packs in place.  The cache is shared by all
+    plans over one weight store (slices at different widths are distinct
+    entries), so concurrent serving threads only ever *read* packed arrays.
+
+    The steady-state lookup is lock-free: a dict get plus two int compares
+    (each atomic under the GIL; entries are immutable tuples swapped in by
+    a single assignment), so K serving threads never contend on the cache.
+    Only a repack takes the lock, and a harmless double-pack under a
+    version race just writes the same fresh block twice.
+
+    An in-flight forward that started before an optimizer step finishes on
+    the packed arrays it already fetched — the same snapshot semantics the
+    eager path has for sliced sub-blocks, whose contiguous cast copies at
+    call entry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[tuple, Tuple[int, int, np.ndarray, np.ndarray]] = {}
+        self.packs = 0  # total (re-)pack events, for staleness tests
+
+    def conv_block(
+        self,
+        layer: SlicedConv2d,
+        in_slice: ChannelSlice,
+        out_slice: ChannelSlice,
+        dtype: np.dtype,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(w_mat, bias)`` for a conv sub-block, GEMM-ready.
+
+        ``w_mat`` is the active ``(C_out, C_in*kh*kw)`` block, contiguous
+        in ``dtype`` — exactly what the eager path builds per call via
+        ``ascontiguousarray(active_weight).reshape``.
+        """
+        key = (layer, in_slice, out_slice, dtype.str)
+        entry = self._entries.get(key)
+        wv, bv = layer.weight.version, layer.bias.version
+        if entry is not None and entry[0] == wv and entry[1] == bv:
+            return entry[2], entry[3]  # lock-free hot path
+        with self._lock:
+            entry = self._entries.get(key)
+            wv, bv = layer.weight.version, layer.bias.version
+            if entry is None or entry[0] != wv or entry[1] != bv:
+                w = np.ascontiguousarray(
+                    layer.active_weight(in_slice, out_slice), dtype=dtype
+                )
+                w_mat = w.reshape(out_slice.width, -1)
+                bias = np.ascontiguousarray(layer.active_bias(out_slice), dtype=dtype)
+                entry = (wv, bv, w_mat, bias)
+                self._entries[key] = entry
+                self.packs += 1
+            return entry[2], entry[3]
+
+    def linear_block(
+        self, layer: SlicedLinear, feature_slice: ChannelSlice, dtype: np.dtype
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(weight, bias)`` for the classifier's active feature columns."""
+        key = (layer, feature_slice, dtype.str)
+        entry = self._entries.get(key)
+        wv, bv = layer.weight.version, layer.bias.version
+        if entry is not None and entry[0] == wv and entry[1] == bv:
+            return entry[2], entry[3]  # lock-free hot path
+        with self._lock:
+            entry = self._entries.get(key)
+            wv, bv = layer.weight.version, layer.bias.version
+            if entry is None or entry[0] != wv or entry[1] != bv:
+                w = np.ascontiguousarray(layer.active_weight(feature_slice), dtype=dtype)
+                bias = np.ascontiguousarray(layer.bias.data, dtype=dtype)
+                entry = (wv, bv, w, bias)
+                self._entries[key] = entry
+                self.packs += 1
+            return entry[2], entry[3]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+@dataclass(frozen=True)
+class _ConvStep:
+    """Precompiled geometry of one conv (+ReLU, +optional pool) block."""
+
+    layer: SlicedConv2d
+    in_slice: ChannelSlice
+    out_slice: ChannelSlice
+    kernel: Tuple[int, int]
+    stride: int
+    padding: int
+    in_hw: Tuple[int, int]    # unpadded input spatial size
+    out_hw: Tuple[int, int]   # conv output spatial size
+    pool: Optional[Tuple[int, int, Tuple[int, int]]]  # (kernel, stride, pooled_hw)
+    src: str                  # padded input buffer
+    cols: str                 # im2col columns buffer
+    gemm: str                 # GEMM/epilogue buffer, (rows, C_out) NHWC-flat
+    act: Optional[str]        # unpadded NCHW buffer (only where needed)
+    dst: Optional[str]        # next step's padded input (None on the last conv)
+    dst_padding: int          # that next step's padding
+
+
+def _interior(buf: np.ndarray, n: int, padding: int, hw: Tuple[int, int]) -> np.ndarray:
+    """First-``n``-rows view of a padded buffer's writable interior."""
+    if padding == 0:
+        return buf[:n]
+    h, w = hw
+    return buf[:n, :, padding : padding + h, padding : padding + w]
+
+
+class InferencePlan:
+    """One compiled ``(sub-network, batch-rows, dtype)`` forward pass."""
+
+    def __init__(
+        self,
+        net,
+        spec: SubNetSpec,
+        batch_rows: int,
+        dtype: np.dtype,
+        steps: List[_ConvStep],
+        feature_slice: ChannelSlice,
+        buffers: List[BufferSpec],
+        cache: PackedWeightCache,
+        workspaces: int,
+    ) -> None:
+        self.net = net
+        self.spec = spec
+        self.width = spec.name
+        self.batch_rows = batch_rows
+        self.dtype = dtype
+        self.cache = cache
+        self._steps = steps
+        self._feature_slice = feature_slice
+        self._in_shape = (net.in_channels, net.image_size, net.image_size)
+        self.workspaces = WorkspacePool(buffers, prealloc=workspaces)
+
+    # -- compilation ----------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        model,
+        width: Union[str, SubNetSpec, None] = None,
+        *,
+        batch_rows: int,
+        dtype: Optional[np.dtype] = None,
+        cache: Optional[PackedWeightCache] = None,
+        workspaces: int = 1,
+    ) -> "InferencePlan":
+        """Walk ``model`` once and compile its serving pass.
+
+        ``model`` is anything :class:`~repro.engine.session.InferenceSession`
+        accepts: a ``SlimmableConvNet``, a ``SubNetworkView`` (its spec wins
+        when ``width`` is omitted), or a model family plus a subnet name.
+        ``dtype`` defaults to the active policy's inference dtype;
+        ``batch_rows`` is the widest batch the plan's arenas can hold —
+        smaller requests run in leading-row views of the same buffers.
+        """
+        if batch_rows <= 0:
+            raise ValueError("batch_rows must be positive")
+        net, spec = cls._resolve(model, width)
+        dtype = np.dtype(dtype) if dtype is not None else compute_dtype(training=False)
+        if cache is None:  # note: an empty cache is falsy (len 0) — test identity
+            cache = PackedWeightCache()
+
+        steps: List[_ConvStep] = []
+        buffers: List[BufferSpec] = []
+        dt = dtype.name
+        size = net.image_size
+        num = len(net.convs)
+        if len(spec.conv_slices) != num:
+            raise ValueError(
+                f"spec {spec.name!r} has {len(spec.conv_slices)} conv slices, "
+                f"net has {num}"
+            )
+        prev: Optional[ChannelSlice] = None
+        paddings = [conv.padding for conv in net.convs]
+
+        for i, (conv, out_sl) in enumerate(zip(net.convs, spec.conv_slices)):
+            if not isinstance(conv, SlicedConv2d):
+                raise TypeError(f"cannot compile layer {type(conv).__name__}")
+            in_sl, out_sl = conv.resolve_slices(prev, out_sl)
+            k = conv.kernel_size
+            out_h = F.conv_out_size(size, k, conv.stride, conv.padding)
+            out_w = out_h
+            pool_layer = net.pools.get(i)
+            pool = None
+            after = (out_h, out_w)
+            if pool_layer is not None:
+                ph = F.conv_out_size(out_h, pool_layer.kernel_size, pool_layer.stride, 0)
+                pool = (pool_layer.kernel_size, pool_layer.stride, (ph, ph))
+                after = (ph, ph)
+
+            src = f"in{i}"
+            in_c = in_sl.width  # resolve_slices already applied the slice_input rule
+            pad = conv.padding
+            buffers.append(
+                BufferSpec(
+                    src,
+                    (batch_rows, in_c, size + 2 * pad, size + 2 * pad),
+                    dt,
+                    zeroed=pad > 0,
+                )
+            )
+            rows = batch_rows * out_h * out_w
+            buffers.append(BufferSpec(f"cols{i}", (rows, in_c * k * k), dt))
+            buffers.append(BufferSpec(f"gemm{i}", (rows, out_sl.width), dt))
+            # The NHWC-flat GEMM result must land in NCHW somewhere: in a
+            # dedicated act buffer when a pool reads it (or when it is the
+            # final feature map), otherwise straight into the next conv's
+            # padded input interior.
+            last = i == num - 1
+            act = f"act{i}" if (pool is not None or last) else None
+            if act is not None:
+                buffers.append(BufferSpec(act, (batch_rows, out_sl.width, out_h, out_w), dt))
+            if last and pool is not None:
+                # A pooled final conv writes its features into a dedicated
+                # unpadded buffer (dst would otherwise be the next conv's
+                # padded input).
+                dst, dst_pad = f"pool{i}", 0
+                buffers.append(
+                    BufferSpec(dst, (batch_rows, out_sl.width, after[0], after[1]), dt)
+                )
+            elif last:
+                dst, dst_pad = None, 0
+            else:
+                dst, dst_pad = f"in{i + 1}", paddings[i + 1]
+            steps.append(
+                _ConvStep(
+                    layer=conv,
+                    in_slice=in_sl,
+                    out_slice=out_sl,
+                    kernel=(k, k),
+                    stride=conv.stride,
+                    padding=pad,
+                    in_hw=(size, size),
+                    out_hw=(out_h, out_w),
+                    pool=pool,
+                    src=src,
+                    cols=f"cols{i}",
+                    gemm=f"gemm{i}",
+                    act=act,
+                    dst=dst,
+                    dst_padding=dst_pad,
+                )
+            )
+            size = after[0]
+            prev = out_sl
+
+        classifier = net.classifier
+        if not isinstance(classifier, SlicedLinear):
+            raise TypeError(f"cannot compile classifier {type(classifier).__name__}")
+        feature_slice = classifier.resolve_feature_slice(
+            net.feature_slice_for(spec.last_slice)
+        )
+        buffers.append(BufferSpec("logits", (batch_rows, classifier.out_features), dt))
+        # Warm the packed cache at compile so the first request is already
+        # on the steady-state path.
+        for step in steps:
+            cache.conv_block(step.layer, step.in_slice, step.out_slice, dtype)
+        cache.linear_block(classifier, feature_slice, dtype)
+        return cls(net, spec, batch_rows, dtype, steps, feature_slice, buffers, cache, workspaces)
+
+    @staticmethod
+    def _resolve(model, width: Union[str, SubNetSpec, None]):
+        """Normalise the accepted model forms to ``(net, spec)``."""
+        spec = width if isinstance(width, SubNetSpec) else None
+        net = getattr(model, "net", model)
+        if spec is None and width is None and hasattr(model, "spec") and isinstance(
+            getattr(model, "spec", None), SubNetSpec
+        ):
+            spec = model.spec  # a SubNetworkView carries its own spec
+        if spec is None:
+            width_spec = getattr(net, "width_spec", None)
+            if width_spec is None:
+                raise TypeError(f"cannot compile a plan from {type(model).__name__}")
+            spec = width_spec.find(width) if isinstance(width, str) else width_spec.full()
+        if not hasattr(net, "convs") or not hasattr(net, "classifier"):
+            raise TypeError(f"cannot compile a plan from {type(net).__name__}")
+        return net, spec
+
+    # -- admission ------------------------------------------------------------
+
+    def accepts(self, x: np.ndarray) -> bool:
+        """True when ``x`` can run on this plan under the active dtype policy."""
+        return (
+            x.ndim == 4
+            and tuple(x.shape[1:]) == self._in_shape
+            and 0 < x.shape[0] <= self.batch_rows
+            and compute_dtype(training=False) == self.dtype
+        )
+
+    def accepts_parts(self, parts: Sequence[np.ndarray]) -> bool:
+        return (
+            len(parts) > 0
+            and all(p.ndim == 4 and tuple(p.shape[1:]) == self._in_shape for p in parts)
+            and 0 < sum(p.shape[0] for p in parts) <= self.batch_rows
+            and compute_dtype(training=False) == self.dtype
+        )
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """One request through the compiled pass (thread-safe)."""
+        return self.run_parts((x,))
+
+    def run_parts(self, parts: Sequence[np.ndarray]) -> np.ndarray:
+        """Run a micro-batch, scattering each part straight into the input arena.
+
+        This is the batching fast path: the queue hands over the raw
+        request arrays and the rows land in the plan's (padded) input
+        buffer directly — no ``np.concatenate`` temporary.
+        """
+        if not parts:
+            raise ValueError("run_parts needs at least one array")
+        n = 0
+        for p in parts:
+            if p.ndim != 4 or tuple(p.shape[1:]) != self._in_shape:
+                raise ValueError(
+                    f"plan expects (*, {self._in_shape[0]}, {self._in_shape[1]}, "
+                    f"{self._in_shape[2]}), got {p.shape}"
+                )
+            n += p.shape[0]
+        if n > self.batch_rows:
+            raise ValueError(f"{n} rows exceed the plan's {self.batch_rows}-row arena")
+        with self.workspaces.checkout() as ws:
+            return self._execute(ws, parts, n)
+
+    def _execute(self, ws: Workspace, parts: Sequence[np.ndarray], n: int) -> np.ndarray:
+        first = self._steps[0]
+        src = ws[first.src]
+        offset = 0
+        for part in parts:
+            k = part.shape[0]
+            # Assignment casts to the compute dtype; padded borders were
+            # zeroed at allocation and are never written, replacing the
+            # per-call np.pad round-trip.
+            np.copyto(
+                _interior(src[offset : offset + k], k, first.padding, first.in_hw), part
+            )
+            offset += k
+
+        x = src  # padded NCHW input of the current step
+        for step in self._steps:
+            out_h, out_w = step.out_hw
+            rows = n * out_h * out_w
+            cols = ws[step.cols][:rows]
+            F.im2col_into(x[:n], step.kernel, step.stride, cols)
+            w_mat, bias = self.cache.conv_block(
+                step.layer, step.in_slice, step.out_slice, self.dtype
+            )
+            gemm = ws[step.gemm][:rows]
+            F.gemm_bias_relu(cols, w_mat, bias, gemm)
+            nchw = gemm.reshape(n, out_h, out_w, step.out_slice.width).transpose(0, 3, 1, 2)
+            if step.act is not None:
+                act = ws[step.act][:n]
+                np.copyto(act, nchw)
+                if step.pool is not None:
+                    pk, ps, pooled_hw = step.pool
+                    dst = _interior(ws[step.dst], n, step.dst_padding, pooled_hw)
+                    F.maxpool2d_into(act, pk, ps, dst)
+                    x = ws[step.dst]
+                else:
+                    x = ws[step.act]  # final feature map
+            else:
+                # No pool in between: transpose straight into the next
+                # conv's padded interior.
+                np.copyto(_interior(ws[step.dst], n, step.dst_padding, step.out_hw), nchw)
+                x = ws[step.dst]
+
+        features = x[:n].reshape(n, -1)
+        w, b = self.cache.linear_block(self.net.classifier, self._feature_slice, self.dtype)
+        logits = ws["logits"][:n]
+        F.gemm_bias(features, w, b, logits)
+        # The workspace buffer goes back into the pool; the caller gets an
+        # owned copy (the only steady-state allocation on the hot path).
+        return logits.copy()
+
+    # -- cost hooks -----------------------------------------------------------
+
+    def flops_per_image(self) -> int:
+        """FLOPs of one image through this plan (from the compiled geometry)."""
+        total = 0
+        for step in self._steps:
+            h, w = step.in_hw
+            total += step.layer.flops_per_image(h, w, step.in_slice, step.out_slice)
+        total += self.net.classifier.flops_per_image(self._feature_slice)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"InferencePlan({self.width}, rows={self.batch_rows}, "
+            f"dtype={self.dtype.name}, convs={len(self._steps)})"
+        )
+
+
+def compile_width_plans(
+    model,
+    widths: Sequence[Union[str, SubNetSpec]],
+    *,
+    batch_rows: int,
+    dtype: Optional[np.dtype] = None,
+    cache: Optional[PackedWeightCache] = None,
+    workspaces: int = 1,
+) -> Dict[str, InferencePlan]:
+    """One plan per width over a single shared packed cache.
+
+    The serving frontend's bulk entry point: all plans alias one weight
+    store and one :class:`PackedWeightCache`, so N widths cost N arena
+    sets but zero duplicate weight packs.
+    """
+    if cache is None:  # an empty cache is falsy (len 0) — test identity
+        cache = PackedWeightCache()
+    plans: Dict[str, InferencePlan] = {}
+    for width in widths:
+        plan = InferencePlan.compile(
+            model,
+            width,
+            batch_rows=batch_rows,
+            dtype=dtype,
+            cache=cache,
+            workspaces=workspaces,
+        )
+        plans[plan.width] = plan
+    return plans

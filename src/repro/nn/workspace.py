@@ -1,0 +1,120 @@
+"""Workspace arenas: preallocated scratch buffers for compiled plans.
+
+A compiled :class:`~repro.nn.plan.InferencePlan` knows every intermediate
+shape its forward pass will produce, so the per-request im2col columns,
+GEMM outputs, activations and logits can live in buffers allocated once
+and reused forever.  A :class:`Workspace` is one such buffer set; a
+:class:`WorkspacePool` hands workspaces out to concurrent serving threads
+so K in-flight requests never share scratch memory *and* never allocate:
+each thread checks a workspace out, runs the plan into it, and checks it
+back in.
+
+The pool grows on demand — a new concurrency high-water mark allocates
+one more workspace — and then reaches a steady state where
+:meth:`WorkspacePool.checkout` is a lock-protected list pop.
+``created``/``checkouts`` counters make the "no steady-state allocations"
+property assertable in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """One named arena buffer a plan needs: shape, dtype, zero-init flag.
+
+    ``zeroed`` buffers are cleared at allocation time and their border
+    regions are never written afterwards — that is how plans keep conv
+    padding zeros alive across requests without a per-call ``np.pad``.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    zeroed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("buffer needs a name")
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"buffer {self.name!r} has non-positive dims {self.shape}")
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize
+
+
+class Workspace:
+    """One thread's scratch buffer set, allocated once from buffer specs."""
+
+    def __init__(self, specs: Sequence[BufferSpec]) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+        for spec in specs:
+            if spec.name in self._buffers:
+                raise ValueError(f"duplicate buffer name {spec.name!r}")
+            alloc = np.zeros if spec.zeroed else np.empty
+            self._buffers[spec.name] = alloc(spec.shape, dtype=spec.dtype)
+
+    def buffer(self, name: str) -> np.ndarray:
+        return self._buffers[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._buffers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def __repr__(self) -> str:
+        return f"Workspace({len(self._buffers)} buffers, {self.nbytes} bytes)"
+
+
+class WorkspacePool:
+    """Thread-safe checkout pool of identical workspaces for one plan."""
+
+    def __init__(self, specs: Sequence[BufferSpec], *, prealloc: int = 1) -> None:
+        if prealloc < 0:
+            raise ValueError("prealloc must be non-negative")
+        self.specs: Tuple[BufferSpec, ...] = tuple(specs)
+        self._lock = threading.Lock()
+        self._free = [Workspace(self.specs) for _ in range(prealloc)]
+        self.created = len(self._free)   # workspaces ever allocated
+        self.checkouts = 0               # successful acquires (steady-state: no allocs)
+
+    def acquire(self) -> Workspace:
+        """Pop a free workspace, allocating one only at a new concurrency peak."""
+        with self._lock:
+            self.checkouts += 1
+            if self._free:
+                return self._free.pop()
+            self.created += 1
+        return Workspace(self.specs)
+
+    def release(self, workspace: Workspace) -> None:
+        with self._lock:
+            self._free.append(workspace)
+
+    @contextmanager
+    def checkout(self) -> Iterator[Workspace]:
+        ws = self.acquire()
+        try:
+            yield ws
+        finally:
+            self.release(ws)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"WorkspacePool(created={self.created}, free={len(self._free)}, "
+                f"checkouts={self.checkouts})"
+            )

@@ -84,12 +84,20 @@ class MicroBatchQueue:
 
     def __init__(
         self,
-        run_batch: Callable[[np.ndarray], np.ndarray],
+        run_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         config: Optional[BatchingConfig] = None,
         *,
+        run_batch_parts: Optional[Callable[[List[np.ndarray]], np.ndarray]] = None,
         autostart: bool = True,
     ) -> None:
+        if (run_batch is None) == (run_batch_parts is None):
+            raise ValueError("pass exactly one of run_batch / run_batch_parts")
         self.run_batch = run_batch
+        # run_batch_parts receives the per-request arrays unconcatenated
+        # (stacked row order preserved) — a compiled-plan backend scatters
+        # them straight into its input arena, skipping the np.concatenate
+        # temporary this queue would otherwise build per flush.
+        self.run_batch_parts = run_batch_parts
         self.config = config or BatchingConfig()
         self.stats = BatchingStats()
         self._queue: "queue.Queue" = queue.Queue()
@@ -162,22 +170,31 @@ class MicroBatchQueue:
     # -- collector side ---------------------------------------------------------
 
     def _collector(self) -> None:
+        carry: Optional[Tuple[np.ndarray, Future]] = None
         while True:
-            item = self._queue.get()
+            if carry is not None:
+                item, carry = carry, None
+            else:
+                item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            batch, saw_shutdown, full = self._gather(item)
+            batch, saw_shutdown, full, carry = self._gather(item)
             self._flush(batch, full=full)
             if saw_shutdown:
                 return
 
     def _gather(
         self, first: Tuple[np.ndarray, Future]
-    ) -> Tuple[List[Tuple[np.ndarray, Future]], bool, bool]:
+    ) -> Tuple[List[Tuple[np.ndarray, Future]], bool, bool, Optional[Tuple[np.ndarray, Future]]]:
         """Collect requests until the row or deadline budget is spent.
 
-        Returns ``(batch, saw_shutdown, full)`` where ``full`` means the
-        row budget (not the deadline) ended collection.
+        Returns ``(batch, saw_shutdown, full, carry)`` where ``full`` means
+        the row budget (not the deadline) ended collection.  A request that
+        would push the batch *past* ``max_batch`` rows is carried over to
+        seed the next batch instead of overflowing this one — downstream
+        backends (compiled-plan arenas in particular) size themselves to
+        exactly ``max_batch`` rows.  Only a single request larger than
+        ``max_batch`` on its own ever produces an oversized batch.
         """
         batch = [first]
         rows = first[0].shape[0]
@@ -185,16 +202,18 @@ class MicroBatchQueue:
         while rows < self.config.max_batch:
             remaining = flush_at - time.monotonic()
             if remaining <= 0:
-                return batch, False, False
+                return batch, False, False, None
             try:
                 item = self._queue.get(timeout=remaining)
             except queue.Empty:
-                return batch, False, False
+                return batch, False, False, None
             if item is _SHUTDOWN:
-                return batch, True, False
+                return batch, True, False, None
+            if rows + item[0].shape[0] > self.config.max_batch:
+                return batch, False, True, item
             batch.append(item)
             rows += item[0].shape[0]
-        return batch, False, True
+        return batch, False, True, None
 
     def _flush(self, batch: List[Tuple[np.ndarray, Future]], *, full: bool) -> None:
         # Claim every future before computing: set_running_or_notify_cancel
@@ -209,8 +228,11 @@ class MicroBatchQueue:
         futures = [f for _, f in batch]
         rows = [x.shape[0] for x in arrays]
         try:
-            stacked = arrays[0] if len(arrays) == 1 else np.concatenate(arrays, axis=0)
-            out = self.run_batch(stacked)
+            if self.run_batch_parts is not None:
+                out = self.run_batch_parts(arrays)
+            else:
+                stacked = arrays[0] if len(arrays) == 1 else np.concatenate(arrays, axis=0)
+                out = self.run_batch(stacked)
             if out.shape[0] != sum(rows):
                 raise RuntimeError(
                     f"run_batch returned {out.shape[0]} rows for {sum(rows)} inputs"

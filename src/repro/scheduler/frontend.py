@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.plan import InferencePlan, compile_width_plans
 from repro.runtime.batching import BatchingConfig, DeadlineExceeded, MicroBatchQueue
 from repro.scheduler.admission import (
     CRITICAL_PRIORITY,
@@ -60,6 +61,8 @@ class SchedulerConfig:
     warmup: bool = True         # prime the latency EWMAs with one run per width
     max_batch: int = 16
     max_delay_s: float = 0.001
+    compile_plans: bool = True  # compile one InferencePlan per allowed width
+    plan_workspaces: int = 1    # arenas preallocated per plan (grows on demand)
 
     def __post_init__(self) -> None:
         if self.replicas <= 0:
@@ -156,12 +159,32 @@ class ServingFrontend:
         net = getattr(model, "net", model)
         if candidates is None:
             candidates = self._default_candidates(model, net)
-        self.policy = WidthPolicy(net, candidates)
+        # One compiled plan per allowed width, all over a single shared
+        # packed-weight cache: the per-request resolve/cast/allocate work
+        # vanishes from the hot path, and the replicas share the plans
+        # (workspace checkout isolates concurrent requests).
+        self.plans: Dict[str, InferencePlan] = {}
+        if self.config.compile_plans:
+            self.plans = compile_width_plans(
+                model,
+                list(candidates),
+                batch_rows=self.config.max_batch,
+                workspaces=self.config.plan_workspaces,
+            )
+        self.policy = WidthPolicy(
+            net,
+            candidates,
+            plan_flops={w: p.flops_per_image() for w, p in self.plans.items()},
+        )
         self.admission = AdmissionController(
             headroom=self.config.admission_headroom, metrics=self.metrics
         )
         self.pool = ReplicaPool(
-            model, self.config.replicas, config=heartbeat_config, metrics=self.metrics
+            model,
+            self.config.replicas,
+            config=heartbeat_config,
+            metrics=self.metrics,
+            plans=self.plans,
         )
         self._queues: Dict[Tuple[int, str], MicroBatchQueue] = {}
         self._queues_lock = threading.Lock()
@@ -289,7 +312,7 @@ class ServingFrontend:
                     max_delay_s=self.config.max_delay_s,
                 )
 
-                def _run(batch: np.ndarray, r=replica, w=width) -> np.ndarray:
+                def _run_parts(parts, r=replica, w=width) -> np.ndarray:
                     # Observe *pure* service time (one batched forward), not
                     # dispatch-to-done latency: queue wait is accounted
                     # separately from live pending counts, so backlog never
@@ -297,19 +320,24 @@ class ServingFrontend:
                     # deliberately per-batch, not per-row: a request rides
                     # its whole batch, so "one batched forward at the live
                     # batch-size mix" is exactly the service time its
-                    # deadline budget must absorb.
+                    # deadline budget must absorb.  The queue hands over the
+                    # raw per-request arrays: a compiled plan scatters their
+                    # rows straight into its input arena, so the batch is
+                    # never concatenated into a temporary.
                     started = time.monotonic()
-                    out = r.run(batch, w)
+                    out = r.run_parts(parts, w)
                     service = time.monotonic() - started
                     self.policy.observe(w, service)
                     # Pooled per-row rate over the live width mix: pending
                     # rows x this EWMA estimates queue wait at admission.
                     self.metrics.ewma("frontend.row_service_s").observe(
-                        service / batch.shape[0]
+                        service / out.shape[0]
                     )
                     return out
 
-                self._queues[key] = MicroBatchQueue(_run, batching)
+                self._queues[key] = MicroBatchQueue(
+                    run_batch_parts=_run_parts, config=batching
+                )
             return self._queues[key]
 
     def _dispatch(

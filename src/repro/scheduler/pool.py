@@ -31,11 +31,19 @@ class ReplicaUnavailable(RuntimeError):
 
 
 class Replica:
-    """One serving endpoint: per-width sessions over shared weights."""
+    """One serving endpoint: per-width sessions over shared weights.
 
-    def __init__(self, index: int, model) -> None:
+    ``plans`` maps width names to compiled
+    :class:`~repro.nn.plan.InferencePlan` objects; a width with a plan
+    serves through the allocation-free compiled path (plans are immutable
+    and thread-safe, so all replicas share one plan per width — workspace
+    isolation happens inside the plan's pool).
+    """
+
+    def __init__(self, index: int, model, plans: Optional[Dict[str, object]] = None) -> None:
         self.index = index
         self._model = model
+        self._plans = plans or {}
         self._sessions: Dict[str, InferenceSession] = {}
         self._session_lock = threading.Lock()
         self._pending = 0          # dispatched but not yet completed requests
@@ -79,7 +87,9 @@ class Replica:
     def session(self, width: str) -> InferenceSession:
         with self._session_lock:
             if width not in self._sessions:
-                self._sessions[width] = InferenceSession(self._model, width)
+                self._sessions[width] = InferenceSession(
+                    self._model, width, plan=self._plans.get(width)
+                )
             return self._sessions[width]
 
     def run(self, x: np.ndarray, width: str) -> np.ndarray:
@@ -90,6 +100,19 @@ class Replica:
         if not self._alive:
             # Killed mid-forward: the caller must not trust a result a dead
             # endpoint could never have delivered.
+            raise ReplicaUnavailable(f"replica {self.index} died mid-request")
+        return out
+
+    def run_parts(self, parts: List[np.ndarray], width: str) -> np.ndarray:
+        """Serve a micro-batch given as per-request row groups.
+
+        The compiled-plan path lands the rows directly in the plan's input
+        arena; without a plan this concatenates and runs eagerly.
+        """
+        if not self._alive:
+            raise ReplicaUnavailable(f"replica {self.index} is down")
+        out = self.session(width).run_parts(parts)
+        if not self._alive:
             raise ReplicaUnavailable(f"replica {self.index} died mid-request")
         return out
 
@@ -108,10 +131,13 @@ class ReplicaPool:
         *,
         config: Optional[Config] = None,
         metrics: Optional[MetricsRegistry] = None,
+        plans: Optional[Dict[str, object]] = None,
     ) -> None:
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
-        self.replicas: List[Replica] = [Replica(i, model) for i in range(num_replicas)]
+        self.replicas: List[Replica] = [
+            Replica(i, model, plans) for i in range(num_replicas)
+        ]
         self.metrics = metrics or MetricsRegistry()
         # One monitor per replica, all reading the shared heartbeat config
         # keys — the same detector the live master/worker path uses.

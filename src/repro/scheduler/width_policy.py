@@ -18,7 +18,7 @@ yet observed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.device.cost import subnet_flops, subnet_num_layers
 from repro.device.profiles import DeviceProfile, jetson_nx_master
@@ -44,13 +44,21 @@ class WidthPolicy:
         *,
         profile: Optional[DeviceProfile] = None,
         alpha: float = 0.3,
+        plan_flops: Optional[Mapping[str, int]] = None,
     ) -> None:
         if not candidates:
             raise ValueError("WidthPolicy needs at least one candidate spec")
         profile = profile or jetson_nx_master()
         layers = subnet_num_layers(net)
+        # Widths with a compiled plan seed their base cost from the plan's
+        # own FLOP count (derived from the compiled geometry) — the same
+        # numbers the plan will actually execute; the rest fall back to
+        # the analytical cost model.
+        plan_flops = plan_flops or {}
         self._base_s: Dict[str, float] = {
-            spec.name: profile.compute_time(subnet_flops(net, spec), layers)
+            spec.name: profile.compute_time(
+                plan_flops.get(spec.name, None) or subnet_flops(net, spec), layers
+            )
             for spec in candidates
         }
         # Widest (most FLOPs) first: choose() returns the first fit.

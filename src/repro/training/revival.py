@@ -84,7 +84,9 @@ def revive_dead_channels(
             row_shape = (1, in_width, conv.kernel_size, conv.kernel_size)
             fresh = nn_init.kaiming_uniform(row_shape, rng)[0]
             conv.weight.data[channel, in_start : in_start + in_width] = fresh
+            conv.weight.bump_version()
             conv.bias.data[channel] = _REVIVED_BIAS
+            conv.bias.bump_version()
             revived += 1
     if revived:
         _LOGGER.info("revived %d dead channels before stage %s", revived, spec.name)

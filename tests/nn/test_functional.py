@@ -200,3 +200,89 @@ class TestRelu:
         assert no_mask is None
         np.testing.assert_array_equal(y_fast, y_full)
         np.testing.assert_array_equal(y_fast, np.maximum(x, 0))
+
+
+class TestCastCompute:
+    def test_matching_array_returned_unchanged(self):
+        """dtype + contiguity match -> the exact same object, no copy."""
+        x = np.ascontiguousarray(make_rng(12).standard_normal((3, 4)))
+        (out,) = F.cast_compute(True, x)
+        assert out is x
+
+    def test_mismatched_dtype_is_converted(self):
+        from repro.utils.dtypes import DtypePolicy, dtype_policy
+
+        x = make_rng(13).standard_normal((3, 4))  # float64
+        with dtype_policy(DtypePolicy.fast_inference()):
+            (out,) = F.cast_compute(False, x)
+        assert out.dtype == np.float32 and out.flags.c_contiguous
+
+    def test_non_contiguous_is_made_contiguous(self):
+        x = make_rng(14).standard_normal((4, 6))[:, ::2]
+        assert not x.flags.c_contiguous
+        (out,) = F.cast_compute(True, x)
+        assert out.flags.c_contiguous
+        np.testing.assert_array_equal(out, x)
+
+
+class TestIm2ColNoCopy:
+    def test_result_is_contiguous(self):
+        x = make_rng(15).standard_normal((2, 3, 8, 8))
+        cols, _ = F.im2col(x, (3, 3), 1, 1)
+        assert cols.flags.c_contiguous
+
+    def test_viewable_1x1_case_still_contiguous(self):
+        # 1x1 kernel stride 1: the transpose-reshape can be expressible as
+        # a view of the strided windows; the guard must still hand back a
+        # contiguous matrix.
+        x = make_rng(16).standard_normal((2, 3, 5, 5))
+        cols, (oh, ow) = F.im2col(x, (1, 1), 1, 0)
+        assert cols.flags.c_contiguous
+        np.testing.assert_array_equal(
+            cols, x.transpose(0, 2, 3, 1).reshape(2 * 25, 3)
+        )
+
+    def test_padding_zero_takes_no_pad_roundtrip(self):
+        # With padding=0 the unfold runs on the original storage: the
+        # column values are strided reads of x itself.
+        x = make_rng(17).standard_normal((1, 2, 6, 6))
+        cols, _ = F.im2col(x, (3, 3), 1, 0)
+        np.testing.assert_array_equal(cols[0], x[0, :, :3, :3].reshape(-1))
+
+
+class TestFusedKernels:
+    def test_im2col_into_matches_im2col(self):
+        rng = make_rng(18)
+        x = rng.standard_normal((2, 3, 8, 8))
+        ref, (oh, ow) = F.im2col(x, (3, 3), 1, 0)
+        out = np.empty_like(ref)
+        got = F.im2col_into(x, (3, 3), 1, out)
+        assert got == (oh, ow)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_gemm_bias_matches_eager(self):
+        rng = make_rng(19)
+        x = rng.standard_normal((5, 7))
+        w = rng.standard_normal((4, 7))
+        b = rng.standard_normal(4)
+        out = np.empty((5, 4))
+        F.gemm_bias(x, w, b, out)
+        np.testing.assert_array_equal(out, x @ w.T + b)
+
+    def test_gemm_bias_relu_matches_eager(self):
+        rng = make_rng(20)
+        cols = rng.standard_normal((6, 9))
+        w = rng.standard_normal((3, 9))
+        b = rng.standard_normal(3)
+        out = np.empty((6, 3))
+        F.gemm_bias_relu(cols, w, b, out)
+        np.testing.assert_array_equal(out, np.maximum(cols @ w.T + b, 0.0))
+
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 1), (3, 2)])
+    def test_maxpool2d_into_matches_eager(self, kernel, stride):
+        rng = make_rng(21)
+        x = rng.standard_normal((2, 3, 9, 9))
+        ref, _ = F.maxpool2d_forward(x, kernel, stride, need_indices=False)
+        out = np.empty_like(ref)
+        F.maxpool2d_into(x, kernel, stride, out)
+        np.testing.assert_array_equal(out, ref)

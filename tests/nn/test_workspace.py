@@ -1,0 +1,83 @@
+"""Tests for workspace arenas and the checkout pool."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn.workspace import BufferSpec, Workspace, WorkspacePool
+
+SPECS = [
+    BufferSpec("a", (4, 3), "float32"),
+    BufferSpec("pad", (2, 2, 6, 6), "float32", zeroed=True),
+]
+
+
+class TestBufferSpec:
+    def test_rejects_bad_shapes_and_names(self):
+        with pytest.raises(ValueError):
+            BufferSpec("", (2,), "float32")
+        with pytest.raises(ValueError):
+            BufferSpec("x", (0, 3), "float32")
+
+    def test_nbytes(self):
+        assert BufferSpec("x", (4, 3), "float32").nbytes == 48
+
+
+class TestWorkspace:
+    def test_buffers_have_spec_shapes_and_dtypes(self):
+        ws = Workspace(SPECS)
+        assert ws["a"].shape == (4, 3) and ws["a"].dtype == np.float32
+        assert "pad" in ws and "missing" not in ws
+
+    def test_zeroed_buffers_start_zero(self):
+        ws = Workspace(SPECS)
+        np.testing.assert_array_equal(ws["pad"], np.zeros((2, 2, 6, 6)))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Workspace([BufferSpec("a", (1,), "float64"), BufferSpec("a", (2,), "float64")])
+
+
+class TestWorkspacePool:
+    def test_serial_checkouts_reuse_one_workspace(self):
+        pool = WorkspacePool(SPECS, prealloc=1)
+        seen = set()
+        for _ in range(10):
+            with pool.checkout() as ws:
+                seen.add(id(ws))
+        assert len(seen) == 1
+        assert pool.created == 1
+        assert pool.checkouts == 10
+
+    def test_grows_only_to_the_concurrency_peak(self):
+        pool = WorkspacePool(SPECS, prealloc=1)
+        a = pool.acquire()
+        b = pool.acquire()  # second concurrent holder -> one new allocation
+        assert pool.created == 2
+        pool.release(a)
+        pool.release(b)
+        for _ in range(5):
+            with pool.checkout():
+                pass
+        assert pool.created == 2  # steady state: no further allocations
+
+    def test_concurrent_checkouts_get_distinct_workspaces(self):
+        pool = WorkspacePool(SPECS, prealloc=2)
+        ids = []
+        barrier = threading.Barrier(4)
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            with pool.checkout() as ws:
+                with lock:
+                    ids.append(id(ws))
+                barrier.wait()  # hold until everyone checked out
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(ids)) == 4  # no two concurrent holders shared scratch

@@ -20,6 +20,64 @@ def rows_runner(calls=None):
     return _run
 
 
+class TestRunBatchParts:
+    def test_parts_are_handed_over_unconcatenated(self):
+        """The parts backend sees the raw per-request arrays in submission
+        order (a compiled plan scatters them into its arena itself)."""
+        seen = []
+
+        def _run_parts(parts):
+            seen.append([p.copy() for p in parts])
+            return np.concatenate(parts, axis=0) * 10.0
+
+        queue = MicroBatchQueue(
+            run_batch_parts=_run_parts,
+            config=BatchingConfig(max_batch=4, max_delay_s=5.0),
+            autostart=False,
+        )
+        futures = [queue.submit(np.full((2, 3), float(i))) for i in range(2)]
+        queue.start()
+        for i, f in enumerate(futures):
+            np.testing.assert_array_equal(f.result(timeout=10.0), np.full((2, 3), 10.0 * i))
+        queue.close()
+        assert len(seen) == 1 and len(seen[0]) == 2
+        np.testing.assert_array_equal(seen[0][1], np.full((2, 3), 1.0))
+        assert queue.stats.batches == 1 and queue.stats.rows == 4
+
+    def test_exactly_one_backend_required(self):
+        with pytest.raises(ValueError):
+            MicroBatchQueue()
+        with pytest.raises(ValueError):
+            MicroBatchQueue(rows_runner(), run_batch_parts=lambda parts: parts[0])
+
+
+class TestRowBudgetCarryOver:
+    def test_batches_never_exceed_max_batch_rows(self):
+        """A request that would overflow the row budget seeds the next batch
+        instead — compiled-plan arenas are sized to exactly max_batch rows,
+        so an overflowing batch would silently fall back to the eager path."""
+        calls = []
+        queue = MicroBatchQueue(
+            rows_runner(calls),
+            BatchingConfig(max_batch=4, max_delay_s=5.0),
+            autostart=False,
+        )
+        futures = [queue.submit(np.full((3, 2), float(i))) for i in range(4)]
+        queue.start()
+        for i, f in enumerate(futures):
+            np.testing.assert_array_equal(f.result(timeout=10.0), np.full((3, 2), 10.0 * i))
+        queue.close()
+        assert [c.shape[0] for c in calls] == [3, 3, 3, 3]  # never 6 rows
+
+    def test_lone_oversized_request_still_served(self):
+        queue = MicroBatchQueue(
+            rows_runner(), BatchingConfig(max_batch=4, max_delay_s=0.01)
+        )
+        out = queue.submit(np.full((9, 2), 1.0)).result(timeout=10.0)
+        np.testing.assert_array_equal(out, np.full((9, 2), 10.0))
+        queue.close()
+
+
 class TestFlushTriggers:
     def test_max_batch_flush(self):
         """Submitting exactly the row budget yields one full flush."""

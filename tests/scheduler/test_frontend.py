@@ -70,6 +70,34 @@ class TestBasicServing:
             frontend.submit(one_image(), SLA(deadline_s=1.0))
 
 
+class TestCompiledPlans:
+    def test_frontend_compiles_one_plan_per_candidate(self, model):
+        with make_frontend(model) as frontend:
+            widths = {spec.name for spec in frontend.policy.candidates}
+            assert set(frontend.plans) == widths
+            caches = {id(plan.cache) for plan in frontend.plans.values()}
+            assert len(caches) == 1  # one shared packed-weight cache
+            for plan in frontend.plans.values():
+                assert plan.batch_rows == frontend.config.max_batch
+
+    def test_plan_frontend_serves_bitwise_equal_to_eager_frontend(self, model):
+        x = one_image(11)
+        sla = SLA(deadline_s=5.0, min_width="lower50", max_width="lower50")
+        with make_frontend(model) as frontend:
+            with_plans = frontend.submit(x, sla).result(timeout=10.0)
+        with make_frontend(model, compile_plans=False) as frontend:
+            assert frontend.plans == {}
+            eager = frontend.submit(x, sla).result(timeout=10.0)
+        np.testing.assert_array_equal(with_plans, eager)
+
+    def test_width_policy_seeded_from_plan_flops(self, model):
+        with make_frontend(model) as frontend:
+            snapshot = frontend.policy.calibration_snapshot()
+            for width, plan in frontend.plans.items():
+                assert snapshot[width]["model_s"] > 0
+                assert plan.flops_per_image() > 0
+
+
 class TestAdmission:
     def test_infeasible_deadline_fails_fast(self, model):
         with make_frontend(model) as frontend:
