@@ -1,0 +1,258 @@
+"""Unified benchmark smoke driver: one CI entry point for every bench.
+
+CI used to run four copy-pasted inline bench steps; this driver replaces
+them.  It does two things, in order:
+
+1. **Re-verifies the committed ``BENCH_*.json`` records**: each record
+   asserts functional facts (equality/allclose contracts, allocation
+   budgets, miss-rate ordering, zero-copy serving) that must still hold
+   as committed — a drifted record means the repo is telling a stale
+   story and the job fails.  Wall-clock *numbers* are machine-dependent
+   and are never gated here; the record checks gate the facts' internal
+   consistency, the live smokes gate behaviour.  Records are checked
+   *before* the smokes run because the nn micro-bench smoke regenerates
+   ``BENCH_nn_micro.json`` in place — checking afterwards would validate
+   the fresh artifact instead of the committed record.
+
+2. **Runs every bench smoke** as a subprocess (the same commands the old
+   inline steps ran): the nn micro-bench suite (which regenerates
+   ``BENCH_nn_micro.json`` for the CI artifact), the micro-batched
+   serving smoke, the SLA scheduler smoke, and the compiled-plan smoke —
+   which itself covers all three conv backends, the batch-rows ladder,
+   and the out-of-rung eager fallback.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_smokes.py            # everything
+    PYTHONPATH=src python benchmarks/run_smokes.py --list
+    PYTHONPATH=src python benchmarks/run_smokes.py --only plan
+    PYTHONPATH=src python benchmarks/run_smokes.py --records-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass(frozen=True)
+class Smoke:
+    """One bench smoke: a name and the argv that runs it."""
+
+    name: str
+    argv: Tuple[str, ...]
+    description: str
+
+
+SMOKES: Tuple[Smoke, ...] = (
+    Smoke(
+        "nn_micro",
+        (
+            sys.executable, "-m", "pytest", "benchmarks/bench_nn_micro.py", "-q",
+            "--benchmark-disable-gc", "--benchmark-json=BENCH_nn_micro.json",
+        ),
+        "nn kernel micro-benchmarks incl. the dtype-policy speedup check",
+    ),
+    Smoke(
+        "serving",
+        (sys.executable, "-m", "pytest", "benchmarks/bench_serving_throughput.py", "-q"),
+        "micro-batched vs serial serving (zero-copy shared weights)",
+    ),
+    Smoke(
+        "scheduler",
+        (sys.executable, "-m", "pytest", "benchmarks/bench_scheduler.py", "-q"),
+        "SLA scheduler vs fixed-widest under overload + replica failure",
+    ),
+    Smoke(
+        "plan",
+        (sys.executable, "benchmarks/bench_plan.py", "--smoke"),
+        "compiled plans vs eager: all conv backends, ladder, eager fallback",
+    ),
+)
+
+
+# -- committed-record fact checks --------------------------------------------
+#
+# Each checker receives the parsed record and raises AssertionError with a
+# precise message when a committed fact no longer holds.  Checks cover the
+# *functional* facts a record asserts — never machine-dependent wall-clock.
+
+
+def check_plan_record(record: dict) -> None:
+    backends = record["backends"]
+    expected = {"im2col", "im2col-blocked", "shifted-gemm"}
+    assert set(backends) == expected, (
+        f"BENCH_plan.json covers backends {sorted(backends)}, expected {sorted(expected)}"
+    )
+    budget = record["alloc_budget_bytes"]
+    for name, stats in backends.items():
+        assert stats["alloc_bytes_per_request"] < budget, (
+            f"{name} recorded {stats['alloc_bytes_per_request']:.0f} B/request, "
+            f"over the {budget} B budget"
+        )
+        assert stats["alloc_bytes_per_request"] < record["eager_alloc_bytes_per_request"]
+    assert backends["im2col"]["exact"] and backends["im2col-blocked"]["exact"], (
+        "im2col backends must record the bitwise contract"
+    )
+    assert not backends["shifted-gemm"]["exact"], (
+        "shifted-gemm must record the relaxed (allclose) contract"
+    )
+    assert record["shifted_vs_default_widest"] >= 1.3, (
+        f"recorded shifted-vs-default ratio {record['shifted_vs_default_widest']:.2f} "
+        "below the 1.3 acceptance floor"
+    )
+    ladder = record["ladder"]
+    assert ladder["eager_fallback_verified"], "ladder fallback fact missing"
+    arenas = {int(k): v for k, v in ladder["arena_bytes_per_rung"].items()}
+    rungs = sorted(arenas)
+    assert rungs == sorted(ladder["rungs"])
+    sizes = [arenas[r] for r in rungs]
+    assert sizes == sorted(sizes) and sizes[0] < sizes[-1], (
+        f"ladder arena bytes must grow with the rung ceiling, got {arenas}"
+    )
+
+
+def check_scheduler_record(record: dict) -> None:
+    comp = record["comparison"]
+    assert comp["miss_rate_scheduler"] < comp["miss_rate_fixed_widest"], (
+        f"scheduler miss-rate {comp['miss_rate_scheduler']:.3f} not below "
+        f"fixed-widest {comp['miss_rate_fixed_widest']:.3f}"
+    )
+    assert comp["goodput_ratio"] >= 1.0, (
+        f"scheduler goodput ratio {comp['goodput_ratio']:.2f} below 1.0"
+    )
+    assert comp["scheduler_lost"] == 0, (
+        f"scheduler lost {comp['scheduler_lost']} requests (must be 0)"
+    )
+    # The two sides must describe the same trace.
+    assert record["fixed_widest"]["requests"] == record["scheduler"]["requests"] == record["arrivals"]
+
+
+def check_serving_record(record: dict) -> None:
+    assert record["zero_copy"] is True, "serving record lost the zero-copy fact"
+    speedup = record["speedup"]["micro_batched_vs_serial"]
+    assert speedup > 1.0, (
+        f"recorded micro-batched speedup {speedup:.2f} does not beat serial"
+    )
+    modes = record["modes"]
+    assert modes["micro_batched"]["mean_batch_rows"] > 1.0, (
+        "micro-batching record shows no actual batching"
+    )
+
+
+def check_dtype_policy_record(record: dict) -> None:
+    assert record["meets_threshold"] is True
+    assert record["speedup"] >= record["acceptance_threshold"], (
+        f"recorded dtype-policy speedup {record['speedup']} below its own "
+        f"threshold {record['acceptance_threshold']}"
+    )
+
+
+def check_nn_micro_record(record: dict) -> None:
+    names = {b["name"] for b in record["benchmarks"]}
+    assert names, "BENCH_nn_micro.json records no benchmarks"
+    for required in ("test_conv_forward", "test_conv_backward"):
+        assert any(required in n for n in names), f"{required} missing from record"
+
+
+RECORD_CHECKS: Tuple[Tuple[str, Callable[[dict], None]], ...] = (
+    ("BENCH_plan.json", check_plan_record),
+    ("BENCH_scheduler.json", check_scheduler_record),
+    ("BENCH_serving.json", check_serving_record),
+    ("BENCH_dtype_policy.json", check_dtype_policy_record),
+    ("BENCH_nn_micro.json", check_nn_micro_record),
+)
+
+
+# -- driver ------------------------------------------------------------------
+
+
+def run_smoke(smoke: Smoke) -> Tuple[bool, float]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    started = time.monotonic()
+    proc = subprocess.run(smoke.argv, cwd=REPO_ROOT, env=env)
+    return proc.returncode == 0, time.monotonic() - started
+
+
+def verify_records(only: Sequence[str] = ()) -> List[Tuple[str, str]]:
+    """Check every committed record; returns ``(name, error)`` failures."""
+    failures: List[Tuple[str, str]] = []
+    for filename, check in RECORD_CHECKS:
+        if only and not any(sel in filename for sel in only):
+            continue
+        path = REPO_ROOT / filename
+        try:
+            check(json.loads(path.read_text()))
+        except FileNotFoundError:
+            failures.append((filename, "committed record is missing"))
+        except (AssertionError, KeyError, TypeError, ValueError) as exc:
+            failures.append((filename, f"{type(exc).__name__}: {exc}"))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--list", action="store_true", help="list smokes and exit")
+    parser.add_argument(
+        "--only", action="append", default=[],
+        help="run only smokes/records whose name contains this (repeatable)",
+    )
+    parser.add_argument(
+        "--records-only", action="store_true",
+        help="skip the live smokes; only re-verify committed BENCH_*.json facts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for smoke in SMOKES:
+            print(f"{smoke.name:10s} {smoke.description}")
+        for filename, _ in RECORD_CHECKS:
+            print(f"{'record':10s} {filename}")
+        return 0
+
+    failed: List[str] = []
+    # Committed records first: the nn_micro smoke regenerates its record
+    # in place, so checking afterwards would miss a drifted committed file.
+    record_failures = verify_records(args.only)
+    for filename, error in record_failures:
+        print(f"=== record: {filename} FAILED — {error}")
+        failed.append(f"record:{filename}")
+    checked = [
+        f for f, _ in RECORD_CHECKS
+        if not args.only or any(sel in f for sel in args.only)
+    ]
+    passed_records = [f for f in checked if all(f != name for name, _ in record_failures)]
+    for filename in passed_records:
+        print(f"=== record: {filename} OK")
+
+    if not args.records_only:
+        for smoke in SMOKES:
+            if args.only and not any(sel in smoke.name for sel in args.only):
+                continue
+            print(f"=== smoke: {smoke.name} — {smoke.description}")
+            ok, elapsed = run_smoke(smoke)
+            print(f"=== smoke: {smoke.name} {'OK' if ok else 'FAILED'} ({elapsed:.0f}s)")
+            if not ok:
+                failed.append(f"smoke:{smoke.name}")
+
+    if failed:
+        print(f"FAILED: {', '.join(failed)}")
+        return 1
+    print("all smokes and committed records OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ from repro.experiments import (
 )
 from repro.models import build_model
 from repro.nn.checkpoint import load_state, save_state
+from repro.nn.functional import CONV_BACKENDS
 from repro.runtime import AdaptationPolicy, SystemController
 from repro.slimmable import SlimmableConvNet, paper_width_spec
 from repro.training import RecipeConfig, TrainConfig, train_family
@@ -109,6 +110,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--replicas", type=int, default=2,
         help="replica pool size for --sla mode (shared weights, zero copies)",
+    )
+    serve.add_argument(
+        "--conv-backend", choices=CONV_BACKENDS, default="im2col",
+        help="convolution lowering for compiled plans: im2col (bitwise-exact "
+        "default), im2col-blocked (bitwise, cache-blocked gather), or "
+        "shifted-gemm (fastest at wide widths; allclose, not bitwise)",
+    )
+    serve.add_argument(
+        "--rows-ladder", default=None, metavar="R1,R2,...",
+        help="comma-separated batch-row rungs (e.g. 1,4,16): compile a plan "
+        "ladder per width so small flushes run on small arenas; the top rung "
+        "is always --max-batch",
     )
 
     sub.add_parser("calibration", help="show emulated-testbed calibration vs paper")
@@ -198,6 +211,21 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _parse_rows_ladder(spec: Optional[str]):
+    """``"1,4,16"`` -> ``(1, 4, 16)``; None passes through."""
+    if spec is None:
+        return None
+    try:
+        rungs = tuple(int(r) for r in spec.split(","))
+    except ValueError as exc:
+        raise SystemExit(
+            f"bad --rows-ladder {spec!r} (expected comma-separated ints)"
+        ) from exc
+    if not rungs or any(r <= 0 for r in rungs):
+        raise SystemExit("--rows-ladder rungs must be positive")
+    return rungs
+
+
 def cmd_serve(args) -> int:
     from repro.serving_bench import run_serving_comparison
 
@@ -206,6 +234,11 @@ def cmd_serve(args) -> int:
         raise SystemExit("--sla must be a positive deadline in milliseconds")
     if args.replicas <= 0:
         raise SystemExit("--replicas must be positive")
+    args.rows_ladder = _parse_rows_ladder(args.rows_ladder)
+    if args.sla is None and (args.conv_backend != "im2col" or args.rows_ladder):
+        # Only the --sla frontend compiles plans; silently ignoring these
+        # would report default-backend numbers under a shifted-gemm label.
+        raise SystemExit("--conv-backend/--rows-ladder require --sla (compiled-plan serving)")
     model = build_model(args.family, rng=make_rng(args.seed))
     if args.weights:
         model.load_state_dict(load_state(args.weights))
@@ -255,6 +288,8 @@ def _serve_scheduled(model, args) -> int:
         default_sla=SLA(deadline_s=args.sla / 1000.0),
         max_batch=args.max_batch,
         max_delay_s=args.max_delay_ms / 1000.0,
+        conv_backend=args.conv_backend,
+        rows_ladder=args.rows_ladder,
     )
     report = run_scheduler_comparison(
         model, trace, replicas=args.replicas, scheduler_config=scheduler_config

@@ -20,6 +20,46 @@ import numpy as np
 
 from repro.utils.dtypes import compute_dtype
 
+#: Convolution backends a compiled plan (and the CLI/config layer) may
+#: select.  ``im2col`` is the default and bitwise-identical to the eager
+#: path; ``im2col-blocked`` tiles the same gather over output rows (still
+#: bitwise); ``shifted-gemm`` accumulates kernel-column offset GEMMs over a
+#: rolling row panel — no ``(rows, C*k*k)`` column matrix and no strided
+#: per-window gather, but a *relaxed* equality contract (allclose, not
+#: bitwise: the GEMM reduction is re-associated across kernel columns).
+CONV_BACKENDS = ("im2col", "im2col-blocked", "shifted-gemm")
+
+#: L2-resident target for one blocked-gather source band, in bytes.
+IM2COL_BLOCK_TARGET_BYTES = 128 * 1024
+
+#: The shifted-GEMM relaxed-equality contract, per compute dtype: outputs
+#: must be allclose to the im2col path within these tolerances (the only
+#: divergence is reduction re-association across kernel columns, so the
+#: bound is a few ulps of accumulated rounding — measured maxima sit well
+#: inside these).  Tests and benches assert through this one table.
+SHIFTED_GEMM_TOLERANCE = {
+    "float32": {"rtol": 1e-4, "atol": 1e-5},
+    "float64": {"rtol": 1e-9, "atol": 1e-12},
+}
+
+
+def shifted_gemm_tolerance(dtype) -> dict:
+    """``{rtol, atol}`` of the shifted-GEMM contract for ``dtype``."""
+    name = np.dtype(dtype).name
+    try:
+        return SHIFTED_GEMM_TOLERANCE[name]
+    except KeyError:
+        raise ValueError(f"no shifted-GEMM tolerance defined for dtype {name!r}")
+
+
+def check_conv_backend(name: str) -> str:
+    """Validate a conv-backend name (the one place the list is enforced)."""
+    if name not in CONV_BACKENDS:
+        raise ValueError(
+            f"unknown conv backend {name!r}; expected one of {CONV_BACKENDS}"
+        )
+    return name
+
 
 def cast_compute(training: bool, *arrays: np.ndarray) -> Tuple[np.ndarray, ...]:
     """Cast arrays to the policy's compute dtype for the given mode.
@@ -102,7 +142,11 @@ def im2col(
 
 
 def im2col_into(
-    x: np.ndarray, kernel: Tuple[int, int], stride: int, out: np.ndarray
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int,
+    out: np.ndarray,
+    row_block: Optional[int] = None,
 ) -> Tuple[int, int]:
     """Allocation-free :func:`im2col` for pre-padded inputs.
 
@@ -111,6 +155,12 @@ def im2col_into(
     is written straight into ``out`` — a contiguous ``(N*oh*ow, C*kh*kw)``
     workspace buffer — via a strided-view copy, so the call allocates
     nothing.  Returns ``(out_h, out_w)``.
+
+    ``row_block`` (the ``im2col-blocked`` backend) tiles the gather over
+    output rows so each tile's source band — ``C x (row_block*stride+kh)``
+    input rows — stays cache-resident while its ``kh*kw`` overlapping
+    window reads replay.  The copy is element-for-element the same gather
+    in a different visit order, so the result is bitwise identical.
     """
     n, c, h, w = x.shape
     kh, kw = kernel
@@ -119,10 +169,161 @@ def im2col_into(
     windows = sliding_windows(x, kh, kw, stride, out_h, out_w)
     # out is contiguous, so the 6-d reshape is a view; copyto then performs
     # the same (N, oh, ow, C, kh, kw) gather im2col's transpose-reshape does.
-    np.copyto(
-        out.reshape(n, out_h, out_w, c, kh, kw), windows.transpose(0, 2, 3, 1, 4, 5)
-    )
+    src = windows.transpose(0, 2, 3, 1, 4, 5)
+    dst = out.reshape(n, out_h, out_w, c, kh, kw)
+    if row_block is None or row_block >= out_h:
+        np.copyto(dst, src)
+    else:
+        for r0 in range(0, out_h, row_block):
+            r1 = min(r0 + row_block, out_h)
+            np.copyto(dst[:, r0:r1], src[:, r0:r1])
     return out_h, out_w
+
+
+def im2col_row_block(
+    channels: int,
+    padded_w: int,
+    kernel: int,
+    stride: int,
+    itemsize: int,
+    target_bytes: int = IM2COL_BLOCK_TARGET_BYTES,
+) -> int:
+    """Output-row tile size whose gather source band fits ``target_bytes``.
+
+    A tile of ``b`` output rows reads an input band of
+    ``channels x (b*stride + kernel - stride) x padded_w`` elements; solve
+    for the largest ``b >= 1`` that keeps the band within the target.
+    """
+    band_row = channels * padded_w * itemsize
+    if band_row <= 0:
+        return 1
+    rows = target_bytes // band_row - (kernel - stride)
+    return max(1, int(rows // stride) if stride > 1 else int(rows))
+
+
+# -- shifted-GEMM convolution -------------------------------------------------
+#
+# A stride-1 convolution over a zero-padded input is a sum of kernel-offset
+# products.  Flatten each channel's padded image to one long row (plus a
+# shared inter-image tail so offset reads never leave the buffer) and the
+# windows at kernel offset (i, j) become the *contiguous* slice starting at
+# ``i*padded_w + j`` — so the convolution is k (kernel-column) GEMMs over a
+# rolling row panel, accumulated in place, with the valid output pixels
+# sitting in a strided view of the wide result.  No ``(rows, C*k*k)`` column
+# matrix is ever built and nothing is gathered per window; the only copies
+# are whole-row memcpys into the panel.  The price is a relaxed equality
+# contract: the reduction over kernel columns is re-associated, so outputs
+# are allclose — not bitwise-equal — to the im2col path.
+
+
+def shifted_tail(kernel: int, padded_w: int) -> int:
+    """Extra zero elements a flattened arena needs past its last image."""
+    return (kernel - 1) * padded_w + (kernel - 1)
+
+
+def shifted_panel_fill(
+    xflat: np.ndarray, panel: np.ndarray, kernel: int, padded_w: int, shift: int
+) -> None:
+    """Fill the ``(C*kh, L)`` row panel for kernel-column ``shift``.
+
+    Row ``ci*kh + i`` is the contiguous slice
+    ``xflat[ci, i*padded_w + shift :][:L]`` — one memcpy per (channel, kernel
+    row): the strided per-window gather the im2col backends pay is gone.
+    """
+    c_kh, length = panel.shape
+    kh = kernel
+    view = panel.reshape(c_kh // kh, kh, length)
+    for i in range(kh):
+        start = i * padded_w + shift
+        np.copyto(view[:, i, :], xflat[:, start : start + length])
+
+
+def shifted_gemm_conv(
+    xflat: np.ndarray,
+    w_panels: np.ndarray,
+    panel: np.ndarray,
+    wide: np.ndarray,
+    scratch: np.ndarray,
+    kernel: int,
+    padded_w: int,
+) -> np.ndarray:
+    """Sum of ``kernel`` column-offset GEMMs accumulated in place into ``wide``.
+
+    Args:
+        xflat: ``(C, N*Hp*Wp + tail)`` flattened padded input arena.
+        w_panels: ``(kw, C_out, C*kh)`` packed weights — ``w_panels[j]`` is
+            the GEMM operand for kernel column ``j``.
+        panel: ``(C*kh, L)`` rolling row-panel buffer, refilled per column.
+        wide: ``(C_out, L)`` wide output arena (valid pixels are a strided
+            subset; garbage columns fall in padding/tail positions).
+        scratch: ``(C_out, L)`` accumulation scratch.
+        kernel / padded_w: offset geometry.
+
+    All operands are C-contiguous, so every GEMM runs copy-free in BLAS and
+    the call allocates nothing.
+    """
+    for j in range(kernel):
+        shifted_panel_fill(xflat, panel, kernel, padded_w, j)
+        if j == 0:
+            np.dot(w_panels[0], panel, out=wide)
+        else:
+            np.dot(w_panels[j], panel, out=scratch)
+            wide += scratch
+    return wide
+
+
+def bias_act_into(
+    src: np.ndarray, bias: np.ndarray, out: np.ndarray, relu: bool = True
+) -> np.ndarray:
+    """Broadcast-add a leading-axis bias into ``out``, optionally ReLU'd.
+
+    ``src``/``out`` are channel-major ``(C_out, ...)`` views (either may be
+    strided); used by the shifted-GEMM epilogue to land the valid window of
+    the wide GEMM result straight in the next layer's arena.
+    """
+    np.add(src, bias.reshape((-1,) + (1,) * (src.ndim - 1)), out=out)
+    if relu:
+        np.maximum(out, 0.0, out=out)
+    return out
+
+
+def conv2d_shifted(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, padding: int
+) -> np.ndarray:
+    """Reference stride-1 convolution via shifted GEMMs (allocating).
+
+    The self-contained form of the kernel trio above, for tests and eager
+    comparisons: allocates its own arena/panel/wide buffers per call.  Use
+    a compiled plan with ``conv_backend="shifted-gemm"`` for the
+    allocation-free serving path.
+    """
+    n, c, h, w = x.shape
+    c_out, c_in, kh, kw = weight.shape
+    if c != c_in:
+        raise ValueError(f"input has {c} channels, weight expects {c_in}")
+    if kh != kw:
+        raise ValueError("shifted-GEMM expects square kernels")
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out_h = conv_out_size(h, kh, 1, padding)
+    out_w = conv_out_size(w, kw, 1, padding)
+    block = hp * wp
+    tail = shifted_tail(kh, wp)
+    xflat = np.zeros((c, n * block + tail), dtype=x.dtype)
+    interior = xflat[:, : n * block].reshape(c, n, hp, wp)[
+        :, :, padding : padding + h, padding : padding + w
+    ]
+    np.copyto(interior, x.transpose(1, 0, 2, 3))
+    w_panels = np.ascontiguousarray(
+        weight.transpose(3, 0, 1, 2).reshape(kw, c_out, c_in * kh)
+    )
+    length = n * block
+    panel = np.empty((c * kh, length), dtype=x.dtype)
+    wide = np.empty((c_out, length), dtype=x.dtype)
+    scratch = np.empty((c_out, length), dtype=x.dtype)
+    shifted_gemm_conv(xflat, w_panels, panel, wide, scratch, kh, wp)
+    valid = wide.reshape(c_out, n, hp, wp)[:, :, :out_h, :out_w]
+    y = valid.transpose(1, 0, 2, 3) + bias[None, :, None, None]
+    return np.ascontiguousarray(y)
 
 
 def gemm_bias(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -262,15 +463,19 @@ def maxpool2d_forward(
     """Max pooling forward; returns ``(y, argmax)`` with flat window indices.
 
     ``need_indices=False`` (inference: no backward will run) skips the
-    argmax/gather entirely and returns ``(y, None)`` from a plain window max.
+    argmax/gather entirely and reuses the plan path's pairwise
+    :func:`maxpool2d_into` fold — an order of magnitude faster than the
+    flattened window reduction, and bitwise identical to it (max is exact,
+    so the fold order cannot matter).
     """
     n, c, h, w = x.shape
     out_h = conv_out_size(h, kernel, stride, 0)
     out_w = conv_out_size(w, kernel, stride, 0)
+    if not need_indices:
+        out = np.empty((n, c, out_h, out_w), dtype=x.dtype)
+        return maxpool2d_into(x, kernel, stride, out), None
     windows = sliding_windows(x, kernel, kernel, stride, out_h, out_w)
     flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
-    if not need_indices:
-        return flat.max(axis=-1), None
     argmax = flat.argmax(axis=-1)
     y = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
     return np.ascontiguousarray(y), argmax

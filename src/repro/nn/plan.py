@@ -17,22 +17,38 @@ all of that exactly once:
   counter (bumped by optimizer steps / ``load_state_dict``), so weight
   slicing and casting vanish from the steady-state hot path;
 * :meth:`InferencePlan.run` executes the pass through fused in-place
-  kernels (:func:`~repro.nn.functional.im2col_into`,
-  :func:`~repro.nn.functional.gemm_bias_relu`,
-  :func:`~repro.nn.functional.maxpool2d_into`,
-  :func:`~repro.nn.functional.gemm_bias`) into a workspace checked out
-  from the plan's :class:`~repro.nn.workspace.WorkspacePool` — zero
-  steady-state allocations beyond the returned logits.
+  kernels into a workspace checked out from the plan's
+  :class:`~repro.nn.workspace.WorkspacePool` — zero steady-state
+  allocations beyond the returned logits.
 
-Outputs are **bitwise identical** to the eager path at every width and
-under both dtype policies: the plan preserves the eager reduction orders
-(same im2col column layout, same GEMM operand layouts, same elementwise
-epilogues), it just stops re-materialising the operands per call.
+Convolution lowering is **pluggable** (``conv_backend``):
+
+* ``"im2col"`` (default): strided window gather into a column matrix, one
+  GEMM per conv.  **Bitwise identical** to the eager path at every width
+  and under both dtype policies — same reduction orders, same layouts.
+* ``"im2col-blocked"``: the same gather tiled over output rows so each
+  tile's source band stays cache-resident.  Still **bitwise identical**
+  (a copy in a different visit order).
+* ``"shifted-gemm"``: no column matrix at all — each conv is a sum of
+  kernel-column offset GEMMs over a rolling row panel (whole-row memcpys,
+  no per-window gather), accumulated in place into a wide output arena
+  whose valid pixels are a strided view.  **Relaxed equality**: the GEMM
+  reduction is re-associated across kernel columns, so outputs are
+  allclose, not bitwise-equal, to the eager path (``plan.exact`` is
+  False).  Stride-1 convolutions only, and the compute extent is fixed at
+  ``batch_rows`` (smaller batches pay the full-extent GEMMs — pair it
+  with a :class:`PlanLadder` so batches land on a matching rung).
+
+On top sits the **batch-rows ladder**: :func:`compile_plan_ladder` builds
+a :class:`PlanLadder` of row-ceiling rungs (e.g. 1/4/16) per width, all
+sharing one :class:`PackedWeightCache`; each request batch runs on the
+smallest rung that fits, so arena memory and (for shifted-GEMM) compute
+extent track the traffic's actual batch sizes instead of the worst case.
 
 Plans are immutable after compile and safe for concurrent use: all
 per-request state lives in the checked-out workspace, and the packed
 cache is lock-protected (many plans may share one cache — the serving
-frontend compiles one plan per width over a single shared cache).
+frontend compiles one plan/ladder per width over a single shared cache).
 """
 
 from __future__ import annotations
@@ -50,15 +66,21 @@ from repro.slimmable.sliced_linear import SlicedLinear
 from repro.slimmable.spec import ChannelSlice, SubNetSpec
 from repro.utils.dtypes import compute_dtype
 
+#: Default batch-row ceilings for :func:`compile_plan_ladder` /
+#: :func:`compile_width_ladders` (the top rung is always the caller's
+#: ``batch_rows``; these seed the smaller rungs).
+DEFAULT_ROWS_LADDER = (1, 4, 16)
+
 
 class PackedWeightCache:
     """Contiguous compute-dtype copies of active weight sub-blocks.
 
-    Entries are keyed by ``(layer, slices, dtype)`` and carry the weight /
-    bias version counters they were packed at; a lookup that observes a
-    newer parameter version re-packs in place.  The cache is shared by all
-    plans over one weight store (slices at different widths are distinct
-    entries), so concurrent serving threads only ever *read* packed arrays.
+    Entries are keyed by ``(layer, slices, layout, dtype)`` and carry the
+    weight / bias version counters they were packed at; a lookup that
+    observes a newer parameter version re-packs in place.  The cache is
+    shared by all plans over one weight store (slices at different widths
+    — and different backend layouts — are distinct entries), so concurrent
+    serving threads only ever *read* packed arrays.
 
     The steady-state lookup is lock-free: a dict get plus two int compares
     (each atomic under the GIL; entries are immutable tuples swapped in by
@@ -77,6 +99,21 @@ class PackedWeightCache:
         self._entries: Dict[tuple, Tuple[int, int, np.ndarray, np.ndarray]] = {}
         self.packs = 0  # total (re-)pack events, for staleness tests
 
+    def _lookup(self, key: tuple, layer, pack) -> Tuple[np.ndarray, np.ndarray]:
+        entry = self._entries.get(key)
+        wv, bv = layer.weight.version, layer.bias.version
+        if entry is not None and entry[0] == wv and entry[1] == bv:
+            return entry[2], entry[3]  # lock-free hot path
+        with self._lock:
+            entry = self._entries.get(key)
+            wv, bv = layer.weight.version, layer.bias.version
+            if entry is None or entry[0] != wv or entry[1] != bv:
+                arrays = pack()
+                entry = (wv, bv) + arrays
+                self._entries[key] = entry
+                self.packs += 1
+            return entry[2], entry[3]
+
     def conv_block(
         self,
         layer: SlicedConv2d,
@@ -90,44 +127,58 @@ class PackedWeightCache:
         in ``dtype`` — exactly what the eager path builds per call via
         ``ascontiguousarray(active_weight).reshape``.
         """
-        key = (layer, in_slice, out_slice, dtype.str)
-        entry = self._entries.get(key)
-        wv, bv = layer.weight.version, layer.bias.version
-        if entry is not None and entry[0] == wv and entry[1] == bv:
-            return entry[2], entry[3]  # lock-free hot path
-        with self._lock:
-            entry = self._entries.get(key)
-            wv, bv = layer.weight.version, layer.bias.version
-            if entry is None or entry[0] != wv or entry[1] != bv:
-                w = np.ascontiguousarray(
-                    layer.active_weight(in_slice, out_slice), dtype=dtype
-                )
-                w_mat = w.reshape(out_slice.width, -1)
-                bias = np.ascontiguousarray(layer.active_bias(out_slice), dtype=dtype)
-                entry = (wv, bv, w_mat, bias)
-                self._entries[key] = entry
-                self.packs += 1
-            return entry[2], entry[3]
+
+        def pack() -> Tuple[np.ndarray, np.ndarray]:
+            w = np.ascontiguousarray(
+                layer.active_weight(in_slice, out_slice), dtype=dtype
+            )
+            w_mat = w.reshape(out_slice.width, -1)
+            bias = np.ascontiguousarray(layer.active_bias(out_slice), dtype=dtype)
+            return w_mat, bias
+
+        key = (layer, in_slice, out_slice, "mat", dtype.str)
+        return self._lookup(key, layer, pack)
+
+    def conv_panels(
+        self,
+        layer: SlicedConv2d,
+        in_slice: ChannelSlice,
+        out_slice: ChannelSlice,
+        dtype: np.dtype,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(w_panels, bias)`` for the shifted-GEMM backend.
+
+        ``w_panels`` has shape ``(kw, C_out, C_in*kh)``: ``w_panels[j]`` is
+        the contiguous GEMM operand for kernel column ``j`` (see
+        :func:`~repro.nn.functional.shifted_gemm_conv`).
+        """
+
+        def pack() -> Tuple[np.ndarray, np.ndarray]:
+            w = np.ascontiguousarray(
+                layer.active_weight(in_slice, out_slice), dtype=dtype
+            )
+            kw = w.shape[-1]
+            panels = np.ascontiguousarray(
+                w.transpose(3, 0, 1, 2).reshape(kw, out_slice.width, -1)
+            )
+            bias = np.ascontiguousarray(layer.active_bias(out_slice), dtype=dtype)
+            return panels, bias
+
+        key = (layer, in_slice, out_slice, "panels", dtype.str)
+        return self._lookup(key, layer, pack)
 
     def linear_block(
         self, layer: SlicedLinear, feature_slice: ChannelSlice, dtype: np.dtype
     ) -> Tuple[np.ndarray, np.ndarray]:
         """``(weight, bias)`` for the classifier's active feature columns."""
-        key = (layer, feature_slice, dtype.str)
-        entry = self._entries.get(key)
-        wv, bv = layer.weight.version, layer.bias.version
-        if entry is not None and entry[0] == wv and entry[1] == bv:
-            return entry[2], entry[3]  # lock-free hot path
-        with self._lock:
-            entry = self._entries.get(key)
-            wv, bv = layer.weight.version, layer.bias.version
-            if entry is None or entry[0] != wv or entry[1] != bv:
-                w = np.ascontiguousarray(layer.active_weight(feature_slice), dtype=dtype)
-                bias = np.ascontiguousarray(layer.bias.data, dtype=dtype)
-                entry = (wv, bv, w, bias)
-                self._entries[key] = entry
-                self.packs += 1
-            return entry[2], entry[3]
+
+        def pack() -> Tuple[np.ndarray, np.ndarray]:
+            w = np.ascontiguousarray(layer.active_weight(feature_slice), dtype=dtype)
+            bias = np.ascontiguousarray(layer.bias.data, dtype=dtype)
+            return w, bias
+
+        key = (layer, feature_slice, "linear", dtype.str)
+        return self._lookup(key, layer, pack)
 
     def __len__(self) -> int:
         with self._lock:
@@ -153,6 +204,34 @@ class _ConvStep:
     act: Optional[str]        # unpadded NCHW buffer (only where needed)
     dst: Optional[str]        # next step's padded input (None on the last conv)
     dst_padding: int          # that next step's padding
+    row_block: Optional[int] = None  # im2col-blocked: output-row tile size
+
+
+@dataclass(frozen=True)
+class _ShiftedStep:
+    """One conv block lowered to kernel-column offset GEMMs (stride 1).
+
+    Activations flow channel-major: every ``src``/``dst`` arena is a
+    flattened ``(C, rows*Hp*Wp + tail)`` padded buffer whose per-image
+    blocks are contiguous, so each offset operand is a whole-row slice.
+    """
+
+    layer: SlicedConv2d
+    in_slice: ChannelSlice
+    out_slice: ChannelSlice
+    kernel: int
+    padding: int
+    in_hw: Tuple[int, int]
+    out_hw: Tuple[int, int]
+    padded_hw: Tuple[int, int]
+    pool: Optional[Tuple[int, int, Tuple[int, int]]]
+    src: str                  # (C_in, rows*Hp*Wp + tail) flattened arena
+    panel: str                # (C_in*kh, rows*Hp*Wp) rolling row panel
+    wide: str                 # (C_out, rows*Hp*Wp) wide GEMM accumulator
+    scratch: str              # (C_out, rows*Hp*Wp) accumulation scratch
+    act: Optional[str]        # (C_out, rows, oh, ow) channel-major activation
+    dst: Optional[str]        # next step's flattened arena (None on last conv)
+    dst_padding: int
 
 
 def _interior(buf: np.ndarray, n: int, padding: int, hw: Tuple[int, int]) -> np.ndarray:
@@ -163,8 +242,20 @@ def _interior(buf: np.ndarray, n: int, padding: int, hw: Tuple[int, int]) -> np.
     return buf[:n, :, padding : padding + h, padding : padding + w]
 
 
+def _flat_interior(
+    buf: np.ndarray, rows: int, padding: int, hw: Tuple[int, int]
+) -> np.ndarray:
+    """Channel-major ``(C, rows, h, w)`` interior view of a flattened arena."""
+    h, w = hw
+    hp, wp = h + 2 * padding, w + 2 * padding
+    view = buf[:, : rows * hp * wp].reshape(buf.shape[0], rows, hp, wp)
+    if padding == 0:
+        return view
+    return view[:, :, padding : padding + h, padding : padding + w]
+
+
 class InferencePlan:
-    """One compiled ``(sub-network, batch-rows, dtype)`` forward pass."""
+    """One compiled ``(sub-network, batch-rows, dtype, backend)`` forward pass."""
 
     def __init__(
         self,
@@ -172,11 +263,12 @@ class InferencePlan:
         spec: SubNetSpec,
         batch_rows: int,
         dtype: np.dtype,
-        steps: List[_ConvStep],
+        steps: List,
         feature_slice: ChannelSlice,
         buffers: List[BufferSpec],
         cache: PackedWeightCache,
         workspaces: int,
+        conv_backend: str,
     ) -> None:
         self.net = net
         self.spec = spec
@@ -184,10 +276,16 @@ class InferencePlan:
         self.batch_rows = batch_rows
         self.dtype = dtype
         self.cache = cache
+        self.conv_backend = conv_backend
         self._steps = steps
         self._feature_slice = feature_slice
         self._in_shape = (net.in_channels, net.image_size, net.image_size)
         self.workspaces = WorkspacePool(buffers, prealloc=workspaces)
+
+    @property
+    def exact(self) -> bool:
+        """True when outputs are bitwise-identical to the eager path."""
+        return self.conv_backend != "shifted-gemm"
 
     # -- compilation ----------------------------------------------------------
 
@@ -201,6 +299,7 @@ class InferencePlan:
         dtype: Optional[np.dtype] = None,
         cache: Optional[PackedWeightCache] = None,
         workspaces: int = 1,
+        conv_backend: str = "im2col",
     ) -> "InferencePlan":
         """Walk ``model`` once and compile its serving pass.
 
@@ -209,8 +308,11 @@ class InferencePlan:
         when ``width`` is omitted), or a model family plus a subnet name.
         ``dtype`` defaults to the active policy's inference dtype;
         ``batch_rows`` is the widest batch the plan's arenas can hold —
-        smaller requests run in leading-row views of the same buffers.
+        smaller requests run in leading-row views of the same buffers
+        (``shifted-gemm`` computes the full extent regardless — see the
+        module docs).  ``conv_backend`` picks the convolution lowering.
         """
+        F.check_conv_backend(conv_backend)
         if batch_rows <= 0:
             raise ValueError("batch_rows must be positive")
         net, spec = cls._resolve(model, width)
@@ -218,9 +320,37 @@ class InferencePlan:
         if cache is None:  # note: an empty cache is falsy (len 0) — test identity
             cache = PackedWeightCache()
 
-        steps: List[_ConvStep] = []
-        buffers: List[BufferSpec] = []
-        dt = dtype.name
+        walk = cls._walk(net, spec)
+        if conv_backend == "shifted-gemm":
+            steps, buffers = cls._compile_shifted(net, walk, batch_rows, dtype)
+        else:
+            steps, buffers = cls._compile_im2col(
+                net, walk, batch_rows, dtype, blocked=conv_backend == "im2col-blocked"
+            )
+
+        classifier = net.classifier
+        if not isinstance(classifier, SlicedLinear):
+            raise TypeError(f"cannot compile classifier {type(classifier).__name__}")
+        feature_slice = classifier.resolve_feature_slice(
+            net.feature_slice_for(spec.last_slice)
+        )
+        buffers.append(BufferSpec("logits", (batch_rows, classifier.out_features), dtype.name))
+        # Warm the packed cache at compile so the first request is already
+        # on the steady-state path.
+        for step in steps:
+            if conv_backend == "shifted-gemm":
+                cache.conv_panels(step.layer, step.in_slice, step.out_slice, dtype)
+            else:
+                cache.conv_block(step.layer, step.in_slice, step.out_slice, dtype)
+        cache.linear_block(classifier, feature_slice, dtype)
+        return cls(
+            net, spec, batch_rows, dtype, steps, feature_slice, buffers, cache,
+            workspaces, conv_backend,
+        )
+
+    @staticmethod
+    def _walk(net, spec: SubNetSpec) -> List[dict]:
+        """Shared geometry walk: one dict per conv block, in order."""
         size = net.image_size
         num = len(net.convs)
         if len(spec.conv_slices) != num:
@@ -229,26 +359,56 @@ class InferencePlan:
                 f"net has {num}"
             )
         prev: Optional[ChannelSlice] = None
-        paddings = [conv.padding for conv in net.convs]
-
+        walk: List[dict] = []
         for i, (conv, out_sl) in enumerate(zip(net.convs, spec.conv_slices)):
             if not isinstance(conv, SlicedConv2d):
                 raise TypeError(f"cannot compile layer {type(conv).__name__}")
             in_sl, out_sl = conv.resolve_slices(prev, out_sl)
             k = conv.kernel_size
             out_h = F.conv_out_size(size, k, conv.stride, conv.padding)
-            out_w = out_h
             pool_layer = net.pools.get(i)
             pool = None
-            after = (out_h, out_w)
+            after = (out_h, out_h)
             if pool_layer is not None:
                 ph = F.conv_out_size(out_h, pool_layer.kernel_size, pool_layer.stride, 0)
                 pool = (pool_layer.kernel_size, pool_layer.stride, (ph, ph))
                 after = (ph, ph)
+            walk.append(
+                dict(
+                    index=i,
+                    conv=conv,
+                    in_slice=in_sl,
+                    out_slice=out_sl,
+                    kernel=k,
+                    stride=conv.stride,
+                    padding=conv.padding,
+                    in_hw=(size, size),
+                    out_hw=(out_h, out_h),
+                    pool=pool,
+                    last=i == num - 1,
+                    next_padding=net.convs[i + 1].padding if i < num - 1 else 0,
+                )
+            )
+            size = after[0]
+            prev = out_sl
+        return walk
 
+    @classmethod
+    def _compile_im2col(
+        cls, net, walk: List[dict], batch_rows: int, dtype: np.dtype, *, blocked: bool
+    ) -> Tuple[List[_ConvStep], List[BufferSpec]]:
+        steps: List[_ConvStep] = []
+        buffers: List[BufferSpec] = []
+        dt = dtype.name
+        for info in walk:
+            i, conv = info["index"], info["conv"]
+            k, pad = info["kernel"], info["padding"]
+            size = info["in_hw"][0]
+            out_h, out_w = info["out_hw"]
+            in_c = info["in_slice"].width
+            out_c = info["out_slice"].width
+            pool, last = info["pool"], info["last"]
             src = f"in{i}"
-            in_c = in_sl.width  # resolve_slices already applied the slice_input rule
-            pad = conv.padding
             buffers.append(
                 BufferSpec(
                     src,
@@ -259,36 +419,41 @@ class InferencePlan:
             )
             rows = batch_rows * out_h * out_w
             buffers.append(BufferSpec(f"cols{i}", (rows, in_c * k * k), dt))
-            buffers.append(BufferSpec(f"gemm{i}", (rows, out_sl.width), dt))
+            buffers.append(BufferSpec(f"gemm{i}", (rows, out_c), dt))
             # The NHWC-flat GEMM result must land in NCHW somewhere: in a
             # dedicated act buffer when a pool reads it (or when it is the
             # final feature map), otherwise straight into the next conv's
             # padded input interior.
-            last = i == num - 1
             act = f"act{i}" if (pool is not None or last) else None
             if act is not None:
-                buffers.append(BufferSpec(act, (batch_rows, out_sl.width, out_h, out_w), dt))
+                buffers.append(BufferSpec(act, (batch_rows, out_c, out_h, out_w), dt))
             if last and pool is not None:
                 # A pooled final conv writes its features into a dedicated
                 # unpadded buffer (dst would otherwise be the next conv's
                 # padded input).
+                after = pool[2]
                 dst, dst_pad = f"pool{i}", 0
                 buffers.append(
-                    BufferSpec(dst, (batch_rows, out_sl.width, after[0], after[1]), dt)
+                    BufferSpec(dst, (batch_rows, out_c, after[0], after[1]), dt)
                 )
             elif last:
                 dst, dst_pad = None, 0
             else:
-                dst, dst_pad = f"in{i + 1}", paddings[i + 1]
+                dst, dst_pad = f"in{i + 1}", info["next_padding"]
+            row_block = None
+            if blocked:
+                row_block = F.im2col_row_block(
+                    in_c, size + 2 * pad, k, info["stride"], dtype.itemsize
+                )
             steps.append(
                 _ConvStep(
                     layer=conv,
-                    in_slice=in_sl,
-                    out_slice=out_sl,
+                    in_slice=info["in_slice"],
+                    out_slice=info["out_slice"],
                     kernel=(k, k),
-                    stride=conv.stride,
+                    stride=info["stride"],
                     padding=pad,
-                    in_hw=(size, size),
+                    in_hw=info["in_hw"],
                     out_hw=(out_h, out_w),
                     pool=pool,
                     src=src,
@@ -297,24 +462,88 @@ class InferencePlan:
                     act=act,
                     dst=dst,
                     dst_padding=dst_pad,
+                    row_block=row_block,
                 )
             )
-            size = after[0]
-            prev = out_sl
+        return steps, buffers
 
-        classifier = net.classifier
-        if not isinstance(classifier, SlicedLinear):
-            raise TypeError(f"cannot compile classifier {type(classifier).__name__}")
-        feature_slice = classifier.resolve_feature_slice(
-            net.feature_slice_for(spec.last_slice)
+    @classmethod
+    def _compile_shifted(
+        cls, net, walk: List[dict], batch_rows: int, dtype: np.dtype
+    ) -> Tuple[List[_ShiftedStep], List[BufferSpec]]:
+        steps: List[_ShiftedStep] = []
+        buffers: List[BufferSpec] = []
+        dt = dtype.name
+        for info in walk:
+            if info["stride"] != 1:
+                raise ValueError(
+                    "conv_backend='shifted-gemm' supports stride-1 convolutions "
+                    f"only (conv{info['index']} has stride {info['stride']}); "
+                    "use an im2col backend"
+                )
+            i = info["index"]
+            k, pad = info["kernel"], info["padding"]
+            size = info["in_hw"][0]
+            hp = wp = size + 2 * pad
+            block = hp * wp
+            length = batch_rows * block
+            tail = F.shifted_tail(k, wp)
+            in_c = info["in_slice"].width
+            out_c = info["out_slice"].width
+            out_h, out_w = info["out_hw"]
+            pool, last = info["pool"], info["last"]
+            src = f"in{i}"
+            # Padding borders and the inter-image tail are never written, so
+            # they stay zero forever.  Interior rows beyond a smaller batch
+            # are NOT re-zeroed — they hold a previous request's activations,
+            # whose outputs are computed at full extent and discarded (the
+            # valid result is always sliced to the live row count).
+            buffers.append(BufferSpec(src, (in_c, length + tail), dt, zeroed=True))
+            buffers.append(BufferSpec(f"panel{i}", (in_c * k, length), dt))
+            buffers.append(BufferSpec(f"wide{i}", (out_c, length), dt))
+            buffers.append(BufferSpec(f"scratch{i}", (out_c, length), dt))
+            act = f"act{i}" if (pool is not None or last) else None
+            if act is not None:
+                buffers.append(BufferSpec(act, (out_c, batch_rows, out_h, out_w), dt))
+            if last and pool is not None:
+                after = pool[2]
+                dst, dst_pad = f"pool{i}", 0
+                buffers.append(
+                    BufferSpec(dst, (out_c, batch_rows * after[0] * after[1]), dt)
+                )
+            elif last:
+                dst, dst_pad = None, 0
+            else:
+                dst, dst_pad = f"in{i + 1}", info["next_padding"]
+            steps.append(
+                _ShiftedStep(
+                    layer=info["conv"],
+                    in_slice=info["in_slice"],
+                    out_slice=info["out_slice"],
+                    kernel=k,
+                    padding=pad,
+                    in_hw=info["in_hw"],
+                    out_hw=(out_h, out_w),
+                    padded_hw=(hp, wp),
+                    pool=pool,
+                    src=src,
+                    panel=f"panel{i}",
+                    wide=f"wide{i}",
+                    scratch=f"scratch{i}",
+                    act=act,
+                    dst=dst,
+                    dst_padding=dst_pad,
+                )
+            )
+        # The classifier reads image-major features: one transposed copy of
+        # the final channel-major activation.
+        last_info = walk[-1]
+        feat_c = last_info["out_slice"].width
+        feat_hw = last_info["pool"][2] if last_info["pool"] else last_info["out_hw"]
+        buffers.append(
+            BufferSpec("feat", (batch_rows, feat_c * feat_hw[0] * feat_hw[1]), dt)
         )
-        buffers.append(BufferSpec("logits", (batch_rows, classifier.out_features), dt))
-        # Warm the packed cache at compile so the first request is already
-        # on the steady-state path.
-        for step in steps:
-            cache.conv_block(step.layer, step.in_slice, step.out_slice, dtype)
-        cache.linear_block(classifier, feature_slice, dtype)
-        return cls(net, spec, batch_rows, dtype, steps, feature_slice, buffers, cache, workspaces)
+        return steps, buffers
 
     @staticmethod
     def _resolve(model, width: Union[str, SubNetSpec, None]):
@@ -379,6 +608,8 @@ class InferencePlan:
         if n > self.batch_rows:
             raise ValueError(f"{n} rows exceed the plan's {self.batch_rows}-row arena")
         with self.workspaces.checkout() as ws:
+            if self.conv_backend == "shifted-gemm":
+                return self._execute_shifted(ws, parts, n)
             return self._execute(ws, parts, n)
 
     def _execute(self, ws: Workspace, parts: Sequence[np.ndarray], n: int) -> np.ndarray:
@@ -400,7 +631,7 @@ class InferencePlan:
             out_h, out_w = step.out_hw
             rows = n * out_h * out_w
             cols = ws[step.cols][:rows]
-            F.im2col_into(x[:n], step.kernel, step.stride, cols)
+            F.im2col_into(x[:n], step.kernel, step.stride, cols, step.row_block)
             w_mat, bias = self.cache.conv_block(
                 step.layer, step.in_slice, step.out_slice, self.dtype
             )
@@ -424,6 +655,66 @@ class InferencePlan:
                 x = ws[step.dst]
 
         features = x[:n].reshape(n, -1)
+        return self._classify(ws, features, n)
+
+    def _execute_shifted(
+        self, ws: Workspace, parts: Sequence[np.ndarray], n: int
+    ) -> np.ndarray:
+        rows = self.batch_rows  # fixed compute extent (see module docs)
+        first = self._steps[0]
+        src = ws[first.src]
+        interior = _flat_interior(src, rows, first.padding, first.in_hw)
+        offset = 0
+        for part in parts:
+            k = part.shape[0]
+            # Channel-major scatter; rows beyond n keep whatever a previous
+            # request left — their outputs are computed and discarded.
+            np.copyto(interior[:, offset : offset + k], part.transpose(1, 0, 2, 3))
+            offset += k
+
+        x = src
+        final = None
+        for step in self._steps:
+            hp, wp = step.padded_hw
+            out_h, out_w = step.out_hw
+            w_panels, bias = self.cache.conv_panels(
+                step.layer, step.in_slice, step.out_slice, self.dtype
+            )
+            wide = F.shifted_gemm_conv(
+                x, w_panels, ws[step.panel], ws[step.wide], ws[step.scratch],
+                step.kernel, wp,
+            )
+            valid = wide.reshape(step.out_slice.width, rows, hp, wp)[
+                :, :, :out_h, :out_w
+            ]
+            if step.pool is not None:
+                act = ws[step.act]
+                F.bias_act_into(valid, bias, act)
+                pk, ps, pooled_hw = step.pool
+                dst = _flat_interior(ws[step.dst], rows, step.dst_padding, pooled_hw)
+                F.maxpool2d_into(act, pk, ps, dst)
+                x = ws[step.dst]
+                final = dst if step.dst.startswith("pool") else None
+            elif step.act is not None:
+                act = ws[step.act]
+                F.bias_act_into(valid, bias, act)
+                x = act
+                final = act
+            else:
+                dst = _flat_interior(ws[step.dst], rows, step.dst_padding, step.out_hw)
+                F.bias_act_into(valid, bias, dst)
+                x = ws[step.dst]
+
+        # Channel-major (C, n, h, w) -> image-major (n, C*h*w) features.
+        feat = ws["feat"][:n]
+        c = final.shape[0]
+        np.copyto(
+            feat.reshape(n, c, final.shape[2], final.shape[3]),
+            final[:, :n].transpose(1, 0, 2, 3),
+        )
+        return self._classify(ws, feat, n)
+
+    def _classify(self, ws: Workspace, features: np.ndarray, n: int) -> np.ndarray:
         w, b = self.cache.linear_block(self.net.classifier, self._feature_slice, self.dtype)
         logits = ws["logits"][:n]
         F.gemm_bias(features, w, b, logits)
@@ -445,8 +736,148 @@ class InferencePlan:
     def __repr__(self) -> str:
         return (
             f"InferencePlan({self.width}, rows={self.batch_rows}, "
-            f"dtype={self.dtype.name}, convs={len(self._steps)})"
+            f"dtype={self.dtype.name}, convs={len(self._steps)}, "
+            f"backend={self.conv_backend})"
         )
+
+
+class PlanLadder:
+    """A ladder of row-ceiling rungs for one ``(width, dtype, backend)``.
+
+    Each rung is an :class:`InferencePlan` compiled at one ``batch_rows``
+    ceiling; all rungs share one weight store and one
+    :class:`PackedWeightCache`, so the ladder costs extra *arena* memory
+    only — and the small rungs' arenas are tiny.  :meth:`run` /
+    :meth:`run_parts` dispatch each batch to the **smallest rung that
+    fits**, so mostly-small traffic touches mostly-small arenas (and, for
+    the shifted-GEMM backend, pays a matching compute extent instead of
+    the top rung's).  Ducks as a plan: the serving stack
+    (:class:`~repro.engine.session.InferenceSession`, replicas, the
+    frontend) treats ladders and single plans interchangeably.
+    """
+
+    def __init__(self, plans: Sequence[InferencePlan]) -> None:
+        if not plans:
+            raise ValueError("PlanLadder needs at least one rung")
+        rungs = sorted(plans, key=lambda p: p.batch_rows)
+        head = rungs[0]
+        for plan in rungs[1:]:
+            if (
+                plan.width != head.width
+                or plan.dtype != head.dtype
+                or plan.conv_backend != head.conv_backend
+                or plan.net is not head.net
+            ):
+                raise ValueError(
+                    "ladder rungs must share width, dtype, backend and weight store"
+                )
+        if len({p.batch_rows for p in rungs}) != len(rungs):
+            raise ValueError("ladder rungs must have distinct batch_rows")
+        self.rungs: Tuple[InferencePlan, ...] = tuple(rungs)
+        self.net = head.net
+        self.width = head.width
+        self.dtype = head.dtype
+        self.conv_backend = head.conv_backend
+        self.cache = head.cache
+
+    @property
+    def exact(self) -> bool:
+        return self.rungs[0].exact
+
+    @property
+    def batch_rows(self) -> int:
+        """The top rung's ceiling — the largest batch the ladder serves."""
+        return self.rungs[-1].batch_rows
+
+    def rung_for(self, rows: int) -> Optional[InferencePlan]:
+        """The smallest rung whose arena holds ``rows`` (None when none does)."""
+        for plan in self.rungs:
+            if rows <= plan.batch_rows:
+                return plan
+        return None
+
+    def accepts(self, x: np.ndarray) -> bool:
+        return self.rungs[-1].accepts(x)
+
+    def accepts_parts(self, parts: Sequence[np.ndarray]) -> bool:
+        return self.rungs[-1].accepts_parts(parts)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        plan = self.rung_for(x.shape[0]) if x.ndim >= 1 else None
+        if plan is None:
+            raise ValueError(
+                f"{x.shape[0]} rows exceed the ladder's top rung ({self.batch_rows})"
+            )
+        return plan.run(x)
+
+    def run_parts(self, parts: Sequence[np.ndarray]) -> np.ndarray:
+        rows = sum(p.shape[0] for p in parts)
+        plan = self.rung_for(rows)
+        if plan is None:
+            raise ValueError(
+                f"{rows} rows exceed the ladder's top rung ({self.batch_rows})"
+            )
+        return plan.run_parts(parts)
+
+    def flops_per_image(self) -> int:
+        return self.rungs[-1].flops_per_image()
+
+    def arena_nbytes(self) -> Dict[int, int]:
+        """Per-rung workspace footprint in bytes (one workspace each)."""
+        return {
+            p.batch_rows: p.workspaces.workspace_nbytes for p in self.rungs
+        }
+
+    def __repr__(self) -> str:
+        rows = "/".join(str(p.batch_rows) for p in self.rungs)
+        return (
+            f"PlanLadder({self.width}, rows={rows}, dtype={self.dtype.name}, "
+            f"backend={self.conv_backend})"
+        )
+
+
+def normalize_rows_ladder(
+    rows_ladder: Sequence[int], batch_rows: int
+) -> Tuple[int, ...]:
+    """Sorted unique rungs capped at ``batch_rows``, top rung included.
+
+    Rungs above the ceiling are dropped (not clamped) and the ceiling
+    itself is always a rung, so every admissible batch has a home and no
+    arena is larger than the caller's budget.
+    """
+    if batch_rows <= 0:
+        raise ValueError("batch_rows must be positive")
+    rungs = sorted({int(r) for r in rows_ladder if 0 < int(r) < batch_rows})
+    return tuple(rungs) + (batch_rows,)
+
+
+def compile_plan_ladder(
+    model,
+    width: Union[str, SubNetSpec, None] = None,
+    *,
+    batch_rows: int,
+    rows_ladder: Sequence[int] = DEFAULT_ROWS_LADDER,
+    dtype: Optional[np.dtype] = None,
+    cache: Optional[PackedWeightCache] = None,
+    workspaces: int = 1,
+    conv_backend: str = "im2col",
+) -> PlanLadder:
+    """Compile one :class:`PlanLadder` (see there) for a single width."""
+    if cache is None:
+        cache = PackedWeightCache()
+    plans = [
+        InferencePlan.compile(
+            model,
+            width,
+            batch_rows=rows,
+            dtype=dtype,
+            cache=cache,
+            workspaces=workspaces,
+            conv_backend=conv_backend,
+        )
+        for rows in normalize_rows_ladder(rows_ladder, batch_rows)
+    ]
+    return PlanLadder(plans)
 
 
 def compile_width_plans(
@@ -457,8 +888,10 @@ def compile_width_plans(
     dtype: Optional[np.dtype] = None,
     cache: Optional[PackedWeightCache] = None,
     workspaces: int = 1,
-) -> Dict[str, InferencePlan]:
-    """One plan per width over a single shared packed cache.
+    conv_backend: str = "im2col",
+    rows_ladder: Optional[Sequence[int]] = None,
+) -> Dict[str, Union[InferencePlan, PlanLadder]]:
+    """One plan (or, with ``rows_ladder``, one ladder) per width.
 
     The serving frontend's bulk entry point: all plans alias one weight
     store and one :class:`PackedWeightCache`, so N widths cost N arena
@@ -466,15 +899,28 @@ def compile_width_plans(
     """
     if cache is None:  # an empty cache is falsy (len 0) — test identity
         cache = PackedWeightCache()
-    plans: Dict[str, InferencePlan] = {}
+    plans: Dict[str, Union[InferencePlan, PlanLadder]] = {}
     for width in widths:
-        plan = InferencePlan.compile(
-            model,
-            width,
-            batch_rows=batch_rows,
-            dtype=dtype,
-            cache=cache,
-            workspaces=workspaces,
-        )
+        if rows_ladder is not None:
+            plan: Union[InferencePlan, PlanLadder] = compile_plan_ladder(
+                model,
+                width,
+                batch_rows=batch_rows,
+                rows_ladder=rows_ladder,
+                dtype=dtype,
+                cache=cache,
+                workspaces=workspaces,
+                conv_backend=conv_backend,
+            )
+        else:
+            plan = InferencePlan.compile(
+                model,
+                width,
+                batch_rows=batch_rows,
+                dtype=dtype,
+                cache=cache,
+                workspaces=workspaces,
+                conv_backend=conv_backend,
+            )
         plans[plan.width] = plan
     return plans

@@ -104,6 +104,11 @@ class WorkspacePool:
         with self._lock:
             self._free.append(workspace)
 
+    @property
+    def workspace_nbytes(self) -> int:
+        """Bytes one workspace occupies (each checkout costs this much)."""
+        return sum(spec.nbytes for spec in self.specs)
+
     @contextmanager
     def checkout(self) -> Iterator[Workspace]:
         ws = self.acquire()

@@ -96,7 +96,10 @@ class MicroBatchQueue:
         # run_batch_parts receives the per-request arrays unconcatenated
         # (stacked row order preserved) — a compiled-plan backend scatters
         # them straight into its input arena, skipping the np.concatenate
-        # temporary this queue would otherwise build per flush.
+        # temporary this queue would otherwise build per flush.  With a
+        # PlanLadder backend the flush's total row count also picks the
+        # smallest arena rung, so deadline flushes of one or two requests
+        # never touch the max_batch-sized buffers.
         self.run_batch_parts = run_batch_parts
         self.config = config or BatchingConfig()
         self.stats = BatchingStats()

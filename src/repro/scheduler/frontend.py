@@ -26,11 +26,12 @@ import threading
 import time
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.nn.plan import InferencePlan, compile_width_plans
+from repro.nn import functional as F
+from repro.nn.plan import InferencePlan, PlanLadder, compile_width_plans
 from repro.runtime.batching import BatchingConfig, DeadlineExceeded, MicroBatchQueue
 from repro.scheduler.admission import (
     CRITICAL_PRIORITY,
@@ -63,10 +64,19 @@ class SchedulerConfig:
     max_delay_s: float = 0.001
     compile_plans: bool = True  # compile one InferencePlan per allowed width
     plan_workspaces: int = 1    # arenas preallocated per plan (grows on demand)
+    conv_backend: str = "im2col"  # plan convolution lowering (see nn.functional.CONV_BACKENDS)
+    rows_ladder: Optional[Tuple[int, ...]] = None  # e.g. (1, 4, 16): compile a
+    # PlanLadder per width so small flushes run on small arenas (the top rung
+    # is always max_batch); None keeps one max_batch-rows plan per width.
 
     def __post_init__(self) -> None:
         if self.replicas <= 0:
             raise ValueError("replicas must be positive")
+        F.check_conv_backend(self.conv_backend)
+        if self.rows_ladder is not None and (
+            len(self.rows_ladder) == 0 or any(r <= 0 for r in self.rows_ladder)
+        ):
+            raise ValueError("rows_ladder must be a non-empty tuple of positive ints")
         if self.hedge_factor <= 1.0:
             raise ValueError("hedge_factor must exceed 1.0")
         if not 0.0 <= self.hedge_ratio <= 1.0:
@@ -159,17 +169,23 @@ class ServingFrontend:
         net = getattr(model, "net", model)
         if candidates is None:
             candidates = self._default_candidates(model, net)
-        # One compiled plan per allowed width, all over a single shared
+        # One compiled plan — or, with ``rows_ladder``, one PlanLadder of
+        # row-ceiling rungs — per allowed width, all over a single shared
         # packed-weight cache: the per-request resolve/cast/allocate work
         # vanishes from the hot path, and the replicas share the plans
-        # (workspace checkout isolates concurrent requests).
-        self.plans: Dict[str, InferencePlan] = {}
+        # (workspace checkout isolates concurrent requests).  A ladder
+        # dispatches each flush to the smallest rung that fits, so mostly-
+        # small traffic touches mostly-small arenas.  ``conv_backend``
+        # selects the convolution lowering for every compiled width.
+        self.plans: Dict[str, Union[InferencePlan, PlanLadder]] = {}
         if self.config.compile_plans:
             self.plans = compile_width_plans(
                 model,
                 list(candidates),
                 batch_rows=self.config.max_batch,
                 workspaces=self.config.plan_workspaces,
+                conv_backend=self.config.conv_backend,
+                rows_ladder=self.config.rows_ladder,
             )
         self.policy = WidthPolicy(
             net,

@@ -282,7 +282,29 @@ class TestFusedKernels:
     def test_maxpool2d_into_matches_eager(self, kernel, stride):
         rng = make_rng(21)
         x = rng.standard_normal((2, 3, 9, 9))
-        ref, _ = F.maxpool2d_forward(x, kernel, stride, need_indices=False)
+        # Compare against the index-carrying reduction, not need_indices=False
+        # (which now reuses maxpool2d_into itself).
+        ref, _ = F.maxpool2d_forward(x, kernel, stride, need_indices=True)
         out = np.empty_like(ref)
         F.maxpool2d_into(x, kernel, stride, out)
         np.testing.assert_array_equal(out, ref)
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        kernel=st.integers(1, 4),
+        stride=st.integers(1, 3),
+        extra=st.integers(0, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_eager_indexless_pool_is_bitwise_the_argmax_path(
+        self, seed, kernel, stride, extra
+    ):
+        """The eager inference pool (the ported pairwise fold) stays bitwise
+        identical to the argmax reduction for every window geometry — max is
+        exact, so fold order cannot matter."""
+        size = kernel + extra
+        x = make_rng(seed).standard_normal((2, 2, size, size))
+        indexed, argmax = F.maxpool2d_forward(x, kernel, stride, need_indices=True)
+        folded, no_idx = F.maxpool2d_forward(x, kernel, stride, need_indices=False)
+        assert argmax is not None and no_idx is None
+        np.testing.assert_array_equal(folded, indexed)

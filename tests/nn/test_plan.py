@@ -21,7 +21,14 @@ import pytest
 from repro.engine.session import InferenceSession
 from repro.models import build_model
 from repro.nn import SGD
-from repro.nn.plan import InferencePlan, PackedWeightCache, compile_width_plans
+from repro.nn.plan import (
+    InferencePlan,
+    PackedWeightCache,
+    PlanLadder,
+    compile_plan_ladder,
+    compile_width_plans,
+    normalize_rows_ladder,
+)
 from repro.utils import make_rng
 from repro.utils.dtypes import DtypePolicy, dtype_policy
 from repro.slimmable import paper_width_spec
@@ -253,3 +260,136 @@ class TestAllocationBudget:
         tracemalloc.stop()
 
         assert plan_peak * 10 < eager_peak, (plan_peak, eager_peak)
+
+
+class TestPlanLadder:
+    """Batch-rows ladder: smallest fitting rung, shared cache, zero allocs."""
+
+    @pytest.fixture(scope="class")
+    def ladder(self):
+        model = build_model("fluid", rng=make_rng(41))
+        return model, compile_plan_ladder(model, "lower50", batch_rows=16)
+
+    def test_default_rungs_and_ordering(self, ladder):
+        _, lad = ladder
+        assert [p.batch_rows for p in lad.rungs] == [1, 4, 16]
+        assert lad.batch_rows == 16
+
+    def test_every_batch_lands_on_smallest_fitting_rung(self, ladder):
+        _, lad = ladder
+        for rows in range(1, 17):
+            rung = lad.rung_for(rows)
+            expected = min(r.batch_rows for r in lad.rungs if rows <= r.batch_rows)
+            assert rung.batch_rows == expected, (rows, rung.batch_rows)
+        assert lad.rung_for(17) is None
+
+    def test_run_dispatches_to_matching_rung_arena(self, ladder):
+        model, lad = ladder
+        rng = make_rng(42)
+        for rows, expected in ((1, 1), (2, 4), (4, 4), (5, 16), (16, 16)):
+            rung = lad.rung_for(rows)
+            before = rung.workspaces.checkouts
+            lad.run(rng.standard_normal((rows, 1, 28, 28)))
+            assert rung.batch_rows == expected
+            assert rung.workspaces.checkouts == before + 1
+
+    def test_outputs_match_eager_on_every_rung(self, ladder):
+        model, lad = ladder
+        session = InferenceSession(model, "lower50")
+        rng = make_rng(43)
+        for rows in (1, 3, 16):
+            x = rng.standard_normal((rows, 1, 28, 28))
+            np.testing.assert_array_equal(lad.run(x), session.run(x))
+
+    def test_run_parts_uses_total_rows(self, ladder):
+        _, lad = ladder
+        rng = make_rng(44)
+        parts = [rng.standard_normal((2, 1, 28, 28)) for _ in range(2)]
+        rung = lad.rung_for(4)
+        before = rung.workspaces.checkouts
+        out = lad.run_parts(parts)
+        assert out.shape == (4, 10)
+        assert rung.workspaces.checkouts == before + 1
+
+    def test_rungs_share_one_packed_cache(self, ladder):
+        _, lad = ladder
+        assert all(p.cache is lad.cache for p in lad.rungs)
+        # Identical (layer, slices, dtype) keys: N rungs cost zero extra
+        # packs over a single plan.
+        single = InferencePlan.compile(lad.net, "lower50", batch_rows=4)
+        assert len(lad.cache) == len(single.cache)
+
+    def test_oversized_batch_raises(self, ladder):
+        _, lad = ladder
+        with pytest.raises(ValueError, match="top rung"):
+            lad.run(make_rng(45).standard_normal((17, 1, 28, 28)))
+
+    def test_session_falls_back_to_eager_outside_every_rung(self, ladder):
+        model, lad = ladder
+        session = InferenceSession(model, "lower50", plan=lad)
+        x = make_rng(46).standard_normal((17, 1, 28, 28))
+        assert not lad.accepts(x)
+        checkouts = [r.workspaces.checkouts for r in lad.rungs]
+        out = session.run(x)
+        assert out.shape == (17, 10)
+        assert [r.workspaces.checkouts for r in lad.rungs] == checkouts
+        np.testing.assert_array_equal(out, InferenceSession(model, "lower50").run(x))
+
+    def test_small_rung_arenas_are_smaller(self, ladder):
+        _, lad = ladder
+        sizes = lad.arena_nbytes()
+        assert sizes[1] < sizes[4] < sizes[16]
+
+    def test_zero_steady_state_allocations_on_every_rung(self, ladder):
+        _, lad = ladder
+        rng = make_rng(47)
+        inputs = {p.batch_rows: rng.standard_normal((p.batch_rows, 1, 28, 28))
+                  for p in lad.rungs}
+        for x in inputs.values():
+            lad.run(x)  # warm every rung's arena
+        runs = 10
+        tracemalloc.start()
+        for _ in range(runs):
+            for x in inputs.values():
+                lad.run(x)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        per_request = peak / (runs * len(inputs))
+        assert per_request < TestAllocationBudget.PER_REQUEST_BUDGET, per_request
+
+    def test_mixed_rungs_rejected(self, ladder):
+        model, lad = ladder
+        other_width = InferencePlan.compile(model, "lower25", batch_rows=2)
+        with pytest.raises(ValueError, match="share"):
+            PlanLadder([lad.rungs[0], other_width])
+        other_backend = InferencePlan.compile(
+            model, "lower50", batch_rows=2, conv_backend="shifted-gemm"
+        )
+        with pytest.raises(ValueError, match="share"):
+            PlanLadder([lad.rungs[0], other_backend])
+        dup = InferencePlan.compile(model, "lower50", batch_rows=1)
+        with pytest.raises(ValueError, match="distinct"):
+            PlanLadder([lad.rungs[0], dup])
+        with pytest.raises(ValueError, match="at least one"):
+            PlanLadder([])
+
+    def test_normalize_rows_ladder(self):
+        assert normalize_rows_ladder((1, 4, 16), 8) == (1, 4, 8)
+        assert normalize_rows_ladder((4, 1, 4), 16) == (1, 4, 16)
+        assert normalize_rows_ladder((32,), 8) == (8,)
+        assert normalize_rows_ladder((), 3) == (3,)
+        with pytest.raises(ValueError):
+            normalize_rows_ladder((1, 2), 0)
+
+    def test_compile_width_plans_builds_ladders_on_request(self, ladder):
+        model, _ = ladder
+        plans = compile_width_plans(
+            model, ["lower25", "lower50"], batch_rows=8, rows_ladder=(1, 4)
+        )
+        assert set(plans) == {"lower25", "lower50"}
+        for lad in plans.values():
+            assert isinstance(lad, PlanLadder)
+            assert [p.batch_rows for p in lad.rungs] == [1, 4, 8]
+        # All widths' rungs share one cache.
+        caches = {id(lad.cache) for lad in plans.values()}
+        assert len(caches) == 1

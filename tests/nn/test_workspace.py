@@ -81,3 +81,16 @@ class TestWorkspacePool:
         for t in threads:
             t.join()
         assert len(set(ids)) == 4  # no two concurrent holders shared scratch
+
+
+class TestWorkspaceNbytes:
+    def test_pool_reports_per_workspace_footprint(self):
+        specs = [
+            BufferSpec("a", (4, 8), "float64"),
+            BufferSpec("b", (16,), "float32", zeroed=True),
+        ]
+        pool = WorkspacePool(specs, prealloc=1)
+        expected = 4 * 8 * 8 + 16 * 4
+        assert pool.workspace_nbytes == expected
+        with pool.checkout() as ws:
+            assert ws.nbytes == expected

@@ -139,3 +139,34 @@ class TestScheduledServe:
         out = capsys.readouterr().out
         assert "scheduler" in out and "fixed_widest" in out
         assert "miss-rate" in out and "p99" in out
+
+
+class TestConvBackendFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.conv_backend == "im2col"
+        assert args.rows_ladder is None
+
+    def test_backend_choices(self):
+        args = build_parser().parse_args(["serve", "--conv-backend", "shifted-gemm"])
+        assert args.conv_backend == "shifted-gemm"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--conv-backend", "winograd"])
+
+    def test_rows_ladder_parsing(self):
+        from repro.cli import _parse_rows_ladder
+
+        assert _parse_rows_ladder("1,4,16") == (1, 4, 16)
+        assert _parse_rows_ladder(None) is None
+        with pytest.raises(SystemExit):
+            _parse_rows_ladder("1,x")
+        with pytest.raises(SystemExit):
+            _parse_rows_ladder("0,4")
+        with pytest.raises(SystemExit):
+            _parse_rows_ladder("")
+
+    def test_plan_flags_require_sla_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--conv-backend", "shifted-gemm"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--rows-ladder", "1,4"])
