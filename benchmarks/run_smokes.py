@@ -77,6 +77,11 @@ SMOKES: Tuple[Smoke, ...] = (
         (sys.executable, "benchmarks/bench_plan.py", "--smoke"),
         "compiled plans vs eager: all conv backends, ladder, eager fallback",
     ),
+    Smoke(
+        "multiproc",
+        (sys.executable, "benchmarks/bench_multiproc.py", "--smoke"),
+        "process-pool replicas over shm weights: zero-copy, invalidation, parity",
+    ),
 )
 
 
@@ -164,12 +169,58 @@ def check_nn_micro_record(record: dict) -> None:
         assert any(required in n for n in names), f"{required} missing from record"
 
 
+def check_multiproc_record(record: dict) -> None:
+    zero_copy = record["zero_copy"]
+    assert zero_copy["single_weight_segment_set"] is True, (
+        "multiproc record lost the zero-copy fact (one weight segment set "
+        "regardless of worker count)"
+    )
+    counts = set(zero_copy["weight_segments_by_worker_count"].values())
+    assert counts == {1}, (
+        f"weight segment counts vary with worker count: "
+        f"{zero_copy['weight_segments_by_worker_count']}"
+    )
+    invalidation = record["invalidation"]
+    assert invalidation["repacks_observed"] is True, (
+        "multiproc record lost the cross-process invalidation fact"
+    )
+    assert invalidation["parity_after_update"] is True, (
+        "multiproc record lost the post-update parity fact"
+    )
+    workers = record["workers"]
+    assert sorted(int(k) for k in workers) == [1, 2, 4, 8], (
+        f"multiproc record covers worker counts {sorted(workers)}, expected 1/2/4/8"
+    )
+    for count, stats in workers.items():
+        assert stats["thread_rows_per_s"] > 0 and stats["process_rows_per_s"] > 0, (
+            f"non-positive rows/s recorded at {count} workers"
+        )
+        assert stats["ring_segments"] == int(count), (
+            f"{stats['ring_segments']} I/O rings for {count} workers (expected one each)"
+        )
+    # Wall-clock ordering facts are machine-conditional (see the record's
+    # scaling note): gate them on the core count the record was made with.
+    if record["cores"] >= 4:
+        at4 = workers["4"]
+        assert at4["process_rows_per_s"] >= 2.0 * at4["thread_rows_per_s"], (
+            f"process backend {at4['process_rows_per_s']:.0f} rows/s not >= 2x "
+            f"thread {at4['thread_rows_per_s']:.0f} at 4 workers on a "
+            f"{record['cores']}-core recorder"
+        )
+        widest = str(max(int(k) for k in workers))
+        assert (
+            workers[widest]["process_rows_per_s"]
+            > workers[widest]["thread_rows_per_s"]
+        ), f"thread >= process at {widest} workers on a multi-core recorder"
+
+
 RECORD_CHECKS: Tuple[Tuple[str, Callable[[dict], None]], ...] = (
     ("BENCH_plan.json", check_plan_record),
     ("BENCH_scheduler.json", check_scheduler_record),
     ("BENCH_serving.json", check_serving_record),
     ("BENCH_dtype_policy.json", check_dtype_policy_record),
     ("BENCH_nn_micro.json", check_nn_micro_record),
+    ("BENCH_multiproc.json", check_multiproc_record),
 )
 
 

@@ -123,6 +123,19 @@ def build_parser() -> argparse.ArgumentParser:
         "ladder per width so small flushes run on small arenas; the top rung "
         "is always --max-batch",
     )
+    serve.add_argument(
+        "--replica-backend", choices=("thread", "process"), default="thread",
+        help="what an --sla replica is: thread (shared interpreter) or "
+        "process (forked workers over shared-memory weights, GIL-free)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="pool size for --replica-backend process (alias for --replicas)",
+    )
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="print per-worker telemetry (rows, repacks, rows/s) after the run",
+    )
 
     sub.add_parser("calibration", help="show emulated-testbed calibration vs paper")
     return parser
@@ -239,6 +252,16 @@ def cmd_serve(args) -> int:
         # Only the --sla frontend compiles plans; silently ignoring these
         # would report default-backend numbers under a shifted-gemm label.
         raise SystemExit("--conv-backend/--rows-ladder require --sla (compiled-plan serving)")
+    if args.sla is None and (
+        args.replica_backend != "thread" or args.workers is not None or args.stats
+    ):
+        raise SystemExit(
+            "--replica-backend/--workers/--stats require --sla (scheduled serving)"
+        )
+    if args.workers is not None:
+        if args.workers <= 0:
+            raise SystemExit("--workers must be positive")
+        args.replicas = args.workers
     model = build_model(args.family, rng=make_rng(args.seed))
     if args.weights:
         model.load_state_dict(load_state(args.weights))
@@ -290,6 +313,7 @@ def _serve_scheduled(model, args) -> int:
         max_delay_s=args.max_delay_ms / 1000.0,
         conv_backend=args.conv_backend,
         rows_ladder=args.rows_ladder,
+        replica_backend=args.replica_backend,
     )
     report = run_scheduler_comparison(
         model, trace, replicas=args.replicas, scheduler_config=scheduler_config
@@ -314,6 +338,21 @@ def _serve_scheduled(model, args) -> int:
         f"goodput ratio {comp['goodput_ratio']:.2f}x, "
         f"scheduler lost {comp['scheduler_lost']} requests"
     )
+    if args.stats:
+        workers = report["scheduler"]["frontend"].get("workers", [])
+        if workers:
+            print(f"  per-worker telemetry ({args.replica_backend} backend):")
+            for w in workers:
+                rate = w["rows_per_s"]
+                rate_s = f"{rate:9.1f}" if rate is not None else "      n/a"
+                state = "up" if w["alive"] else "DOWN"
+                print(
+                    f"    worker {w['worker']}: {state:4s}  rows {w['rows']:6d}  "
+                    f"batches {w['batches']:5d}  repacks {w['repacks']:4d}  "
+                    f"rows/s {rate_s}"
+                )
+        else:
+            print("  per-worker telemetry: none (thread backend records pool-level metrics)")
     return 0
 
 

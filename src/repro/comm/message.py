@@ -16,13 +16,24 @@ class MessageKind:
     PING = "ping"
     PONG = "pong"
     RUN_SUBNET = "run_subnet"          # standalone inference on a named sub-network
+    RUN_PARTS = "run_parts"            # one micro-batch flush (rows via shm ring)
     PARTIAL_FORWARD = "partial_forward"  # one partitioned layer step (HA mode)
     RESULT = "result"
     ERROR = "error"
     SHUTDOWN = "shutdown"
     CRASH = "crash"                     # test hook: simulate a power failure
 
-    ALL = (PING, PONG, RUN_SUBNET, PARTIAL_FORWARD, RESULT, ERROR, SHUTDOWN, CRASH)
+    ALL = (
+        PING,
+        PONG,
+        RUN_SUBNET,
+        RUN_PARTS,
+        PARTIAL_FORWARD,
+        RESULT,
+        ERROR,
+        SHUTDOWN,
+        CRASH,
+    )
 
 
 @dataclass

@@ -23,7 +23,10 @@ class TcpTransport(Transport):
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # AF_UNIX socketpairs (process-pool workers) have no Nagle
         self._closed = False
 
     def send(self, message: Message) -> None:

@@ -54,6 +54,18 @@ class EndpointUnavailable(RuntimeError):
     """Raised when an endpoint's device cannot be reached (the failure signal)."""
 
 
+class EndpointTimeout(RuntimeError):
+    """The endpoint missed the request timeout but its peer is still alive.
+
+    Distinct from :class:`EndpointUnavailable` so callers can hedge or keep
+    waiting (the reply is still coming — the transport stays in sync and
+    :meth:`TransportEndpoint.await_reply` resumes the wait) instead of
+    ejecting a worker that is merely slow.  Raised only when the endpoint
+    was built with an ``alive_probe``; without one, every failure keeps the
+    legacy "unavailable" classification.
+    """
+
+
 @dataclass
 class EndpointReply:
     """One endpoint response plus its accounting facts."""
@@ -195,10 +207,18 @@ class TransportEndpoint(Endpoint):
         transport: Optional[Transport],
         *,
         request_timeout: float = 10.0,
+        alive_probe: Optional[Any] = None,
     ) -> None:
         self.name = name
         self.transport = transport
         self.request_timeout = request_timeout
+        # Optional () -> bool liveness oracle independent of the transport
+        # (e.g. ``Process.is_alive`` for a process-pool worker).  With a
+        # probe installed, a recv timeout on an open transport whose peer
+        # probes alive raises EndpointTimeout ("slow") instead of
+        # EndpointUnavailable ("dead").
+        self.alive_probe = alive_probe
+        self._pending_sent_bytes = 0
 
     @property
     def available(self) -> bool:
@@ -219,15 +239,38 @@ class TransportEndpoint(Endpoint):
             raise EndpointUnavailable(f"no transport to {self.name}")
         try:
             self.transport.send(message)
-            reply = self.transport.recv(timeout=self.request_timeout)
         except TransportError as exc:
+            raise EndpointUnavailable(str(exc)) from exc
+        self._pending_sent_bytes = sum(a.nbytes for a in message.arrays.values())
+        return self.await_reply()
+
+    def await_reply(self, timeout: Optional[float] = None) -> Tuple[Message, int]:
+        """Wait for the reply to the request currently in flight.
+
+        After an :class:`EndpointTimeout` the worker is still computing and
+        the transport is still in sync — call this again to keep waiting.
+        Re-*sending* after a timeout would desynchronise request/reply
+        pairing; patience loops must resume the recv instead.
+        """
+        try:
+            reply = self.transport.recv(timeout=timeout or self.request_timeout)
+        except TransportError as exc:
+            # A timeout leaves the transport open; hard failures close it.
+            # "Slow" therefore means: transport open AND the liveness probe
+            # (when we have one) still vouches for the peer.
+            if (
+                self.available
+                and self.alive_probe is not None
+                and self.alive_probe()
+            ):
+                raise EndpointTimeout(f"{self.name} slow: {exc}") from exc
             raise EndpointUnavailable(str(exc)) from exc
         if reply.kind == MessageKind.ERROR:
             raise EndpointUnavailable(
                 f"{self.name} error: {reply.fields.get('reason')}"
             )
         payload = max(
-            sum(a.nbytes for a in message.arrays.values()),
+            self._pending_sent_bytes,
             sum(a.nbytes for a in reply.arrays.values()),
         )
         return reply, int(payload)
@@ -243,6 +286,34 @@ class TransportEndpoint(Endpoint):
         logits = reply.arrays["logits"].astype(compute_dtype())
         return EndpointReply(
             arrays={"logits": logits},
+            fields=reply.fields,
+            compute_s=float(reply.fields.get("compute_s", 0.0)),
+            payload_bytes=payload,
+        )
+
+    def run_parts(
+        self,
+        width: str,
+        fields: Dict[str, Any],
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+    ) -> EndpointReply:
+        """One micro-batch flush crossing the process boundary as one message.
+
+        ``fields`` describes where the rows live — normally a shared-memory
+        ring placement (``{"ring_offset", "rows", "row_shape", "dtype"}``)
+        so no row bytes touch the wire; ``arrays`` is the inline fallback
+        for batches that outgrow the ring.  The reply mirrors the choice:
+        ring replies carry only an output placement descriptor.
+        """
+        reply, payload = self._request(
+            Message(
+                MessageKind.RUN_PARTS,
+                fields={"spec": width, **fields},
+                arrays=dict(arrays or {}),
+            )
+        )
+        return EndpointReply(
+            arrays=reply.arrays,
             fields=reply.fields,
             compute_s=float(reply.fields.get("compute_s", 0.0)),
             payload_bytes=payload,

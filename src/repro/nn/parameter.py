@@ -37,15 +37,43 @@ class Parameter:
         self.requires_grad = True
         self.grad_mask: Optional[np.ndarray] = None
         self._version = 0
+        # Optional single-element int64 ndarray backing the counter.  When
+        # the parameter storage lives in a shared-memory arena
+        # (:mod:`repro.nn.shm`) the counter lives there too, so worker
+        # processes observe parent-side bumps without any message traffic.
+        self._version_slot: Optional[np.ndarray] = None
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter (see module docstring)."""
+        if self._version_slot is not None:
+            return int(self._version_slot[0])
         return self._version
 
     def bump_version(self) -> None:
-        """Mark the parameter values as changed (invalidates packed caches)."""
-        self._version += 1
+        """Mark the parameter values as changed (invalidates packed caches).
+
+        Single-writer rule: when a shared version slot is attached, only
+        the process that owns the weights (the serving parent) may bump —
+        worker processes are readers.
+        """
+        if self._version_slot is not None:
+            self._version_slot[0] += 1
+        else:
+            self._version += 1
+
+    def attach_version_slot(self, slot: np.ndarray) -> None:
+        """Back the version counter with a shared ``int64`` slot.
+
+        ``slot`` is a one-element view into a shared-memory segment (see
+        :class:`repro.nn.shm.SharedParameterStore`).  The slot's current
+        value becomes the authoritative version; reads and bumps go
+        through it from now on, making the counter visible across
+        processes that map the same segment.
+        """
+        if slot.shape != (1,) or slot.dtype != np.int64:
+            raise ValueError("version slot must be a one-element int64 array")
+        self._version_slot = slot
 
     @property
     def shape(self):

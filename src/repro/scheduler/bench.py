@@ -226,6 +226,7 @@ def run_scheduler_comparison(
                 enable_hedging=False,
                 max_batch=sched_config.max_batch,
                 max_delay_s=sched_config.max_delay_s,
+                replica_backend=sched_config.replica_backend,
             )
             sla = SLA(
                 deadline_s=trace.deadline_s, min_width=widest, max_width=widest

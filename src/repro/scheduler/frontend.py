@@ -68,10 +68,15 @@ class SchedulerConfig:
     rows_ladder: Optional[Tuple[int, ...]] = None  # e.g. (1, 4, 16): compile a
     # PlanLadder per width so small flushes run on small arenas (the top rung
     # is always max_batch); None keeps one max_batch-rows plan per width.
+    replica_backend: str = "thread"  # "thread" shares one interpreter;
+    # "process" forks GIL-free workers over shared-memory weights
+    # (see repro.scheduler.procpool).
 
     def __post_init__(self) -> None:
         if self.replicas <= 0:
             raise ValueError("replicas must be positive")
+        if self.replica_backend not in ("thread", "process"):
+            raise ValueError(f"unknown replica backend {self.replica_backend!r}")
         F.check_conv_backend(self.conv_backend)
         if self.rows_ladder is not None and (
             len(self.rows_ladder) == 0 or any(r <= 0 for r in self.rows_ladder)
@@ -195,12 +200,29 @@ class ServingFrontend:
         self.admission = AdmissionController(
             headroom=self.config.admission_headroom, metrics=self.metrics
         )
+        process_options = None
+        if self.config.replica_backend == "process":
+            # Workers compile their *own* plans (packed blocks and
+            # workspaces must live in worker memory, GIL-free); this
+            # forwards the parent's plan recipe so both backends run the
+            # same compiled configuration.
+            process_options = {
+                "plan_options": {
+                    "compile": self.config.compile_plans,
+                    "batch_rows": self.config.max_batch,
+                    "workspaces": self.config.plan_workspaces,
+                    "conv_backend": self.config.conv_backend,
+                    "rows_ladder": self.config.rows_ladder,
+                }
+            }
         self.pool = ReplicaPool(
             model,
             self.config.replicas,
             config=heartbeat_config,
             metrics=self.metrics,
             plans=self.plans,
+            backend=self.config.replica_backend,
+            process_options=process_options,
         )
         self._queues: Dict[Tuple[int, str], MicroBatchQueue] = {}
         self._queues_lock = threading.Lock()
@@ -246,6 +268,13 @@ class ServingFrontend:
             elapsed = time.perf_counter() - started
             self.policy.observe(spec.name, elapsed)
             self.metrics.ewma("frontend.row_service_s").observe(elapsed)
+        if self.config.replica_backend == "process":
+            # Process workers compile plans per-process; prime the rest so
+            # no request pays a mid-trace compile stall (untimed — the
+            # EWMAs were calibrated on worker 0 above).
+            for other in self.pool.replicas[1:]:
+                for spec in self.policy.candidates:
+                    other.run(x, spec.name)
 
     # -- submission -----------------------------------------------------------
 
@@ -487,14 +516,41 @@ class ServingFrontend:
 
     def report(self) -> Dict:
         """JSON-friendly snapshot: metrics + width-policy calibration."""
-        return {
-            "metrics": self.metrics.snapshot(),
+        snapshot = self.metrics.snapshot()
+        report = {
+            "metrics": snapshot,
             "calibration": self.policy.calibration_snapshot(),
             "replicas": [
                 {"index": r.index, "alive": r.alive, "pending": r.pending}
                 for r in self.pool.replicas
             ],
         }
+        workers = self._worker_stats(snapshot)
+        if workers:
+            report["workers"] = workers
+        return report
+
+    def _worker_stats(self, snapshot: Dict) -> List[Dict]:
+        """Per-worker rows / repacks / measured rows/s (process backend)."""
+        counters = snapshot["counters"]
+        ewmas = snapshot["ewmas"]
+        stats = []
+        for replica in self.pool.replicas:
+            label = f"worker.{replica.index}"
+            if f"{label}.rows" not in counters and f"{label}.repacks" not in counters:
+                continue
+            rate = ewmas.get(f"{label}.rows_per_s", {})
+            stats.append(
+                {
+                    "worker": replica.index,
+                    "alive": replica.alive,
+                    "rows": counters.get(f"{label}.rows", 0),
+                    "batches": counters.get(f"{label}.batches", 0),
+                    "repacks": counters.get(f"{label}.repacks", 0),
+                    "rows_per_s": rate.get("value"),
+                }
+            )
+        return stats
 
     def close(self, timeout: Optional[float] = 10.0) -> None:
         """Drain every queue, stop the watchdog and the health loop.
@@ -534,6 +590,10 @@ class ServingFrontend:
             queue.close(timeout=timeout)
         self._health_stop.set()
         self._health_thread.join(timeout=timeout)
+        # Last: process workers shut down and unlink their shm rings (a
+        # no-op for thread replicas).  After the queue drain nothing can
+        # still be in flight on them.
+        self.pool.close()
 
     def __enter__(self) -> "ServingFrontend":
         return self

@@ -118,13 +118,26 @@ class Replica:
             raise ReplicaUnavailable(f"replica {self.index} died mid-request")
         return out
 
+    def close(self) -> None:
+        """Release endpoint resources (thread replicas hold none)."""
+
     def __repr__(self) -> str:
         state = "up" if self._alive else "down"
         return f"Replica({self.index}, {state}, pending={self.pending})"
 
 
 class ReplicaPool:
-    """Least-loaded routing over N replicas with heartbeat-driven ejection."""
+    """Least-loaded routing over N replicas with heartbeat-driven ejection.
+
+    ``backend`` selects what a replica *is*: ``"thread"`` (the default)
+    keeps N in-process session sets sharing one interpreter, while
+    ``"process"`` forks N worker processes over shared-memory weights
+    (:mod:`repro.scheduler.procpool`) — same routing, health and reroute
+    machinery either way, but process replicas escape the GIL and can
+    genuinely die (``kill -9``), which the heartbeat path handles
+    identically to a simulated thread kill.  ``process_options`` forwards
+    to :func:`~repro.scheduler.procpool.make_process_replicas`.
+    """
 
     def __init__(
         self,
@@ -134,13 +147,26 @@ class ReplicaPool:
         config: Optional[Config] = None,
         metrics: Optional[MetricsRegistry] = None,
         plans: Optional[Dict[str, object]] = None,
+        backend: str = "thread",
+        process_options: Optional[Dict] = None,
     ) -> None:
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
-        self.replicas: List[Replica] = [
-            Replica(i, model, plans) for i in range(num_replicas)
-        ]
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown replica backend {backend!r}")
+        self.backend = backend
         self.metrics = metrics or MetricsRegistry()
+        if backend == "process":
+            from repro.scheduler.procpool import make_process_replicas
+
+            self.replicas: List[Replica] = make_process_replicas(
+                model,
+                num_replicas,
+                metrics=self.metrics,
+                **(process_options or {}),
+            )
+        else:
+            self.replicas = [Replica(i, model, plans) for i in range(num_replicas)]
         # One monitor per replica, all reading the shared heartbeat config
         # keys — the same detector the live master/worker path uses.
         self.monitors: List[HeartbeatMonitor] = [
@@ -237,6 +263,13 @@ class ReplicaPool:
             finally:
                 replica.finish()
         raise ReplicaUnavailable("no healthy replicas")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every replica (process workers shut down and unlink shm)."""
+        for replica in self.replicas:
+            replica.close()
 
     def __repr__(self) -> str:
         return f"ReplicaPool({self.replicas!r})"

@@ -1,0 +1,483 @@
+"""Process-pool replicas: N interpreters, N GILs, one copy of the weights.
+
+The thread-backed :class:`~repro.scheduler.pool.Replica` parallelises
+inside one interpreter, so rows/s flatlines once the GIL saturates — long
+before the machine does.  :class:`ProcessReplica` is the escape hatch:
+
+* **Weights** move into shared memory **before** the workers fork
+  (:func:`repro.nn.shm.ensure_shared_parameters`), so every worker maps
+  the same physical pages — one weight segment set in ``/dev/shm`` no
+  matter how many workers serve (the zero-copy fact
+  ``benchmarks/bench_multiproc.py`` measures).
+* **Invalidation** rides ``Parameter.version``: the counters live in the
+  same segment, so a worker's
+  :class:`~repro.nn.plan.PackedWeightCache` observes parent-side weight
+  updates on its ordinary lock-free version compare and repacks — no
+  invalidation message exists in the protocol.
+* **Plans** are compiled *inside* each worker against the shared arenas
+  (packed blocks and workspaces are per-worker, private, GIL-free).
+* **Rows** cross the boundary through a per-worker shared-memory ring
+  (:class:`~repro.nn.shm.ShmRing`); the wire carries only a placement
+  descriptor, never pickled arrays.  Batches that outgrow the ring fall
+  back to inline arrays on the same message.
+* **Compute budget**: each worker pins ``OMP_NUM_THREADS`` (and the
+  loaded OpenBLAS) to its slice of the machine, so K workers × B threads
+  never oversubscribe the cores.
+
+The frontend talks to a worker over the existing
+:class:`~repro.engine.endpoints.TransportEndpoint` wire protocol
+(extended with the ``run_parts`` op) on an ``AF_UNIX`` socketpair.  A
+worker that misses the request timeout while its process is still alive
+raises :class:`~repro.engine.endpoints.EndpointTimeout` — the replica
+keeps waiting (the hedge watchdog covers stragglers independently);
+a dead process surfaces as
+:class:`~repro.scheduler.pool.ReplicaUnavailable` and flows through the
+pool's ordinary eject/reroute machinery.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import signal
+import socket
+import threading
+import time
+from multiprocessing import get_context
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.message import Message, MessageKind, error_message, result_message
+from repro.comm.tcp import TcpTransport
+from repro.comm.transport import TransportError
+from repro.engine.endpoints import (
+    EndpointReply,
+    EndpointTimeout,
+    EndpointUnavailable,
+    TransportEndpoint,
+)
+from repro.nn.shm import RING_SEGMENT_TAG, ShmRing, create_segment
+from repro.scheduler.pool import Replica, ReplicaUnavailable
+from repro.scheduler.telemetry import MetricsRegistry
+from repro.utils.dtypes import compute_dtype
+
+#: Default per-direction ring capacity (rows in, logits out).  16 MiB
+#: holds a 16-row float64 CIFAR-scale batch with two orders of magnitude
+#: to spare; MNIST-scale batches use a fraction of it.
+DEFAULT_RING_BYTES = 16 << 20
+
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "GOTO_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+_BLAS_SYMBOLS = (
+    "openblas_set_num_threads",
+    "openblas_set_num_threads_local",
+    "openblas_set_num_threads64_",
+    "scipy_openblas_set_num_threads64_",
+    "goto_set_num_threads",
+    "scipy_goto_set_num_threads64_",
+)
+
+
+def _loaded_blas_libraries() -> List[str]:
+    """Paths of BLAS shared objects already mapped into this process."""
+    paths: List[str] = []
+    try:
+        with open("/proc/self/maps") as maps:
+            for line in maps:
+                path = line.split(None, 5)[-1].strip() if " " in line else ""
+                if (
+                    path.endswith(".so")
+                    or ".so." in path
+                ) and ("blas" in path.lower() or "goto" in path.lower()):
+                    if path not in paths:
+                        paths.append(path)
+    except OSError:
+        pass
+    return paths
+
+
+def pin_blas_threads(n: int) -> bool:
+    """Pin this process's BLAS/OpenMP pool to ``n`` threads.
+
+    Sets the usual environment knobs (effective for libraries loaded
+    later / in children) and calls the thread-count setter of any
+    already-loaded OpenBLAS via ctypes (environment variables are read
+    only at library init, so a forked worker must set the live pool
+    explicitly).  Returns True when a live library accepted the call.
+    """
+    n = max(1, int(n))
+    for var in _BLAS_ENV_VARS:
+        os.environ[var] = str(n)
+    applied = False
+    for path in _loaded_blas_libraries():
+        try:
+            lib = ctypes.CDLL(path)
+        except OSError:
+            continue
+        for symbol in _BLAS_SYMBOLS:
+            fn = getattr(lib, symbol, None)
+            if fn is not None:
+                try:
+                    fn(ctypes.c_int(n))
+                except (ctypes.ArgumentError, OSError):
+                    continue
+                applied = True
+                break
+    return applied
+
+
+def partition_thread_budget(workers: int, total: Optional[int] = None) -> int:
+    """Per-worker BLAS thread budget: an even split of the visible cores."""
+    if total is None:
+        try:
+            total = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            total = os.cpu_count() or 1
+    return max(1, total // max(1, workers))
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _worker_main(
+    model,
+    transport_sock: socket.socket,
+    ring_segment_name: str,
+    ring_bytes: int,
+    plan_options: Dict,
+    omp_threads: int,
+) -> None:
+    """Forked worker entry: serve run_parts requests until shutdown.
+
+    Inherits ``model`` whose parameter storage already lives in shared
+    memory (the fork copied only the Python object graph, not the weight
+    pages).  Compiles its own plans lazily per width against the shared
+    arenas; packed blocks and workspaces stay private to this process.
+    """
+    signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent owns Ctrl-C
+    pin_blas_threads(omp_threads)
+
+    from multiprocessing import shared_memory
+
+    from repro.engine.session import InferenceSession
+    from repro.nn.plan import PackedWeightCache, compile_width_plans
+
+    transport = TcpTransport(transport_sock)
+    segment = shared_memory.SharedMemory(name=ring_segment_name)
+    in_ring = ShmRing(segment, 0, ring_bytes)
+    out_ring = ShmRing(segment, ring_bytes, ring_bytes)
+    cache = PackedWeightCache()
+    sessions: Dict[str, InferenceSession] = {}
+    compile_options = dict(plan_options)
+    compile_plans = compile_options.pop("compile", True)
+
+    def _session(width: str) -> InferenceSession:
+        if width not in sessions:
+            plan = None
+            if compile_plans:
+                plan = compile_width_plans(
+                    model, [width], cache=cache, **compile_options
+                )[width]
+            sessions[width] = InferenceSession(model, width, plan=plan)
+        return sessions[width]
+
+    def _handle_run_parts(message: Message) -> Message:
+        fields = message.fields
+        width = fields["spec"]
+        if "ring_offset" in fields:
+            shape = (int(fields["rows"]),) + tuple(fields["row_shape"])
+            x = in_ring.view(int(fields["ring_offset"]), shape, fields["dtype"])
+        else:
+            x = message.arrays["x"]
+        started = time.perf_counter()
+        out = _session(width).run(x)
+        compute_s = time.perf_counter() - started
+        reply_fields = {
+            "compute_s": compute_s,
+            "rows": int(out.shape[0]),
+            "packs": cache.packs,  # cumulative; the parent diffs per reply
+        }
+        if out.nbytes <= out_ring.capacity:
+            offset = out_ring.place(out)
+            return result_message(
+                {},
+                **reply_fields,
+                ring_offset=int(offset),
+                out_shape=[int(d) for d in out.shape],
+                dtype=out.dtype.name,
+            )
+        return result_message({"out": out}, **reply_fields)
+
+    try:
+        while True:
+            try:
+                message = transport.recv(timeout=None)
+            except TransportError:
+                break  # parent gone: nothing left to serve
+            if message.kind == MessageKind.PING:
+                transport.send(Message(MessageKind.PONG))
+                continue
+            if message.kind == MessageKind.SHUTDOWN:
+                break
+            if message.kind == MessageKind.CRASH:
+                os._exit(1)
+            try:
+                if message.kind == MessageKind.RUN_PARTS:
+                    reply = _handle_run_parts(message)
+                else:
+                    reply = error_message(f"unsupported op {message.kind!r}")
+            except Exception as exc:  # noqa: BLE001 - reported to the parent
+                reply = error_message(f"{type(exc).__name__}: {exc}")
+            try:
+                transport.send(reply)
+            except TransportError:
+                break
+    finally:
+        transport.close()
+        try:
+            segment.close()
+        except BufferError:
+            pass
+        # Skip inherited atexit machinery (pytest plugins, parent cleanup
+        # hooks): the worker owns nothing that outlives it — the ring and
+        # weight segments belong to the parent.
+        os._exit(0)
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class ProcessReplica(Replica):
+    """One forked serving worker behind the :class:`Replica` interface.
+
+    Call only after the model's parameters were moved into shared memory
+    (:func:`repro.nn.shm.ensure_shared_parameters`) — the fork then
+    inherits shm-backed storage, and parent-side weight writes (plus
+    their version bumps) are visible in every worker immediately.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        model,
+        *,
+        plan_options: Optional[Dict] = None,
+        omp_threads: int = 1,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        request_timeout: float = 2.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(index, model, plans=None)
+        self.metrics = metrics or MetricsRegistry()
+        self._ring_bytes = int(ring_bytes)
+        self._segment = create_segment(RING_SEGMENT_TAG, 2 * self._ring_bytes)
+        self._in_ring = ShmRing(self._segment, 0, self._ring_bytes)
+        self._out_ring = ShmRing(self._segment, self._ring_bytes, self._ring_bytes)
+        self._transport_lock = threading.Lock()  # one in-flight batch per worker
+        self._last_packs = 0
+
+        parent_sock, child_sock = socket.socketpair()
+        ctx = get_context("fork")
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(
+                model,
+                child_sock,
+                self._segment.name,
+                self._ring_bytes,
+                dict(plan_options or {"batch_rows": 16}),
+                omp_threads,
+            ),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        self._proc.start()
+        child_sock.close()
+        self._endpoint = TransportEndpoint(
+            f"worker-{index}",
+            TcpTransport(parent_sock),
+            request_timeout=request_timeout,
+            alive_probe=self._proc.is_alive,
+        )
+
+    # -- health ---------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive and self._proc.is_alive()
+
+    def ping(self) -> bool:
+        """Heartbeat target: OS-level process liveness.
+
+        Deliberately *not* a transport round-trip — the request/reply
+        stream is busy with batches, and an interleaved ping would steal
+        a reply.  ``kill -9`` flips this within one heartbeat interval.
+        """
+        return self._alive and self._proc.is_alive()
+
+    def kill(self) -> None:
+        """``kill -9`` the worker (the fault-injection twin of thread kill)."""
+        if self._proc.is_alive():
+            self._proc.kill()
+        self._alive = False
+
+    def revive(self) -> None:
+        raise RuntimeError("a SIGKILLed worker process cannot be revived")
+
+    # -- serving --------------------------------------------------------------
+
+    def run(self, x: np.ndarray, width: str) -> np.ndarray:
+        return self.run_parts([x], width)
+
+    def run_parts(self, parts: List[np.ndarray], width: str) -> np.ndarray:
+        if not self.ping():
+            raise ReplicaUnavailable(f"worker {self.index} is down")
+        dtype = compute_dtype(training=False)
+        with self._transport_lock:
+            started = time.perf_counter()
+            reply = self._exchange(parts, width, dtype)
+            service_s = time.perf_counter() - started
+        if "ring_offset" in reply.fields:
+            view = self._out_ring.view(
+                int(reply.fields["ring_offset"]),
+                tuple(reply.fields["out_shape"]),
+                reply.fields["dtype"],
+            )
+            out = view.copy()  # the ring is reused by the next batch
+        else:
+            out = reply.arrays["out"]
+        self._observe(reply, out.shape[0], service_s)
+        return out
+
+    def _exchange(self, parts: List[np.ndarray], width: str, dtype) -> EndpointReply:
+        total = sum(p.shape[0] for p in parts) * int(
+            np.prod(parts[0].shape[1:], dtype=np.int64)
+        ) * np.dtype(dtype).itemsize
+        try:
+            if total <= self._in_ring.capacity:
+                offset, rows = self._in_ring.place_parts(parts, dtype)
+                fields = {
+                    "ring_offset": int(offset),
+                    "rows": int(rows),
+                    "row_shape": [int(d) for d in parts[0].shape[1:]],
+                    "dtype": np.dtype(dtype).name,
+                }
+                return self._await(width, fields, None)
+            stacked = np.ascontiguousarray(
+                np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0],
+                dtype=dtype,
+            )
+            return self._await(width, {}, {"x": stacked})
+        except EndpointUnavailable as exc:
+            # An ERROR reply from a live worker leaves the transport in
+            # sync — the replica survives (the request reroutes anyway).
+            # A dead process / closed transport is permanent.
+            if not (self._proc.is_alive() and self._endpoint.available):
+                self._alive = False
+            raise ReplicaUnavailable(
+                f"worker {self.index} lost: {exc}"
+            ) from exc
+
+    def _await(self, width: str, fields: Dict, arrays) -> EndpointReply:
+        """Send one run_parts request; wait out slowness, fail on death.
+
+        :class:`EndpointTimeout` means the process is alive and still
+        computing — re-entering the recv keeps the transport in sync (a
+        re-send would desynchronise request/reply pairing).  Stragglers
+        are the hedge watchdog's problem, not ours.
+        """
+        try:
+            return self._endpoint.run_parts(width, fields, arrays)
+        except EndpointTimeout:
+            pass
+        while True:
+            try:
+                message, payload = self._endpoint.await_reply()
+            except EndpointTimeout:
+                continue
+            return EndpointReply(
+                arrays=message.arrays,
+                fields=message.fields,
+                compute_s=float(message.fields.get("compute_s", 0.0)),
+                payload_bytes=payload,
+            )
+
+    def _observe(self, reply: EndpointReply, rows: int, service_s: float) -> None:
+        """Per-worker telemetry: rows served, repacks, measured rows/s."""
+        label = f"worker.{self.index}"
+        self.metrics.counter(f"{label}.rows").inc(rows)
+        self.metrics.counter(f"{label}.batches").inc()
+        packs = int(reply.fields.get("packs", self._last_packs))
+        if packs > self._last_packs:
+            self.metrics.counter(f"{label}.repacks").inc(packs - self._last_packs)
+            self._last_packs = packs
+        if service_s > 0:
+            self.metrics.ewma(f"{label}.rows_per_s").observe(rows / service_s)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: SHUTDOWN message, join, escalate, unlink shm."""
+        self._alive = False
+        if self._proc.is_alive():
+            try:
+                with self._transport_lock:
+                    self._endpoint.shutdown()  # sends SHUTDOWN, closes transport
+            except (TransportError, OSError):
+                pass
+            self._proc.join(timeout=timeout)
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=timeout)
+            if self._proc.is_alive():
+                self._proc.kill()
+                self._proc.join(timeout=timeout)
+        else:
+            try:
+                self._endpoint.transport.close()
+            except (TransportError, OSError):
+                pass
+        self._proc.close()
+        from repro.nn.shm import _unlink_quietly
+
+        _unlink_quietly(self._segment.name)
+
+    def __repr__(self) -> str:
+        state = "up" if self.ping() else "down"
+        return f"ProcessReplica({self.index}, {state}, pending={self.pending})"
+
+
+def make_process_replicas(
+    model,
+    count: int,
+    *,
+    plan_options: Optional[Dict] = None,
+    ring_bytes: int = DEFAULT_RING_BYTES,
+    request_timeout: float = 2.0,
+    metrics: Optional[MetricsRegistry] = None,
+    total_threads: Optional[int] = None,
+) -> List[ProcessReplica]:
+    """Share the weights, partition the thread budget, fork ``count`` workers."""
+    from repro.nn.shm import ensure_shared_parameters
+
+    ensure_shared_parameters(model)
+    budget = partition_thread_budget(count, total_threads)
+    return [
+        ProcessReplica(
+            i,
+            model,
+            plan_options=plan_options,
+            omp_threads=budget,
+            ring_bytes=ring_bytes,
+            request_timeout=request_timeout,
+            metrics=metrics,
+        )
+        for i in range(count)
+    ]

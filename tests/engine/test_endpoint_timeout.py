@@ -1,0 +1,95 @@
+"""TransportEndpoint timeout classification: worker slow vs worker dead.
+
+A recv timeout alone is ambiguous: the peer may be computing a long batch
+(keep waiting / hedge) or it may be gone (eject immediately).  The
+endpoint disambiguates with an ``alive_probe`` — an OS-level liveness
+oracle independent of the transport.  Without a probe the legacy
+behaviour (every failure is :class:`EndpointUnavailable`) is preserved.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm.message import Message, MessageKind, result_message
+from repro.comm.transport import InProcChannel
+from repro.engine.endpoints import (
+    EndpointTimeout,
+    EndpointUnavailable,
+    TransportEndpoint,
+)
+
+
+def _endpoint(channel, probe=None, timeout=0.05):
+    return TransportEndpoint(
+        "w0", channel.a, request_timeout=timeout, alive_probe=probe
+    )
+
+
+class TestSlowVsDead:
+    def test_timeout_with_live_probe_is_slow(self):
+        channel = InProcChannel()
+        endpoint = _endpoint(channel, probe=lambda: True)
+        with pytest.raises(EndpointTimeout):
+            endpoint.run_parts("lower50", {"rows": 1})
+        # The transport survived the timeout: the reply can still arrive.
+        assert endpoint.available
+
+    def test_timeout_with_dead_probe_is_unavailable(self):
+        channel = InProcChannel()
+        endpoint = _endpoint(channel, probe=lambda: False)
+        with pytest.raises(EndpointUnavailable):
+            endpoint.run_parts("lower50", {"rows": 1})
+
+    def test_timeout_without_probe_keeps_legacy_classification(self):
+        channel = InProcChannel()
+        endpoint = _endpoint(channel, probe=None)
+        with pytest.raises(EndpointUnavailable):
+            endpoint.run_parts("lower50", {"rows": 1})
+
+    def test_closed_peer_is_unavailable_even_with_live_probe(self):
+        channel = InProcChannel()
+        endpoint = _endpoint(channel, probe=lambda: True)
+        channel.b.close()
+        with pytest.raises(EndpointUnavailable):
+            endpoint.run_parts("lower50", {"rows": 1})
+
+
+class TestAwaitReply:
+    def test_await_reply_resumes_after_timeout(self):
+        """The patience loop: a slow reply is eventually collected in sync."""
+        channel = InProcChannel()
+        endpoint = _endpoint(channel, probe=lambda: True, timeout=0.02)
+
+        def _slow_worker():
+            request = channel.b.recv(timeout=1.0)
+            assert request.kind == MessageKind.RUN_PARTS
+            import time
+
+            time.sleep(0.08)  # several request timeouts
+            channel.b.send(result_message({"out": np.ones((2, 3))}, compute_s=0.08))
+
+        worker = threading.Thread(target=_slow_worker, daemon=True)
+        worker.start()
+        with pytest.raises(EndpointTimeout):
+            endpoint.run_parts("lower50", {"rows": 2})
+        for _ in range(50):
+            try:
+                message, payload = endpoint.await_reply()
+                break
+            except EndpointTimeout:
+                continue
+        else:
+            pytest.fail("reply never arrived")
+        worker.join()
+        assert message.kind == MessageKind.RESULT
+        assert np.array_equal(message.arrays["out"], np.ones((2, 3)))
+        assert payload == message.arrays["out"].nbytes
+
+    def test_error_reply_is_unavailable(self):
+        channel = InProcChannel()
+        endpoint = _endpoint(channel, probe=lambda: True)
+        channel.b.send(Message(MessageKind.ERROR, fields={"reason": "boom"}))
+        with pytest.raises(EndpointUnavailable, match="boom"):
+            endpoint.run_parts("lower50", {"rows": 1})

@@ -1,0 +1,211 @@
+"""Shared-memory arenas: allocation, parameter sharing, rings, cleanup."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn.shm import (
+    RING_SEGMENT_TAG,
+    SharedParameterStore,
+    ShmArena,
+    ShmRing,
+    create_segment,
+    ensure_shared_parameters,
+    list_segments,
+    unlink_created_segments,
+)
+from repro.utils import make_rng
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = set(list_segments())
+    yield
+    unlink_created_segments()
+    assert set(list_segments()) <= before, "test leaked shm segments"
+
+
+class TestArena:
+    def test_alloc_returns_segment_backed_views(self):
+        arena = ShmArena.create(4096)
+        a, off_a = arena.alloc((4, 8), np.float64)
+        b, off_b = arena.alloc((16,), np.int64)
+        a[:] = 3.5
+        b[:] = 7
+        assert off_a == 0 and off_b >= a.nbytes
+        # Views alias the segment: rebuilding from (offset, shape) sees writes.
+        again = arena.view(off_a, (4, 8), np.float64)
+        assert np.array_equal(again, a)
+        arena.unlink()
+
+    def test_allocations_are_aligned(self):
+        arena = ShmArena.create(4096)
+        arena.alloc((3,), np.uint8)  # 3 bytes: next alloc must not pack behind it
+        _, offset = arena.alloc((2,), np.float64)
+        assert offset % 64 == 0
+        arena.unlink()
+
+    def test_exhaustion_raises(self):
+        arena = ShmArena.create(256)
+        with pytest.raises(MemoryError):
+            arena.alloc((4096,), np.float64)
+        arena.unlink()
+
+    def test_attach_sees_creator_writes(self):
+        arena = ShmArena.create(1024)
+        view, offset = arena.alloc((8,), np.float64)
+        view[:] = np.arange(8)
+        attached = ShmArena.attach(arena.name)
+        assert np.array_equal(attached.view(offset, (8,), np.float64), np.arange(8))
+        attached.segment.close()
+        arena.unlink()
+
+
+class TestSharedParameterStore:
+    def test_share_preserves_values_and_moves_storage(self):
+        model = build_model("fluid", rng=make_rng(0))
+        net = model.net
+        before = {n: p.data.copy() for n, p in net.named_parameters()}
+        store = ensure_shared_parameters(model)
+        for name, param in net.named_parameters():
+            assert np.array_equal(param.data, before[name]), name
+            assert param.data.base is not None  # a view, not owned storage
+        assert store.segment_name in list_segments("w")
+
+    def test_share_is_idempotent(self):
+        before = len(list_segments("w"))
+        model = build_model("fluid", rng=make_rng(0))
+        assert ensure_shared_parameters(model) is ensure_shared_parameters(model)
+        assert len(list_segments("w")) == before + 1
+
+    def test_version_slots_live_in_the_segment(self):
+        model = build_model("fluid", rng=make_rng(0))
+        store = ensure_shared_parameters(model)
+        param = next(iter(model.net.parameters()))
+        v = param.version
+        param.bump_version()
+        assert param.version == v + 1
+        # The counter is readable straight out of the arena (what a worker
+        # process mapping the same segment observes).
+        versions = store.arena.view(
+            store.versions_offset, (len(store.layout),), np.int64
+        )
+        assert int(versions[0]) == v + 1
+
+    def test_attach_maps_fresh_module_onto_shared_storage(self):
+        model = build_model("fluid", rng=make_rng(0))
+        store = ensure_shared_parameters(model)
+        twin = build_model("fluid", rng=make_rng(1)).net  # different init
+        described = store.describe()
+        SharedParameterStore.attach(
+            twin,
+            described["segment"],
+            [tuple(e) for e in described["layout"]],
+            described["versions_offset"],
+        )
+        for (_, p_shared), (_, p_twin) in zip(
+            model.net.named_parameters(), twin.named_parameters()
+        ):
+            assert np.array_equal(p_shared.data, p_twin.data)
+        # A creator-side write is visible through the attached module.
+        param = next(iter(model.net.parameters()))
+        param.data.flat[0] = 123.0
+        assert next(iter(twin.parameters())).data.flat[0] == 123.0
+
+    def test_forward_parity_after_sharing(self):
+        model = build_model("fluid", rng=make_rng(0))
+        from repro.engine.session import InferenceSession
+
+        x = make_rng(2).standard_normal((2, 1, 28, 28))
+        before = InferenceSession(model, "lower50").run(x)
+        ensure_shared_parameters(model)
+        after = InferenceSession(model, "lower50").run(x)
+        assert np.array_equal(before, after)
+
+
+class TestShmRing:
+    def _ring(self, nbytes=4096):
+        segment = create_segment(RING_SEGMENT_TAG, nbytes)
+        return ShmRing(segment, 0, nbytes)
+
+    def test_place_and_view_round_trip(self):
+        ring = self._ring()
+        x = make_rng(0).standard_normal((4, 7))
+        offset = ring.place(x)
+        assert np.array_equal(ring.view(offset, (4, 7), x.dtype), x)
+
+    def test_place_wraps_at_capacity(self):
+        ring = self._ring(4096)
+        x = np.arange(256, dtype=np.float64)  # 2048 bytes
+        first = ring.place(x)
+        second = ring.place(x)
+        third = ring.place(x)  # cannot fit past the tail: wraps to the start
+        assert first == 0 and second == 2048 and third == 0
+
+    def test_place_parts_matches_concatenate(self):
+        ring = self._ring()
+        parts = [
+            make_rng(1).standard_normal((2, 3)),
+            make_rng(2).standard_normal((1, 3)),
+        ]
+        offset, rows = ring.place_parts(parts, np.float64)
+        assert rows == 3
+        stacked = ring.view(offset, (3, 3), np.float64)
+        assert np.array_equal(stacked, np.concatenate(parts, axis=0))
+
+    def test_oversized_placement_raises(self):
+        ring = self._ring(256)
+        with pytest.raises(MemoryError):
+            ring.place(np.zeros(4096))
+
+
+class TestLifecycle:
+    def test_unlink_created_segments_is_a_leak_backstop(self):
+        before = len(list_segments())
+        create_segment(RING_SEGMENT_TAG, 1024)
+        create_segment(RING_SEGMENT_TAG, 1024)
+        assert len(list_segments()) == before + 2
+        assert unlink_created_segments() >= 2
+        assert len(list_segments()) == before
+
+    def test_unlink_is_idempotent(self):
+        create_segment(RING_SEGMENT_TAG, 1024)
+        unlink_created_segments()
+        assert unlink_created_segments() == 0
+
+    def test_forked_child_never_unlinks_parent_segments(self):
+        segment = create_segment(RING_SEGMENT_TAG, 1024)
+        pid = os.fork()
+        if pid == 0:  # child: the registry pid-guard must make this a no-op
+            unlink_created_segments()
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert segment.name in list_segments(RING_SEGMENT_TAG)
+
+    def test_sigterm_unlinks_segments_in_a_child(self):
+        import signal
+        import time
+
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child creates a segment, reports it, waits for SIGTERM
+            os.close(read_fd)
+            from repro.nn import shm
+
+            with shm._registry_lock:
+                shm._hooks_installed = False  # fork inherited the parent flag
+            segment = create_segment(RING_SEGMENT_TAG, 1024)
+            os.write(write_fd, segment.name.encode())
+            os.close(write_fd)
+            while True:
+                time.sleep(0.5)
+        os.close(write_fd)
+        name = os.read(read_fd, 256).decode()
+        os.close(read_fd)
+        assert name in list_segments(RING_SEGMENT_TAG)
+        os.kill(pid, signal.SIGTERM)
+        os.waitpid(pid, 0)
+        assert name not in list_segments(RING_SEGMENT_TAG)
