@@ -82,6 +82,11 @@ SMOKES: Tuple[Smoke, ...] = (
         (sys.executable, "benchmarks/bench_multiproc.py", "--smoke"),
         "process-pool replicas over shm weights: zero-copy, invalidation, parity",
     ),
+    Smoke(
+        "dist_plan",
+        (sys.executable, "benchmarks/bench_dist_plan.py", "--smoke"),
+        "compiled HA vs eager: bitwise parity, delta halos, zero steady-state alloc",
+    ),
 )
 
 
@@ -214,6 +219,31 @@ def check_multiproc_record(record: dict) -> None:
         ), f"thread >= process at {widest} workers on a multi-core recorder"
 
 
+def check_dist_plan_record(record: dict) -> None:
+    parity = record["parity"]
+    assert all(parity.values()), f"compiled/eager parity facts failed: {parity}"
+    assert record["meets_threshold"] is True
+    assert record["speedup_ha_batch1_inprocess"] >= record["acceptance_threshold"], (
+        f"recorded compiled-HA speedup {record['speedup_ha_batch1_inprocess']:.2f} "
+        f"below its own threshold {record['acceptance_threshold']}"
+    )
+    ex = record["exchange_bytes"]
+    eager, compiled = ex["eager_per_round"], ex["compiled_per_round"]
+    assert len(compiled) == len(eager) and sum(compiled) < sum(eager), (
+        f"delta halos did not reduce exchange bytes: {compiled} vs {eager}"
+    )
+    assert all(c < e for c, e in zip(compiled[1:], eager[1:])), (
+        "every post-input round must record fewer compiled bytes"
+    )
+    assert ex["reduction"] > 0.25, (
+        f"recorded exchange-byte reduction {ex['reduction']:.0%} below 25%"
+    )
+    alloc = record["zero_alloc"]
+    assert all(alloc.values()), f"steady-state allocation facts failed: {alloc}"
+    for transport in ("inprocess", "wire_inproc", "tcp"):
+        assert record["figure2"][transport]["ha"], f"{transport} HA results missing"
+
+
 RECORD_CHECKS: Tuple[Tuple[str, Callable[[dict], None]], ...] = (
     ("BENCH_plan.json", check_plan_record),
     ("BENCH_scheduler.json", check_scheduler_record),
@@ -221,6 +251,7 @@ RECORD_CHECKS: Tuple[Tuple[str, Callable[[dict], None]], ...] = (
     ("BENCH_dtype_policy.json", check_dtype_policy_record),
     ("BENCH_nn_micro.json", check_nn_micro_record),
     ("BENCH_multiproc.json", check_multiproc_record),
+    ("BENCH_dist_plan.json", check_dist_plan_record),
 )
 
 

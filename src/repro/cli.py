@@ -137,6 +137,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-worker telemetry (rows, repacks, rows/s) after the run",
     )
 
+    dist = sub.add_parser(
+        "dist",
+        help="drive the distributed engine (solo/HT/HA) eager vs compiled and "
+        "report wall-clock, ledger, and per-round exchange bytes",
+    )
+    dist.add_argument("--mode", choices=("ha", "ht", "solo"), default="ha")
+    dist.add_argument("--subnet", default=None, help="combined sub-network for HA (default lower100)")
+    dist.add_argument("--batch", type=int, default=16)
+    dist.add_argument("--batches", type=int, default=8, help="timed batches after one warmup")
+    dist.add_argument("--split", type=int, default=None, help="partition split (default: family split)")
+    dist.add_argument("--seed", type=int, default=0)
+    dist.add_argument(
+        "--tcp", action="store_true",
+        help="drive a subprocess worker over real TCP instead of in-process endpoints",
+    )
+    dist.add_argument(
+        "--compiled", dest="compiled", action="store_true", default=None,
+        help="run only the compiled path (default: both, with a parity check)",
+    )
+    dist.add_argument(
+        "--eager", dest="compiled", action="store_false",
+        help="run only the eager path",
+    )
+
     sub.add_parser("calibration", help="show emulated-testbed calibration vs paper")
     return parser
 
@@ -356,6 +380,112 @@ def _serve_scheduled(model, args) -> int:
     return 0
 
 
+def cmd_dist(args) -> int:
+    """Eager-vs-compiled comparison of the distributed engine on one scenario."""
+    import numpy as np
+
+    if args.batch <= 0 or args.batches <= 0:
+        raise SystemExit("--batch/--batches must be positive")
+    net = SlimmableConvNet(paper_width_spec(), rng=make_rng(args.seed))
+    width = net.width_spec
+    split = args.split if args.split is not None else width.split
+    spec_name = args.subnet or "lower100"
+    if spec_name not in {s.name for s in width.all_specs()}:
+        raise SystemExit(f"unknown subnet {spec_name!r}")
+    spec = width.find(spec_name)
+    if args.mode == "ha" and not spec.is_lower():
+        raise SystemExit("HA mode needs a combined (lower-anchored) subnet")
+    x = make_rng(args.seed + 1).standard_normal(
+        (args.batch, net.in_channels, net.image_size, net.image_size)
+    )
+
+    def drive(compiled: bool):
+        if args.tcp:
+            from repro.distributed.cluster import LocalCluster
+
+            with LocalCluster(net, compiled=compiled) as cluster:
+                return _dist_run(cluster.master, cluster.engine, args, spec, x)
+        import threading
+
+        from repro.comm import InProcChannel
+        from repro.device import EmulatedDevice
+        from repro.distributed import MasterRuntime, WorkerServer
+
+        chan = InProcChannel()
+        server = WorkerServer(
+            EmulatedDevice(jetson_nx_worker(), net), chan.b, partition_split=split
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        master = MasterRuntime(
+            EmulatedDevice(jetson_nx_master(), net),
+            chan.a,
+            partition_split=split,
+            compiled=compiled,
+        )
+        try:
+            return _dist_run(master, master.engine, args, spec, x)
+        finally:
+            master.shutdown_worker()
+            thread.join(timeout=5.0)
+
+    variants = [False, True] if args.compiled is None else [bool(args.compiled)]
+    results = {}
+    for compiled in variants:
+        label = "compiled" if compiled else "eager"
+        results[label] = drive(compiled)
+        r = results[label]
+        images = args.batch * args.batches
+        print(
+            f"{label:9s} {args.mode.upper()} {spec_name}: "
+            f"{images / r['wall_s']:8.1f} img/s wall  "
+            f"(emulated compute {r['compute_s']:.4f}s, comm {r['comm_s']:.4f}s)"
+        )
+        if r["exchange_bytes"]:
+            total = sum(r["exchange_bytes"])
+            print(f"          per-round exchange bytes {r['exchange_bytes']} (total {total})")
+        if r["overlap"] is not None:
+            print(f"          dispatch overlap {r['overlap']:.2f} (1/k serial .. 1.0 fully overlapped)")
+    if len(results) == 2:
+        same = np.array_equal(results["eager"]["logits"], results["compiled"]["logits"])
+        speedup = results["eager"]["wall_s"] / results["compiled"]["wall_s"]
+        print(f"bitwise parity: {same}   compiled speedup {speedup:.2f}x")
+        if not same:
+            return 1
+    return 0
+
+
+def _dist_run(master, engine, args, spec, x):
+    """Run one warmup + ``--batches`` timed batches; return facts for cmd_dist."""
+    def once():
+        if args.mode == "ha":
+            return master.run_ha(spec, x)
+        if args.mode == "ht":
+            lower = master.device.net.width_spec.find("lower50")
+            upper = master.device.net.width_spec.find("upper50")
+            return master.run_ht(lower, upper, x, x)[0]
+        return master.run_local(spec, x)
+
+    once()  # warmup: compile plans, warm packed caches
+    engine.ledger.reset()
+    started = time.perf_counter()
+    logits = None
+    for _ in range(args.batches):
+        logits = once()
+    wall = time.perf_counter() - started
+    overlap = engine.metrics.ewma("round.overlap").value
+    if overlap is None:
+        overlap = engine.metrics.ewma("stream.overlap").value
+    return {
+        "wall_s": wall,
+        "compute_s": engine.ledger.compute_s,
+        "comm_s": engine.ledger.comm_s,
+        "exchange_bytes": list(engine.last_exchange_bytes),
+        "overlap": overlap,
+        "logits": logits,
+    }
+
+
 def cmd_calibration(_args) -> int:
     net = SlimmableConvNet(paper_width_spec(), rng=make_rng(0))
     print(f"{'operating point':24s} {'paper':>7s} {'emulated':>9s} {'error':>7s}")
@@ -373,6 +503,7 @@ COMMANDS = {
     "fig2": cmd_fig2,
     "simulate": cmd_simulate,
     "serve": cmd_serve,
+    "dist": cmd_dist,
     "calibration": cmd_calibration,
 }
 

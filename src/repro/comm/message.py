@@ -18,6 +18,7 @@ class MessageKind:
     RUN_SUBNET = "run_subnet"          # standalone inference on a named sub-network
     RUN_PARTS = "run_parts"            # one micro-batch flush (rows via shm ring)
     PARTIAL_FORWARD = "partial_forward"  # one partitioned layer step (HA mode)
+    PARTITION_ROUND = "partition_round"  # one compiled-plan round (delta halo HA)
     RESULT = "result"
     ERROR = "error"
     SHUTDOWN = "shutdown"
@@ -29,6 +30,7 @@ class MessageKind:
         RUN_SUBNET,
         RUN_PARTS,
         PARTIAL_FORWARD,
+        PARTITION_ROUND,
         RESULT,
         ERROR,
         SHUTDOWN,

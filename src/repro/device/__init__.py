@@ -9,6 +9,7 @@ from repro.device.cost import (
     subnet_layer_costs,
     subnet_num_layers,
     subnet_param_count,
+    wire_bytes_per_value,
 )
 from repro.device.emulated import DeviceFailed, EmulatedDevice
 from repro.device.energy import (
@@ -32,6 +33,7 @@ __all__ = [
     "jetson_nx_worker",
     "LayerCost",
     "WIRE_BYTES_PER_VALUE",
+    "wire_bytes_per_value",
     "subnet_layer_costs",
     "subnet_flops",
     "subnet_num_layers",

@@ -14,8 +14,24 @@ from typing import List, Tuple
 from repro.nn import functional as F
 from repro.slimmable.slim_net import SlimmableConvNet
 from repro.slimmable.spec import SubNetSpec
+from repro.utils.dtypes import get_dtype_policy
 
-WIRE_BYTES_PER_VALUE = 4  # activations cross the wire as float32
+#: Historical default (activations cross the wire as float32).  Retained as
+#: the documented baseline; live accounting goes through
+#: :func:`wire_bytes_per_value`, which reads the active dtype policy so the
+#: cost model stays honest when a policy ships float64 activations.
+WIRE_BYTES_PER_VALUE = 4
+
+
+def wire_bytes_per_value() -> int:
+    """Itemsize of one activation value on the device boundary.
+
+    Exchanged activations are cast with
+    :func:`~repro.comm.wire.cast_for_wire` before they cross, so the honest
+    per-value byte count is the policy wire dtype's itemsize — 4 under the
+    default float32 wire, 8 when a policy demands full-precision exchange.
+    """
+    return int(get_dtype_policy().wire_dtype.itemsize)
 
 
 @dataclass(frozen=True)
@@ -33,7 +49,7 @@ class LayerCost:
 
     @property
     def activation_bytes(self) -> int:
-        return self.activation_values * WIRE_BYTES_PER_VALUE
+        return self.activation_values * wire_bytes_per_value()
 
 
 def subnet_layer_costs(net: SlimmableConvNet, spec: SubNetSpec) -> List[LayerCost]:
@@ -111,7 +127,7 @@ def block_partitioned_costs(
             for k in range(num_blocks):
                 flops_k = share if k < num_blocks - 1 else cost.flops - share * (num_blocks - 1)
                 per_device[k].append(LayerCost("fc", flops_k, cost.out_channels, 1))
-            exchange.append((num_blocks - 1) * cost.out_channels * WIRE_BYTES_PER_VALUE)
+            exchange.append((num_blocks - 1) * cost.out_channels * wire_bytes_per_value())
         else:
             widths = []
             for k in range(num_blocks):
@@ -133,7 +149,7 @@ def block_partitioned_costs(
                 per_device[k].append(LayerCost(cost.name, flops_k, width, cost.out_spatial))
             # All-gather: the widest complement bounds the exchange.
             complement = cost.out_channels - min(widths)
-            exchange.append(complement * cost.out_spatial * WIRE_BYTES_PER_VALUE)
+            exchange.append(complement * cost.out_spatial * wire_bytes_per_value())
     return per_device, exchange
 
 
@@ -172,4 +188,4 @@ def subnet_param_count(net: SlimmableConvNet, spec: SubNetSpec) -> int:
 
 def input_image_bytes(net: SlimmableConvNet) -> int:
     """Wire size of one input image."""
-    return net.in_channels * net.image_size**2 * WIRE_BYTES_PER_VALUE
+    return net.in_channels * net.image_size**2 * wire_bytes_per_value()

@@ -115,6 +115,7 @@ class LocalCluster:
         *,
         comm_model: Optional[CommLatencyModel] = None,
         crash_after: Optional[int] = None,
+        compiled: bool = False,
     ) -> None:
         self.net = net
         self._tmpdir = tempfile.TemporaryDirectory(prefix="fluid-cluster-")
@@ -137,6 +138,7 @@ class LocalCluster:
             transport,
             partition_split=spec.split,
             comm_model=comm_model,
+            compiled=compiled,
         )
 
     @property

@@ -44,6 +44,7 @@ class MasterRuntime:
         partition_split: int,
         comm_model: Optional[CommLatencyModel] = None,
         request_timeout: float = 10.0,
+        compiled: bool = False,
     ) -> None:
         self.device = device
         self.split = partition_split
@@ -60,6 +61,7 @@ class MasterRuntime:
                 partition_split, device.net.width_spec.max_width
             ),
             comm_model=self.comm_model,
+            compiled=compiled,
         )
 
     @property

@@ -157,6 +157,7 @@ class MultiDeviceRuntime:
         partition: BlockPartition,
         *,
         comm_model: Optional[CommLatencyModel] = None,
+        compiled: bool = False,
     ) -> None:
         if len(profiles) != partition.num_blocks:
             raise ValueError(
@@ -190,6 +191,7 @@ class MultiDeviceRuntime:
             partition=partition,
             comm_model=comm_model,
             extra_specs=specs,
+            compiled=compiled,
         )
 
     # -- planning --------------------------------------------------------------

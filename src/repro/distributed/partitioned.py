@@ -103,11 +103,17 @@ def partitioned_forward_reference(
 
     Returns ``(logits, exchanged_bytes_per_step)`` so tests can check both
     numerical equivalence with the monolithic forward and agreement with the
-    cost model's exchange accounting.
+    cost model's exchange accounting.  Exchange bytes use the itemsize the
+    halves actually take on the device boundary (the policy wire dtype via
+    :func:`~repro.comm.wire.cast_for_wire`) — not a hardcoded float32 — so
+    the accounting stays honest under a full-precision wire policy.
     """
+    from repro.comm.wire import wire_dtype
+
     if not spec.is_lower():
         raise ValueError("HA partitioning applies to combined (lower-anchored) specs")
     lower = ChannelSlice(0, split)
+    itemsize = wire_dtype().itemsize
     exchanged: List[int] = []
     current = x
     in_slice: Optional[ChannelSlice] = None
@@ -117,7 +123,7 @@ def partitioned_forward_reference(
         half_w = conv_block_half(net, i, current, upper, in_slice)
         current = np.concatenate([half_m, half_w], axis=1)
         bigger = max(half_m[0].size, half_w[0].size)
-        exchanged.append(bigger * 4 * x.shape[0])
+        exchanged.append(bigger * itemsize * x.shape[0])
         in_slice = out_slice
 
     feats_m = flatten_channel_block(current[:, :split])
@@ -127,5 +133,5 @@ def partitioned_forward_reference(
     logits = fc_partial(net, feats_m, slice_m, include_bias=True) + fc_partial(
         net, feats_w, slice_w, include_bias=False
     )
-    exchanged.append(logits.shape[1] * 4 * x.shape[0])
+    exchanged.append(logits.shape[1] * itemsize * x.shape[0])
     return logits, exchanged

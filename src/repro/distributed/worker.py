@@ -20,7 +20,7 @@ import numpy as np
 from repro.comm.message import Message, MessageKind, error_message, result_message
 from repro.comm.transport import Transport, TransportError
 from repro.comm.wire import cast_for_wire
-from repro.device.cost import partitioned_device_costs, subnet_num_layers
+from repro.device.cost import block_partitioned_costs, partitioned_device_costs, subnet_num_layers
 from repro.device.emulated import DeviceFailed, EmulatedDevice
 from repro.distributed.partitioned import (
     conv_block_half,
@@ -29,7 +29,7 @@ from repro.distributed.partitioned import (
     flatten_channel_block,
 )
 from repro.engine.graph import BlockPartition
-from repro.slimmable.spec import SubNetSpec
+from repro.slimmable.spec import ChannelSlice, SubNetSpec
 from repro.utils.dtypes import compute_dtype
 from repro.utils.logging import get_logger
 
@@ -55,6 +55,13 @@ class WorkerServer:
         self.logger = get_logger(f"worker.{device.name}")
         self._ha_half: Optional[np.ndarray] = None
         self._ha_spec: Optional[SubNetSpec] = None
+        # Compiled-path state (PARTITION_ROUND protocol).
+        self._plan_compiler = None  # lazy PartitionPlanCompiler
+        self._plan = None
+        self._plan_run = None
+        # Per-layer cost tables are pure functions of (spec, boundaries);
+        # memoised so accounting is not recomputed every round.
+        self._cost_cache: Dict[tuple, list] = {}
 
     # -- main loop -------------------------------------------------------------
 
@@ -101,6 +108,8 @@ class WorkerServer:
             return self._run_subnet(message)
         if message.kind == MessageKind.PARTIAL_FORWARD:
             return self._partial_forward(message)
+        if message.kind == MessageKind.PARTITION_ROUND:
+            return self._partition_round(message)
         return error_message(f"unsupported message kind {message.kind!r}")
 
     # -- handlers -----------------------------------------------------------------
@@ -158,9 +167,91 @@ class WorkerServer:
         self._ha_spec = None
         return result_message({"partial_logits": cast_for_wire(logits)})
 
+    # -- compiled partitioned rounds (delta halo exchange) ---------------------
+
+    def _partition_round(self, message: Message) -> Message:
+        self.device._check_alive()
+        op = message.fields["op"]
+        spec = self.device.net.width_spec.find(message.fields["spec"])
+        if op == "layer":
+            return self._plan_layer(message, spec)
+        if op == "fc":
+            return self._plan_fc(message, spec)
+        raise ValueError(f"unknown partition_round op {op!r}")
+
+    def _plan_layer(self, message: Message, spec: SubNetSpec) -> Message:
+        layer = int(message.fields["layer"])
+        need_half = bool(message.fields.get("need_half", True))
+        if layer == 0:
+            # The plan parameters ride on the first round message (the
+            # engine's begin_partition_plan is message-free), so a compiled
+            # batch costs exactly as many messages as an eager one.
+            from repro.engine.dist_plan import PartitionPlanCompiler
+
+            if self._plan_compiler is None:
+                self._plan_compiler = PartitionPlanCompiler(self.device.net)
+            boundaries = tuple(int(b) for b in message.fields["boundaries"])
+            index = int(message.fields["index"])
+            rows = int(message.fields["rows"])
+            plan = self._plan_compiler.plan_for(spec, boundaries, index, rows)
+            if self._plan_run is not None:  # previous batch abandoned mid-flight
+                self._plan.finish(self._plan_run)
+            self._plan = plan
+            self._plan_run = plan.begin(rows)
+            plan.scatter_input(self._plan_run, message.arrays["input"])
+        else:
+            if self._plan_run is None or self._plan.spec.name != spec.name:
+                raise ValueError("compiled partitioned session out of order")
+            for j, (start, stop) in enumerate(message.fields.get("peers", ())):
+                self._plan.absorb(
+                    self._plan_run,
+                    layer,
+                    ChannelSlice(int(start), int(stop)),
+                    message.arrays[f"peer{j}"],
+                )
+        half = self._plan.run_layer(self._plan_run, layer)
+        self._account_plan_compute(spec, layer)
+        arrays = {}
+        if need_half and half is not None:
+            arrays["half"] = cast_for_wire(half)
+        return result_message(arrays, layer=layer)
+
+    def _plan_fc(self, message: Message, spec: SubNetSpec) -> Message:
+        if self._plan_run is None or self._plan.spec.name != spec.name:
+            raise ValueError("compiled partitioned session out of order")
+        include_bias = bool(message.fields.get("include_bias", False))
+        logits = self._plan.run_fc(self._plan_run, include_bias)
+        # Copy before releasing the workspace: the logits are an arena view.
+        out = np.array(cast_for_wire(logits), copy=True)
+        self._account_plan_compute(spec, len(spec.conv_slices))
+        self._plan.finish(self._plan_run)
+        self._plan_run = None
+        return result_message({"partial_logits": out})
+
+    def _account_plan_compute(self, spec: SubNetSpec, layer: int) -> None:
+        """Same device-clock charges as the eager path, over the plan's blocks."""
+        key = (spec.name, self._plan.boundaries, self._plan.index)
+        costs = self._cost_cache.get(key)
+        if costs is None:
+            per_device, _ = block_partitioned_costs(
+                self.device.net, spec, self._plan.boundaries
+            )
+            costs = self._cost_cache[key] = per_device[self._plan.index]
+        profile = self.device.profile
+        self.device.busy_time_s += (
+            profile.compute_time(costs[layer].flops, 0) + profile.layer_overhead_s
+        )
+        self.device.requests_served += 1
+
     def _account_partial_compute(self, spec: SubNetSpec, layer: int) -> None:
-        _, worker_costs, _ = partitioned_device_costs(self.device.net, spec, self.split)
-        flops = worker_costs[layer].flops
+        key = (spec.name, self.split)
+        costs = self._cost_cache.get(key)
+        if costs is None:
+            _, worker_costs, _ = partitioned_device_costs(
+                self.device.net, spec, self.split
+            )
+            costs = self._cost_cache[key] = worker_costs
+        flops = costs[layer].flops
         per_layer_overhead = self.device.profile.layer_overhead_s
         self.device.busy_time_s += self.device.profile.compute_time(flops, 0) + per_layer_overhead
         self.device.requests_served += 1

@@ -21,6 +21,7 @@ from repro.engine.endpoints import (
     LocalEndpoint,
     TransportEndpoint,
 )
+from repro.engine.dist_plan import DevicePartitionPlan, PartitionPlanCompiler
 from repro.engine.engine import EngineResult, ExecutionEngine
 from repro.engine.session import InferenceSession, serve_concurrent
 from repro.engine.graph import (
@@ -50,4 +51,6 @@ __all__ = [
     "PartitionFcOp",
     "compile_plan",
     "EmulatedTimeLedger",
+    "DevicePartitionPlan",
+    "PartitionPlanCompiler",
 ]

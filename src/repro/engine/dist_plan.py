@@ -1,0 +1,371 @@
+"""Compiled per-device plans for the width-partitioned (HA) path.
+
+The eager HA round loop re-derives everything per round on every device:
+``conv_block_half`` pads the full activation, allocates fresh im2col /
+GEMM / activation temporaries, slices and casts its weight block — and the
+engine re-broadcasts the *full* reassembled activation each round.  A
+:class:`DevicePartitionPlan` compiles all of that once per
+``(spec, partition, device index, batch rows, dtype)``:
+
+* **packed weights** for exactly this device's channel block of every conv
+  (and its feature columns of the classifier), via the shared
+  :class:`~repro.nn.plan.PackedWeightCache` — keyed by the sliced block, so
+  N devices over one weight store never pack the same block twice;
+* **workspace arenas** that pre-size the layer activations *and* the
+  boundary-exchange buffers: each layer's padded input arena spans the
+  *combined* channel width, so a peer's half is absorbed by one strided
+  copy into its channel rows — the arena *is* the halo-exchange buffer;
+* **fused kernels** (``im2col_into`` / ``gemm_bias_relu`` /
+  ``maxpool2d_into``) replacing the eager per-call path, with the same
+  reduction orders — outputs are **bitwise identical** to
+  ``conv_block_half`` / ``fc_partial`` at every width and dtype policy.
+
+Delta halo exchange falls out of the layout: this device's own conv output
+is pooled straight into the *next* layer's arena interior at its own
+channel rows, so a round only needs the peers' halves (never its own back),
+and the last conv round ships nothing at all — the classifier reads only
+the device's own feature block.
+
+One plan is private to one device loop (its run state is a checked-out
+workspace), but many plans share one :class:`PackedWeightCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.plan import PackedWeightCache, _interior
+from repro.nn.workspace import BufferSpec, Workspace, WorkspacePool
+from repro.slimmable.sliced_conv import SlicedConv2d
+from repro.slimmable.sliced_linear import SlicedLinear
+from repro.slimmable.spec import ChannelSlice, SubNetSpec
+from repro.utils.dtypes import compute_dtype
+
+
+@dataclass(frozen=True)
+class _RoundStep:
+    """Precompiled geometry of one partitioned conv round on one device."""
+
+    layer: SlicedConv2d
+    index: int                 # conv index
+    in_slice: ChannelSlice     # full combined input range (packed-weight key)
+    block: ChannelSlice        # this device's output rows at this layer
+    kernel: Tuple[int, int]
+    stride: int
+    padding: int
+    in_hw: Tuple[int, int]
+    out_hw: Tuple[int, int]
+    pool: Optional[Tuple[int, int, Tuple[int, int]]]
+    src: str                   # padded full-width input arena of this layer
+    cols: str
+    gemm: str
+    act: Optional[str]         # own-block NCHW staging (pool input / features)
+    dst: Optional[str]         # next layer's arena (own rows) or feature buffer
+    dst_padding: int
+    dst_block: ChannelSlice    # own channel rows inside dst (this layer's block)
+
+
+class _PartitionRun:
+    """One in-flight partitioned batch: a checked-out workspace + row count."""
+
+    def __init__(self, plan: "DevicePartitionPlan", workspace: Workspace, rows: int):
+        self.plan = plan
+        self.workspace = workspace
+        self.rows = rows
+        self.halves: Dict[int, np.ndarray] = {}  # layer -> own shipped half view
+
+
+class DevicePartitionPlan:
+    """One device's compiled program for a width-partitioned deployment."""
+
+    def __init__(
+        self,
+        net,
+        spec: SubNetSpec,
+        boundaries: Tuple[int, ...],
+        index: int,
+        batch_rows: int,
+        dtype: np.dtype,
+        steps: List[_RoundStep],
+        feature_slice: ChannelSlice,
+        fc_block: ChannelSlice,
+        buffers: List[BufferSpec],
+        cache: PackedWeightCache,
+    ) -> None:
+        self.net = net
+        self.spec = spec
+        self.boundaries = boundaries
+        self.index = index
+        self.batch_rows = batch_rows
+        self.dtype = dtype
+        self.cache = cache
+        self._steps = steps
+        self._feature_slice = feature_slice
+        self.fc_block = fc_block
+        self.workspaces = WorkspacePool(buffers, prealloc=1)
+
+    # -- compilation ----------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        net,
+        spec: SubNetSpec,
+        boundaries: Sequence[int],
+        index: int,
+        *,
+        batch_rows: int,
+        dtype: Optional[np.dtype] = None,
+        cache: Optional[PackedWeightCache] = None,
+    ) -> "DevicePartitionPlan":
+        """Compile device ``index``'s per-round program for ``spec``.
+
+        ``boundaries`` is the :class:`~repro.engine.graph.BlockPartition`
+        channel geometry; every layer's block is clipped to the layer width
+        exactly as :func:`~repro.engine.graph.compile_plan` does.
+        """
+        if batch_rows <= 0:
+            raise ValueError("batch_rows must be positive")
+        boundaries = tuple(int(b) for b in boundaries)
+        if not 0 <= index < len(boundaries) - 1:
+            raise ValueError(f"device index {index} out of range for {boundaries}")
+        if not spec.is_lower():
+            raise ValueError("partition plans apply to combined (lower-anchored) specs")
+        dtype = np.dtype(dtype) if dtype is not None else compute_dtype(training=False)
+        if cache is None:
+            cache = PackedWeightCache()
+
+        dt = dtype.name
+        steps: List[_RoundStep] = []
+        buffers: List[BufferSpec] = []
+        size = net.image_size
+        num = len(net.convs)
+        prev_full: Optional[ChannelSlice] = None
+        for i, (conv, out_sl) in enumerate(zip(net.convs, spec.conv_slices)):
+            if not isinstance(conv, SlicedConv2d):
+                raise TypeError(f"cannot compile layer {type(conv).__name__}")
+            in_sl, out_sl = conv.resolve_slices(prev_full, out_sl)
+            block = _clipped(boundaries, index, out_sl.stop)
+            k, pad = conv.kernel_size, conv.padding
+            out_h = F.conv_out_size(size, k, conv.stride, pad)
+            pool_layer = net.pools.get(i)
+            pool = None
+            after = (out_h, out_h)
+            if pool_layer is not None:
+                ph = F.conv_out_size(out_h, pool_layer.kernel_size, pool_layer.stride, 0)
+                pool = (pool_layer.kernel_size, pool_layer.stride, (ph, ph))
+                after = (ph, ph)
+            last = i == num - 1
+
+            # Full-combined-width padded input arena: this layer's activation
+            # AND its halo-exchange buffer in one allocation.
+            src = f"in{i}"
+            buffers.append(
+                BufferSpec(
+                    src,
+                    (batch_rows, in_sl.width, size + 2 * pad, size + 2 * pad),
+                    dt,
+                    zeroed=pad > 0,
+                )
+            )
+            gemm_rows = batch_rows * out_h * out_h
+            buffers.append(BufferSpec(f"cols{i}", (gemm_rows, in_sl.width * k * k), dt))
+            buffers.append(BufferSpec(f"gemm{i}", (gemm_rows, block.width), dt))
+            act = f"act{i}" if (pool is not None or last) else None
+            if act is not None:
+                buffers.append(BufferSpec(act, (batch_rows, block.width, out_h, out_h), dt))
+            if last:
+                # Own feature block only: the classifier never needs the
+                # peers' channels, which is why the last round ships no half.
+                dst, dst_pad = "feat", 0
+                buffers.append(
+                    BufferSpec(dst, (batch_rows, block.width, after[0], after[1]), dt)
+                )
+                dst_block = ChannelSlice(0, block.width)
+            else:
+                dst = f"in{i + 1}"
+                dst_pad = net.convs[i + 1].padding
+                dst_block = block
+            steps.append(
+                _RoundStep(
+                    layer=conv,
+                    index=i,
+                    in_slice=in_sl,
+                    block=block,
+                    kernel=(k, k),
+                    stride=conv.stride,
+                    padding=pad,
+                    in_hw=(size, size),
+                    out_hw=(out_h, out_h),
+                    pool=pool,
+                    src=src,
+                    cols=f"cols{i}",
+                    gemm=f"gemm{i}",
+                    act=act,
+                    dst=dst,
+                    dst_padding=dst_pad,
+                    dst_block=dst_block,
+                )
+            )
+            size = after[0]
+            prev_full = out_sl
+
+        classifier = net.classifier
+        if not isinstance(classifier, SlicedLinear):
+            raise TypeError(f"cannot compile classifier {type(classifier).__name__}")
+        fc_block = _clipped(boundaries, index, spec.last_slice.stop)
+        feature_slice = classifier.resolve_feature_slice(net.feature_slice_for(fc_block))
+        buffers.append(BufferSpec("logits", (batch_rows, classifier.out_features), dt))
+
+        # Warm the packed cache at compile time so the first round already
+        # runs the steady-state lock-free lookup.
+        for step in steps:
+            cache.conv_block(step.layer, step.in_slice, step.block, dtype)
+        cache.linear_block(classifier, feature_slice, dtype)
+        return cls(
+            net, spec, boundaries, index, batch_rows, dtype, steps,
+            feature_slice, fc_block, buffers, cache,
+        )
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self._steps)
+
+    def block_at(self, layer: int) -> ChannelSlice:
+        return self._steps[layer].block
+
+    # -- execution ------------------------------------------------------------
+
+    def begin(self, rows: int) -> _PartitionRun:
+        """Check a workspace out for one batch of ``rows`` images."""
+        if not 0 < rows <= self.batch_rows:
+            raise ValueError(
+                f"{rows} rows outside this plan's 1..{self.batch_rows} arena"
+            )
+        return _PartitionRun(self, self.workspaces.acquire(), rows)
+
+    def finish(self, run: _PartitionRun) -> None:
+        run.halves.clear()
+        self.workspaces.release(run.workspace)
+
+    def scatter_input(self, run: _PartitionRun, x: np.ndarray) -> None:
+        """Place the input batch into layer 0's padded arena interior."""
+        first = self._steps[0]
+        dst = _interior(run.workspace[first.src], run.rows, first.padding, first.in_hw)
+        np.copyto(dst, x)  # casts to the plan dtype; borders stay zero
+
+    def absorb(
+        self, run: _PartitionRun, layer: int, block: ChannelSlice, half: np.ndarray
+    ) -> None:
+        """Copy a peer's previous-round half into this layer's arena rows."""
+        step = self._steps[layer]
+        interior = _interior(run.workspace[step.src], run.rows, step.padding, step.in_hw)
+        np.copyto(interior[:, block.start : block.stop], half)
+
+    def run_layer(self, run: _PartitionRun, layer: int) -> Optional[np.ndarray]:
+        """One conv round: fused conv+ReLU(+pool) of this device's block.
+
+        Returns the half to ship to peers — a zero-copy view of the next
+        layer's arena interior — or ``None`` on the last conv round (the
+        classifier needs only the locally-kept feature block).
+        """
+        step = self._steps[layer]
+        ws = run.workspace
+        n = run.rows
+        out_h, out_w = step.out_hw
+        gemm_rows = n * out_h * out_w
+        cols = ws[step.cols][:gemm_rows]
+        F.im2col_into(ws[step.src][:n], step.kernel, step.stride, cols)
+        w_mat, bias = self.cache.conv_block(step.layer, step.in_slice, step.block, self.dtype)
+        gemm = ws[step.gemm][:gemm_rows]
+        F.gemm_bias_relu(cols, w_mat, bias, gemm)
+        nchw = gemm.reshape(n, out_h, out_w, step.block.width).transpose(0, 3, 1, 2)
+
+        last = step.dst == "feat"
+        if step.pool is not None:
+            act = ws[step.act][:n]
+            np.copyto(act, nchw)
+            pk, ps, pooled_hw = step.pool
+            dst_interior = _interior(ws[step.dst], n, step.dst_padding, pooled_hw)
+            own = dst_interior[:, step.dst_block.start : step.dst_block.stop]
+            F.maxpool2d_into(act, pk, ps, own)
+        else:
+            dst_interior = _interior(ws[step.dst], n, step.dst_padding, step.out_hw)
+            own = dst_interior[:, step.dst_block.start : step.dst_block.stop]
+            np.copyto(own, nchw)
+        if last:
+            return None
+        run.halves[layer] = own
+        return own
+
+    def run_fc(self, run: _PartitionRun, include_bias: bool) -> np.ndarray:
+        """Partial logits over this device's own feature block."""
+        ws = run.workspace
+        n = run.rows
+        features = ws["feat"][:n].reshape(n, -1)
+        w, b = self.cache.linear_block(self.net.classifier, self._feature_slice, self.dtype)
+        logits = ws["logits"][:n]
+        np.dot(features, w.T, out=logits)
+        if include_bias:
+            logits += b
+        return logits
+
+    def __repr__(self) -> str:
+        return (
+            f"DevicePartitionPlan({self.spec.name}, blocks={self.boundaries}, "
+            f"index={self.index}, rows={self.batch_rows}, dtype={self.dtype.name})"
+        )
+
+
+def _clipped(boundaries: Tuple[int, ...], index: int, width: int) -> ChannelSlice:
+    """Block ``index`` clipped to ``width`` output channels (graph semantics)."""
+    start = min(boundaries[index], width)
+    stop = min(boundaries[index + 1], width)
+    if stop <= start:
+        raise ValueError(
+            f"block {index} [{boundaries[index]}, {boundaries[index + 1]}) "
+            f"is empty at width {width}"
+        )
+    return ChannelSlice(start, stop)
+
+
+class PartitionPlanCompiler:
+    """Compiles and memoises :class:`DevicePartitionPlan`\\ s for one net.
+
+    One compiler lives behind each endpoint that serves partitioned rounds;
+    plans are keyed by ``(spec, boundaries, index, rows, dtype)`` so a
+    steady benchmark loop compiles exactly once.  All plans share one
+    :class:`PackedWeightCache` (pass one in to share further, e.g. with the
+    single-device plans over the same weight store).
+    """
+
+    def __init__(self, net, cache: Optional[PackedWeightCache] = None) -> None:
+        self.net = net
+        self.cache = cache if cache is not None else PackedWeightCache()
+        self._plans: Dict[tuple, DevicePartitionPlan] = {}
+
+    def plan_for(
+        self,
+        spec: SubNetSpec,
+        boundaries: Sequence[int],
+        index: int,
+        rows: int,
+        dtype: Optional[np.dtype] = None,
+    ) -> DevicePartitionPlan:
+        dtype = np.dtype(dtype) if dtype is not None else compute_dtype(training=False)
+        key = (spec.name, tuple(boundaries), index, rows, dtype.str)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = DevicePartitionPlan.compile(
+                self.net, spec, boundaries, index,
+                batch_rows=rows, dtype=dtype, cache=self.cache,
+            )
+            self._plans[key] = plan
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)

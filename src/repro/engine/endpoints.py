@@ -122,6 +122,42 @@ class Endpoint:
     ) -> EndpointReply:
         raise NotImplementedError
 
+    # -- compiled partitioned program (delta halo exchange) --------------------
+
+    def begin_partition_plan(
+        self, spec: SubNetSpec, boundaries: Sequence[int], index: int, rows: int
+    ) -> None:
+        """Start a *compiled* partitioned program for one batch of ``rows``.
+
+        Unlike :meth:`begin_partition`, this also pins the batch geometry so
+        the endpoint can check a pre-sized workspace out.  Transport
+        endpoints send nothing here — the plan parameters ride on the
+        layer-0 round message, keeping message counts identical to the
+        eager protocol.
+        """
+        raise NotImplementedError
+
+    def partition_round(
+        self,
+        spec: SubNetSpec,
+        layer: int,
+        x: Optional[np.ndarray] = None,
+        peers: Sequence[Tuple[ChannelSlice, np.ndarray]] = (),
+        need_half: bool = True,
+    ) -> EndpointReply:
+        """One compiled conv round under delta halo exchange.
+
+        Layer 0 carries the input batch ``x``; later rounds carry only the
+        *peers'* halves of the previous activation (this device already
+        holds its own half in its arena).  When ``need_half`` is False (the
+        last conv round) the reply ships no activation at all.
+        """
+        raise NotImplementedError
+
+    def partition_fc_round(self, spec: SubNetSpec, include_bias: bool) -> EndpointReply:
+        """Final compiled round: partial logits from the locally-kept features."""
+        raise NotImplementedError
+
     def shutdown(self) -> None:
         """Release the endpoint (remote peers are told to stop serving)."""
 
@@ -136,6 +172,10 @@ class LocalEndpoint(Endpoint):
         self.name = name
         self.device = device
         self._partition_costs: Optional[Tuple[str, list]] = None
+        self._partition_cost_cache: Dict[tuple, list] = {}
+        self._compiler: Optional[Any] = None  # PartitionPlanCompiler, lazy
+        self._plan: Optional[Any] = None      # DevicePartitionPlan of the open run
+        self._run: Optional[Any] = None       # its checked-out _PartitionRun
 
     @property
     def available(self) -> bool:
@@ -154,8 +194,14 @@ class LocalEndpoint(Endpoint):
     def begin_partition(
         self, spec: SubNetSpec, boundaries: Sequence[int], index: int
     ) -> None:
-        per_device, _ = block_partitioned_costs(self.device.net, spec, tuple(boundaries))
-        self._partition_costs = (spec.name, per_device[index])
+        key = (spec.name, id(spec), tuple(boundaries), index)
+        costs = self._partition_cost_cache.get(key)
+        if costs is None:
+            per_device, _ = block_partitioned_costs(
+                self.device.net, spec, tuple(boundaries)
+            )
+            costs = self._partition_cost_cache[key] = per_device[index]
+        self._partition_costs = (spec.name, costs)
 
     def _session_cost(self, spec: SubNetSpec, layer: int):
         if self._partition_costs is None or self._partition_costs[0] != spec.name:
@@ -197,6 +243,66 @@ class LocalEndpoint(Endpoint):
         compute_s = self.device.profile.compute_time(cost.flops, 1) * full.shape[0]
         return EndpointReply(arrays={"partial_logits": logits}, compute_s=compute_s)
 
+    # -- compiled partitioned program ------------------------------------------
+
+    def begin_partition_plan(
+        self, spec: SubNetSpec, boundaries: Sequence[int], index: int, rows: int
+    ) -> None:
+        from repro.engine.dist_plan import PartitionPlanCompiler
+
+        self.begin_partition(spec, boundaries, index)
+        if self._compiler is None or self._compiler.net is not self.device.net:
+            self._compiler = PartitionPlanCompiler(self.device.net)
+        plan = self._compiler.plan_for(spec, tuple(boundaries), index, rows)
+        if self._run is not None:  # abandoned batch (e.g. a peer crashed mid-round)
+            self._plan.finish(self._run)
+        self._plan = plan
+        self._run = plan.begin(rows)
+
+    def _require_run(self):
+        if self._run is None:
+            raise RuntimeError("compiled partition round before begin_partition_plan")
+        return self._plan, self._run
+
+    def partition_round(
+        self,
+        spec: SubNetSpec,
+        layer: int,
+        x: Optional[np.ndarray] = None,
+        peers: Sequence[Tuple[ChannelSlice, np.ndarray]] = (),
+        need_half: bool = True,
+    ) -> EndpointReply:
+        plan, run = self._require_run()
+        if layer == 0:
+            if x is None:
+                raise ValueError("layer 0 round needs the input batch")
+            plan.scatter_input(run, x)
+        else:
+            for block, half in peers:
+                plan.absorb(run, layer, block, half)
+        half = plan.run_layer(run, layer)
+        # Same emulated-time formulas as the eager partition_layer, so the
+        # compiled path stays ledger-comparable with the reference runtime.
+        cost = self._session_cost(spec, layer)
+        n = run.rows
+        profile = self.device.profile
+        self.device.busy_time_s += profile.compute_time(cost.flops * n, n)
+        arrays = {"half": half} if (need_half and half is not None) else {}
+        return EndpointReply(
+            arrays=arrays, compute_s=profile.compute_time(cost.flops, 1) * n
+        )
+
+    def partition_fc_round(self, spec: SubNetSpec, include_bias: bool) -> EndpointReply:
+        plan, run = self._require_run()
+        logits = plan.run_fc(run, include_bias)
+        cost = self._session_cost(spec, len(spec.conv_slices))
+        compute_s = self.device.profile.compute_time(cost.flops, 1) * run.rows
+        # The logits view stays valid until the next begin_partition_plan
+        # re-acquires the workspace; the engine consumes it within the round.
+        plan.finish(run)
+        self._run = None
+        return EndpointReply(arrays={"partial_logits": logits}, compute_s=compute_s)
+
 
 class TransportEndpoint(Endpoint):
     """Speaks the wire protocol to a remote worker over a transport."""
@@ -219,6 +325,7 @@ class TransportEndpoint(Endpoint):
         # EndpointUnavailable ("dead").
         self.alive_probe = alive_probe
         self._pending_sent_bytes = 0
+        self._plan_session: Optional[Tuple[Tuple[int, ...], int, int]] = None
 
     @property
     def available(self) -> bool:
@@ -360,6 +467,65 @@ class TransportEndpoint(Endpoint):
             raise ValueError("the classifier bias is owned by the first (local) block")
         reply, payload = self._request(
             Message(MessageKind.PARTIAL_FORWARD, fields={"op": "fc", "spec": spec.name})
+        )
+        logits = reply.arrays["partial_logits"].astype(compute_dtype())
+        return EndpointReply(arrays={"partial_logits": logits}, payload_bytes=payload)
+
+    # -- compiled partitioned program ------------------------------------------
+
+    def begin_partition_plan(
+        self, spec: SubNetSpec, boundaries: Sequence[int], index: int, rows: int
+    ) -> None:
+        # Message-free: the plan parameters are folded into the layer-0
+        # round message so the compiled protocol exchanges exactly as many
+        # messages per batch as the eager one (comm accounting stays
+        # comparable).
+        self._plan_session = (tuple(int(b) for b in boundaries), int(index), int(rows))
+
+    def partition_round(
+        self,
+        spec: SubNetSpec,
+        layer: int,
+        x: Optional[np.ndarray] = None,
+        peers: Sequence[Tuple[ChannelSlice, np.ndarray]] = (),
+        need_half: bool = True,
+    ) -> EndpointReply:
+        fields: Dict[str, Any] = {
+            "op": "layer",
+            "layer": int(layer),
+            "spec": spec.name,
+            "need_half": bool(need_half),
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        if layer == 0:
+            session = getattr(self, "_plan_session", None)
+            if session is None:
+                raise ValueError("layer 0 round before begin_partition_plan")
+            if x is None:
+                raise ValueError("layer 0 round needs the input batch")
+            boundaries, index, rows = session
+            fields.update(boundaries=list(boundaries), index=index, rows=rows)
+            arrays["input"] = cast_for_wire(x)
+        else:
+            blocks = []
+            for j, (block, half) in enumerate(peers):
+                arrays[f"peer{j}"] = cast_for_wire(half)
+                blocks.append([int(block.start), int(block.stop)])
+            fields["peers"] = blocks
+        reply, payload = self._request(
+            Message(MessageKind.PARTITION_ROUND, fields=fields, arrays=arrays)
+        )
+        out: Dict[str, np.ndarray] = {}
+        if "half" in reply.arrays:
+            out["half"] = reply.arrays["half"].astype(compute_dtype())
+        return EndpointReply(arrays=out, payload_bytes=payload)
+
+    def partition_fc_round(self, spec: SubNetSpec, include_bias: bool) -> EndpointReply:
+        reply, payload = self._request(
+            Message(
+                MessageKind.PARTITION_ROUND,
+                fields={"op": "fc", "spec": spec.name, "include_bias": bool(include_bias)},
+            )
         )
         logits = reply.arrays["partial_logits"].astype(compute_dtype())
         return EndpointReply(arrays={"partial_logits": logits}, payload_bytes=payload)

@@ -7,25 +7,48 @@ the same loop serves solo, High-Throughput, and High-Accuracy deployments
 over any number of devices, with endpoints that may be in-process devices
 or remote workers behind a transport.
 
+Dispatch is *overlapped*: every stream op and every partitioned round fans
+out to all endpoints concurrently (one thread per endpoint) and gathers the
+replies before accounting, so a slow remote worker no longer serialises the
+whole round behind it.  Ledger updates happen after the gather, in graph
+op order — emulated-time totals are bit-for-bit what the historical serial
+loop produced.
+
+With ``compiled=True`` the partitioned (HA) path runs each device's
+:class:`~repro.engine.dist_plan.DevicePartitionPlan` instead of the eager
+per-round kernels, and switches the exchange to *delta halos*: each round
+ships only the peers' halves (every device already holds its own half in
+its arena), and the final conv round ships nothing at all.  Results are
+bitwise identical to the eager path at every width and dtype policy.
+
 Emulated-time accounting reproduces the historical master runtime:
 
 * parallel streams charge the ledger ``max`` of their compute times (they
   run concurrently) and every image served;
 * partitioned rounds charge the ``max`` of the local per-layer compute
   plus the communication model's transfer time for every remote exchange.
+
+Wall-clock facts land in a :class:`~repro.scheduler.telemetry.MetricsRegistry`
+(``round.wall_s`` / ``round.compute_s`` histograms, ``round.comm_bytes``
+counter, ``round.overlap`` EWMA); :meth:`ExecutionEngine.report` returns
+the emulated and measured views side by side.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from queue import SimpleQueue
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm.latency_model import CommLatencyModel
+from repro.comm.wire import wire_dtype
 from repro.distributed.modes import ExecutionMode
 from repro.distributed.plan import DeploymentPlan
-from repro.engine.endpoints import Endpoint, EndpointUnavailable
+from repro.engine.endpoints import Endpoint, EndpointReply, EndpointUnavailable
 from repro.engine.graph import (
     BlockPartition,
     ExecutionGraph,
@@ -35,6 +58,7 @@ from repro.engine.graph import (
 )
 from repro.engine.ledger import EmulatedTimeLedger
 from repro.slimmable.spec import SubNetSpec, WidthSpec
+from repro.utils.dtypes import dtype_policy, get_dtype_policy
 from repro.utils.logging import get_logger
 
 
@@ -45,6 +69,48 @@ class EngineResult:
     mode: ExecutionMode
     streams: Dict[str, np.ndarray] = field(default_factory=dict)
     logits: Optional[np.ndarray] = None
+
+
+class _DispatchLane:
+    """One persistent dispatch thread fed through a pair of SimpleQueues.
+
+    Purpose-built replacement for a ThreadPoolExecutor: the engine issues a
+    fixed small fan-out every round, and the executor's future machinery
+    costs more than the queue handoff itself.  Each lane loops forever,
+    reinstalling the caller's dtype policy per task (thread-scoped policy
+    overrides would otherwise be invisible in the lane thread).
+    """
+
+    def __init__(self, name: str) -> None:
+        self._inbox: SimpleQueue = SimpleQueue()
+        self._outbox: SimpleQueue = SimpleQueue()
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            task = self._inbox.get()
+            if task is None:
+                return
+            call, policy = task
+            t0 = time.perf_counter()
+            try:
+                with dtype_policy(policy):
+                    value = call()
+            except BaseException as exc:  # collected and re-raised by the caller
+                self._outbox.put((False, exc, time.perf_counter() - t0))
+            else:
+                self._outbox.put((True, value, time.perf_counter() - t0))
+
+    def submit(self, call: Callable[[], "EndpointReply"], policy) -> None:
+        self._inbox.put((call, policy))
+
+    def collect(self) -> Tuple[bool, object, float]:
+        return self._outbox.get()
+
+    def stop(self) -> None:
+        self._inbox.put(None)
+        self._thread.join(timeout=1.0)
 
 
 class ExecutionEngine:
@@ -59,6 +125,8 @@ class ExecutionEngine:
         comm_model: Optional[CommLatencyModel] = None,
         ledger: Optional[EmulatedTimeLedger] = None,
         extra_specs: Optional[Mapping[str, SubNetSpec]] = None,
+        compiled: bool = False,
+        metrics=None,  # MetricsRegistry; imported lazily (scheduler pkg cycle)
     ) -> None:
         self.endpoints: Dict[str, Endpoint] = dict(endpoints)
         self.width_spec = width_spec
@@ -66,7 +134,21 @@ class ExecutionEngine:
         self.comm_model = comm_model or CommLatencyModel()
         self.ledger = ledger or EmulatedTimeLedger()
         self.extra_specs: Dict[str, SubNetSpec] = dict(extra_specs or {})
+        self.compiled = compiled
+        if metrics is None:
+            # Deferred: repro.scheduler's package init imports the runtime
+            # facades, which import this module.
+            from repro.scheduler.telemetry import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
         self.logger = get_logger("engine")
+        #: Per-round exchanged activation bytes of the most recent
+        #: partitioned execute (engine↔endpoint boundary, wire itemsize).
+        self.last_exchange_bytes: List[int] = []
+        self._lanes: List[_DispatchLane] = []
+        self._wall_rounds_s = 0.0
+        self._graph_cache: Dict[tuple, ExecutionGraph] = {}
 
     # -- lookup ----------------------------------------------------------------
 
@@ -88,7 +170,83 @@ class ExecutionEngine:
         spec = None
         if plan.mode is ExecutionMode.HIGH_ACCURACY:
             spec = self.resolve_spec(plan.combined_subnet)
-        return compile_plan(plan, spec, self.partition)
+        # Plans are frozen dataclasses, so identical deployments hit the
+        # cache; id(spec) keys out a re-registered spec under the same name.
+        key = (plan, id(spec))
+        graph = self._graph_cache.get(key)
+        if graph is None:
+            if len(self._graph_cache) >= 256:
+                self._graph_cache.clear()
+            graph = compile_plan(plan, spec, self.partition)
+            self._graph_cache[key] = graph
+        return graph
+
+    # -- overlapped dispatch ---------------------------------------------------
+
+    def _lane_set(self, size: int) -> List[_DispatchLane]:
+        while len(self._lanes) < size:
+            self._lanes.append(_DispatchLane(f"engine-dispatch-{len(self._lanes)}"))
+        return self._lanes[:size]
+
+    def _dispatch(
+        self, calls: Sequence[Callable[[], EndpointReply]]
+    ) -> Tuple[List[EndpointReply], List[float], float]:
+        """Run one round's endpoint calls concurrently; gather in call order.
+
+        Returns ``(replies, per_call_seconds, round_wall_seconds)``.  The
+        caller accounts the replies in graph op order afterwards, so the
+        emulated ledger is independent of completion order.  The calling
+        thread's dtype policy is reinstalled in every dispatch thread
+        (thread-scoped overrides would otherwise be invisible there).
+        """
+        if len(calls) == 1:
+            started = time.perf_counter()
+            reply = calls[0]()
+            span = time.perf_counter() - started
+            return [reply], [span], span
+        # The first call runs inline on the dispatching thread while the
+        # rest overlap in lane threads — one less thread handoff per round,
+        # and numpy releases the GIL inside the kernels either way.
+        policy = get_dtype_policy()
+        lanes = self._lane_set(len(calls) - 1)
+        started = time.perf_counter()
+        for lane, call in zip(lanes, calls[1:]):
+            lane.submit(call, policy)
+        first_exc: Optional[BaseException] = None
+        first: Tuple[Optional[EndpointReply], float] = (None, 0.0)
+        t0 = time.perf_counter()
+        try:
+            first = (calls[0](), time.perf_counter() - t0)
+        except BaseException as exc:
+            first_exc = exc
+        # Always drain every submitted lane — a leftover result would be
+        # misattributed to the next round's dispatch.
+        gathered = [lane.collect() for lane in lanes]
+        wall = time.perf_counter() - started
+        if first_exc is not None:
+            raise first_exc
+        replies: List[EndpointReply] = [first[0]]
+        spans: List[float] = [first[1]]
+        for ok, value, span in gathered:
+            if not ok:
+                raise value
+            replies.append(value)
+            spans.append(span)
+        return replies, spans, wall
+
+    def _observe_round(
+        self, kind: str, compute_s: float, comm_bytes: int, spans: List[float], wall: float
+    ) -> None:
+        m = self.metrics
+        m.counter(f"{kind}.count").inc()
+        if comm_bytes:
+            m.counter(f"{kind}.comm_bytes").inc(int(comm_bytes))
+        m.histogram(f"{kind}.compute_s").observe(max(compute_s, 0.0))
+        m.histogram(f"{kind}.wall_s").observe(wall)
+        if spans and wall > 0:
+            # 1/k when the k calls ran back-to-back, →1 under perfect overlap.
+            m.ewma(f"{kind}.overlap").observe(sum(spans) / (wall * len(spans)))
+        self._wall_rounds_s += wall
 
     # -- execution -------------------------------------------------------------
 
@@ -143,59 +301,112 @@ class ExecutionEngine:
         x: Optional[np.ndarray],
         streams: Optional[Mapping[str, np.ndarray]],
     ) -> EngineResult:
+        if not graph.streams:
+            raise ValueError(
+                f"graph for mode {graph.mode} has no stream ops to execute"
+            )
         inputs = self._stream_inputs(graph, x, streams)
+        calls = [
+            (
+                lambda endpoint=self.endpoint(op.device),
+                spec=self.resolve_spec(op.subnet),
+                batch=inputs[op.device]: endpoint.run_subnet(spec, batch)
+            )
+            for op in graph.streams
+        ]
+        replies, spans, wall = self._dispatch(calls)
+
         outputs: Dict[str, np.ndarray] = {}
         elapsed: List[float] = []
-        for op in graph.streams:
-            endpoint = self.endpoint(op.device)
-            batch = inputs[op.device]
-            reply = endpoint.run_subnet(self.resolve_spec(op.subnet), batch)
+        for op, reply in zip(graph.streams, replies):
             outputs[op.device] = reply.arrays["logits"]
             elapsed.append(reply.compute_s)
             if reply.payload_bytes:
                 self.ledger.comm_s += self.comm_model.transfer_time(reply.payload_bytes)
-            self.ledger.images += batch.shape[0]
+            self.ledger.images += inputs[op.device].shape[0]
         # Streams run concurrently: elapsed emulated time is the slowest one.
         self.ledger.compute_s += max(elapsed)
+        self._observe_round("stream", max(elapsed), 0, spans, wall)
         parts = [outputs[op.device] for op in graph.streams if outputs[op.device].size]
         logits = np.concatenate(parts, axis=0) if parts else None
         return EngineResult(mode=graph.mode, streams=outputs, logits=logits)
 
-    def _execute_partitioned(self, graph: ExecutionGraph, x: Optional[np.ndarray]) -> EngineResult:
+    def _execute_partitioned(
+        self, graph: ExecutionGraph, x: Optional[np.ndarray]
+    ) -> EngineResult:
         if x is None:
             raise ValueError("partitioned execution needs an input batch")
+        if not graph.has_fc_round:
+            raise ValueError(
+                "partitioned graph produces no logits: it has no PartitionFcOp "
+                "(every HA program must end with the partial-logit gather)"
+            )
         spec = self.resolve_spec(graph.subnet)
+        self.last_exchange_bytes = []
+        if self.compiled:
+            return self._execute_partitioned_compiled(graph, spec, x)
+        return self._execute_partitioned_eager(graph, spec, x)
+
+    def _execute_partitioned_eager(
+        self, graph: ExecutionGraph, spec: SubNetSpec, x: np.ndarray
+    ) -> EngineResult:
         devices = graph.devices
         boundaries = self.partition.boundaries
         for index, device in enumerate(devices):
             self.endpoint(device).begin_partition(spec, boundaries, index)
 
+        item = wire_dtype().itemsize
         current = x
+        logits: Optional[np.ndarray] = None
         prev_blocks: Dict[str, Optional[object]] = {d: None for d in devices}
         for op in graph.rounds:
             if isinstance(op, PartitionLayerOp):
+                calls = [
+                    (
+                        lambda endpoint=self.endpoint(device),
+                        block=block,
+                        full=current,
+                        prev=prev_blocks[device]: endpoint.partition_layer(
+                            spec, op.layer, block, op.in_slice, full, prev
+                        )
+                    )
+                    for device, block in op.blocks
+                ]
+                replies, spans, wall = self._dispatch(calls)
                 halves = []
                 round_compute = []
-                for device, block in op.blocks:
-                    reply = self.endpoint(device).partition_layer(
-                        spec, op.layer, block, op.in_slice, current, prev_blocks[device]
-                    )
-                    halves.append(reply.arrays["half"])
+                round_bytes = 0
+                for (device, block), reply in zip(op.blocks, replies):
+                    half = reply.arrays["half"]
+                    halves.append(half)
                     round_compute.append(reply.compute_s)
                     if reply.payload_bytes:
                         self.ledger.comm_s += self.comm_model.transfer_time(
                             reply.payload_bytes
                         )
+                    # Full previous activation broadcast out, own half back.
+                    round_bytes += (current.size + half.size) * item
                     prev_blocks[device] = block
                 self.ledger.compute_s += max(round_compute)
                 current = np.concatenate(halves, axis=1)
+                self.last_exchange_bytes.append(round_bytes)
+                self._observe_round("round", max(round_compute), round_bytes, spans, wall)
             elif isinstance(op, PartitionFcOp):
-                logits = None
-                round_compute = []
-                for device, block in op.blocks:
-                    reply = self.endpoint(device).partition_fc(
-                        spec, block, current, include_bias=(block.start == 0)
+                calls = [
+                    (
+                        lambda endpoint=self.endpoint(device),
+                        block=block,
+                        full=current,
+                        bias=(block.start == 0): endpoint.partition_fc(
+                            spec, block, full, include_bias=bias
+                        )
                     )
+                    for device, block in op.blocks
+                ]
+                replies, spans, wall = self._dispatch(calls)
+                round_compute = []
+                round_bytes = 0
+                for (device, block), reply in zip(op.blocks, replies):
                     part = reply.arrays["partial_logits"]
                     logits = part if logits is None else logits + part
                     round_compute.append(reply.compute_s)
@@ -203,14 +414,135 @@ class ExecutionEngine:
                         self.ledger.comm_s += self.comm_model.transfer_time(
                             reply.payload_bytes
                         )
+                    round_bytes += (current.size + part.size) * item
                 self.ledger.compute_s += max(round_compute)
+                self.last_exchange_bytes.append(round_bytes)
+                self._observe_round("round", max(round_compute), round_bytes, spans, wall)
             else:  # pragma: no cover - compile_plan only emits the two ops
                 raise TypeError(f"unknown graph op {op!r}")
         self.ledger.images += x.shape[0]
         return EngineResult(mode=graph.mode, logits=logits)
 
+    def _execute_partitioned_compiled(
+        self, graph: ExecutionGraph, spec: SubNetSpec, x: np.ndarray
+    ) -> EngineResult:
+        devices = graph.devices
+        boundaries = self.partition.boundaries
+        rows = x.shape[0]
+        for index, device in enumerate(devices):
+            self.endpoint(device).begin_partition_plan(spec, boundaries, index, rows)
+
+        item = wire_dtype().itemsize
+        num_conv_rounds = graph.num_layer_rounds
+        # device -> (block, half) produced in the previous round.
+        halves: Dict[str, Optional[Tuple[object, np.ndarray]]] = {d: None for d in devices}
+        logits: Optional[np.ndarray] = None
+        for op in graph.rounds:
+            if isinstance(op, PartitionLayerOp):
+                # Delta halo exchange: the last conv round's halves are never
+                # shipped — the classifier reads only each device's own block.
+                need_half = op.layer < num_conv_rounds - 1
+                calls = []
+                sent_values = []
+                for device, block in op.blocks:
+                    endpoint = self.endpoint(device)
+                    if op.layer == 0:
+                        calls.append(
+                            lambda endpoint=endpoint, need=need_half: endpoint.partition_round(
+                                spec, 0, x=x, need_half=need
+                            )
+                        )
+                        sent_values.append(x.size)
+                    else:
+                        peers = tuple(
+                            halves[d] for d in devices if d != device and halves[d]
+                        )
+                        calls.append(
+                            lambda endpoint=endpoint,
+                            layer=op.layer,
+                            peers=peers,
+                            need=need_half: endpoint.partition_round(
+                                spec, layer, peers=peers, need_half=need
+                            )
+                        )
+                        sent_values.append(sum(h.size for _, h in peers))
+                replies, spans, wall = self._dispatch(calls)
+                round_compute = []
+                round_bytes = 0
+                for (device, block), reply, sent in zip(op.blocks, replies, sent_values):
+                    half = reply.arrays.get("half")
+                    halves[device] = (block, half) if half is not None else None
+                    round_compute.append(reply.compute_s)
+                    if reply.payload_bytes:
+                        self.ledger.comm_s += self.comm_model.transfer_time(
+                            reply.payload_bytes
+                        )
+                    round_bytes += (sent + (half.size if half is not None else 0)) * item
+                self.ledger.compute_s += max(round_compute)
+                self.last_exchange_bytes.append(round_bytes)
+                self._observe_round("round", max(round_compute), round_bytes, spans, wall)
+            elif isinstance(op, PartitionFcOp):
+                calls = [
+                    (
+                        lambda endpoint=self.endpoint(device),
+                        bias=(block.start == 0): endpoint.partition_fc_round(
+                            spec, include_bias=bias
+                        )
+                    )
+                    for device, block in op.blocks
+                ]
+                replies, spans, wall = self._dispatch(calls)
+                round_compute = []
+                round_bytes = 0
+                for (device, block), reply in zip(op.blocks, replies):
+                    part = reply.arrays["partial_logits"]
+                    logits = part if logits is None else logits + part
+                    round_compute.append(reply.compute_s)
+                    if reply.payload_bytes:
+                        self.ledger.comm_s += self.comm_model.transfer_time(
+                            reply.payload_bytes
+                        )
+                    round_bytes += part.size * item
+                self.ledger.compute_s += max(round_compute)
+                self.last_exchange_bytes.append(round_bytes)
+                self._observe_round("round", max(round_compute), round_bytes, spans, wall)
+            else:  # pragma: no cover - compile_plan only emits the two ops
+                raise TypeError(f"unknown graph op {op!r}")
+        self.ledger.images += rows
+        return EngineResult(mode=graph.mode, logits=logits)
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        """Emulated-time ledger and measured wall-clock telemetry, side by side.
+
+        The emulated view is the device cost model's opinion of the run; the
+        wall view is what this process actually measured per dispatched
+        round.  ``overlap`` EWMAs read 1/k for serialised rounds over k
+        endpoints and approach 1.0 under perfect overlap.
+        """
+        snapshot = self.metrics.snapshot()
+        return {
+            "compiled": self.compiled,
+            "emulated": {
+                "compute_s": self.ledger.compute_s,
+                "comm_s": self.ledger.comm_s,
+                "total_s": self.ledger.total_s,
+                "images": self.ledger.images,
+            },
+            "wall": {
+                "rounds_s": self._wall_rounds_s,
+                "histograms": snapshot["histograms"],
+                "overlap": snapshot["ewmas"],
+            },
+            "counters": snapshot["counters"],
+        }
+
     # -- teardown --------------------------------------------------------------
 
     def shutdown(self) -> None:
+        for lane in self._lanes:
+            lane.stop()
+        self._lanes = []
         for endpoint in self.endpoints.values():
             endpoint.shutdown()

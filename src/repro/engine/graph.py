@@ -129,6 +129,20 @@ class ExecutionGraph:
             return tuple(device for device, _ in self.rounds[0].blocks)
         return ()
 
+    @property
+    def num_layer_rounds(self) -> int:
+        """Conv rounds in the partitioned program (0 for stream graphs).
+
+        The engine's delta halo exchange needs to know the final conv
+        round: its halves are never shipped (the classifier reads only each
+        device's own feature block).
+        """
+        return sum(1 for op in self.rounds if isinstance(op, PartitionLayerOp))
+
+    @property
+    def has_fc_round(self) -> bool:
+        return any(isinstance(op, PartitionFcOp) for op in self.rounds)
+
 
 def compile_plan(
     plan: DeploymentPlan, spec: Optional[SubNetSpec], partition: Optional[BlockPartition]

@@ -1,0 +1,326 @@
+"""Compiled distributed path: bitwise parity, delta halos, and overlap.
+
+The compiled HA path (:mod:`repro.engine.dist_plan`) must be bitwise
+identical to the eager per-round kernels at every certified width, under
+both dtype policies, over in-process endpoints AND the real wire protocol —
+while exchanging strictly fewer bytes (delta halos) and allocating nothing
+in steady state (workspace arenas + memoised plans).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm import InProcChannel
+from repro.device import EmulatedDevice, jetson_nx_master, jetson_nx_worker
+from repro.distributed import LocalCluster, MasterRuntime, WorkerServer
+from repro.distributed.modes import ExecutionMode
+from repro.distributed.multidevice import MultiDeviceRuntime
+from repro.distributed.partitioned import partitioned_forward_reference
+from repro.distributed.plan import streams_plan
+from repro.engine import (
+    BlockPartition,
+    Endpoint,
+    EndpointReply,
+    ExecutionEngine,
+    ExecutionGraph,
+    PartitionLayerOp,
+)
+from repro.slimmable import SlimmableConvNet, paper_width_spec
+from repro.utils import make_rng
+from repro.utils.dtypes import DtypePolicy, dtype_policy, set_dtype_policy
+
+SPLIT = 8
+SEED = 0
+
+POLICIES = {
+    "default": DtypePolicy(),
+    "fast_inference": DtypePolicy.fast_inference(),
+}
+
+
+def _net() -> SlimmableConvNet:
+    return SlimmableConvNet(paper_width_spec(), rng=make_rng(SEED))
+
+
+def _batch(n: int = 5) -> np.ndarray:
+    return make_rng(42).standard_normal((n, 1, 28, 28))
+
+
+class _InProcMaster:
+    """MasterRuntime + served WorkerServer over an in-process channel."""
+
+    def __init__(self, net: SlimmableConvNet, *, compiled: bool) -> None:
+        chan = InProcChannel()
+        self.worker_device = EmulatedDevice(jetson_nx_worker(), net)
+        self._server = WorkerServer(self.worker_device, chan.b, partition_split=SPLIT)
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        self.master_device = EmulatedDevice(jetson_nx_master(), net)
+        self.runtime = MasterRuntime(
+            self.master_device, chan.a, partition_split=SPLIT, compiled=compiled
+        )
+
+    def __enter__(self) -> MasterRuntime:
+        return self.runtime
+
+    def __exit__(self, *exc) -> None:
+        self.runtime.shutdown_worker()
+        self._thread.join(timeout=5.0)
+
+
+def _multidevice(net: SlimmableConvNet, *, compiled: bool) -> MultiDeviceRuntime:
+    return MultiDeviceRuntime(
+        net,
+        [jetson_nx_master(), jetson_nx_worker()],
+        BlockPartition.two_way(SPLIT, net.width_spec.max_width),
+        compiled=compiled,
+    )
+
+
+class TestCompiledBitwiseParity:
+    """Compiled == eager == single-process reference, bit for bit."""
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    @pytest.mark.parametrize("spec_name", ["lower75", "lower100"])
+    def test_wire_protocol_parity(self, spec_name, policy_name):
+        """LocalEndpoint + TransportEndpoint over InProcChannel, every
+        certified HA width, both dtype policies."""
+        # Process-wide: the worker's server thread must see the policy too.
+        old = set_dtype_policy(POLICIES[policy_name])
+        try:
+            net = _net()
+            spec = net.width_spec.find(spec_name)
+            x = _batch()
+            with _InProcMaster(net, compiled=False) as eager:
+                out_eager = eager.run_ha(spec, x)
+                eager_ledger = (
+                    eager.ledger.compute_s,
+                    eager.ledger.comm_s,
+                    eager.ledger.images,
+                )
+                eager_bytes = list(eager.engine.last_exchange_bytes)
+            with _InProcMaster(net, compiled=True) as compiled:
+                out_compiled = compiled.run_ha(spec, x)
+                np.testing.assert_array_equal(out_compiled, out_eager)
+                # The single-process reference never round-trips the wire
+                # dtype, so it is bitwise only when compute == wire dtype.
+                reference, _ = partitioned_forward_reference(net, spec, SPLIT, x)
+                if POLICIES[policy_name].inference == POLICIES[policy_name].wire:
+                    np.testing.assert_array_equal(out_eager, reference)
+                else:
+                    np.testing.assert_allclose(out_eager, reference, atol=1e-5)
+                # Same emulated world: compute charges match to float noise,
+                # wire-level comm charges are identical.
+                assert compiled.ledger.compute_s == pytest.approx(
+                    eager_ledger[0], rel=1e-12
+                )
+                assert compiled.ledger.comm_s == pytest.approx(
+                    eager_ledger[1], rel=1e-12
+                )
+                assert compiled.ledger.images == eager_ledger[2]
+                assert len(compiled.engine.last_exchange_bytes) == len(eager_bytes)
+        finally:
+            set_dtype_policy(old)
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_local_endpoints_parity(self, policy_name):
+        """Pure LocalEndpoint fan-out (MultiDeviceRuntime), both policies."""
+        with dtype_policy(POLICIES[policy_name]):
+            net = _net()
+            x = _batch()
+            eager = _multidevice(net, compiled=False)
+            compiled = _multidevice(net, compiled=True)
+            try:
+                out_eager = eager.run_ha(x)
+                out_compiled = compiled.run_ha(x)
+                np.testing.assert_array_equal(out_compiled, out_eager)
+                # No wire cast on local endpoints: the single-process
+                # reference must agree bit for bit.
+                reference, _ = partitioned_forward_reference(
+                    net, net.width_spec.full(), SPLIT, x
+                )
+                np.testing.assert_array_equal(out_eager, reference)
+                assert compiled.ledger.compute_s == pytest.approx(
+                    eager.ledger.compute_s, rel=1e-12
+                )
+                assert compiled.ledger.images == eager.ledger.images
+            finally:
+                eager.engine.shutdown()
+                compiled.engine.shutdown()
+
+    def test_repeat_executes_stay_bitwise_stable(self):
+        """Arena reuse must not leak state between batches."""
+        net = _net()
+        rt = _multidevice(net, compiled=True)
+        try:
+            x = _batch()
+            first = rt.run_ha(x)
+            for _ in range(3):
+                np.testing.assert_array_equal(rt.run_ha(x), first)
+            # A different batch through the same arenas, then the first again.
+            rt.run_ha(make_rng(7).standard_normal((5, 1, 28, 28)))
+            np.testing.assert_array_equal(rt.run_ha(x), first)
+        finally:
+            rt.engine.shutdown()
+
+    @pytest.mark.slow
+    def test_tcp_cluster_parity(self):
+        """Compiled == eager over a real subprocess worker on localhost TCP."""
+        net = _net()
+        x = _batch(3)
+        spec = net.width_spec.full()
+        with LocalCluster(net, compiled=False) as eager:
+            out_eager = eager.master.run_ha(spec, x)
+        with LocalCluster(net, compiled=True) as compiled:
+            out_compiled = compiled.master.run_ha(spec, x)
+        np.testing.assert_array_equal(out_compiled, out_eager)
+
+
+class TestDeltaHaloExchange:
+    """The compiled path ships strictly fewer activation bytes."""
+
+    def test_exchange_bytes_reduced(self):
+        net = _net()
+        spec = net.width_spec.find("lower100")
+        x = _batch()
+        with _InProcMaster(net, compiled=False) as eager:
+            eager.run_ha(spec, x)
+            eager_bytes = list(eager.engine.last_exchange_bytes)
+        with _InProcMaster(net, compiled=True) as compiled:
+            compiled.run_ha(spec, x)
+            compiled_bytes = list(compiled.engine.last_exchange_bytes)
+        assert len(compiled_bytes) == len(eager_bytes)
+        # Round 0 ships the input either way; every later round drops the
+        # full-activation broadcast, and the final conv round ships no
+        # halves at all (the fc round carries only the partial logits).
+        assert compiled_bytes[0] <= eager_bytes[0]
+        for c, e in zip(compiled_bytes[1:], eager_bytes[1:]):
+            assert c < e
+        assert sum(compiled_bytes) < 0.7 * sum(eager_bytes)
+        assert compiled_bytes[-1] == 2 * x.shape[0] * 10 * np.dtype("float32").itemsize
+
+    def test_accounting_uses_wire_itemsize(self):
+        """Exchange bytes follow the policy wire dtype, not hardcoded f32."""
+        net = _net()
+        x = _batch()
+
+        def total(wire: str) -> int:
+            with dtype_policy(wire=wire):
+                rt = _multidevice(net, compiled=True)
+                try:
+                    rt.run_ha(x)
+                    return sum(rt.engine.last_exchange_bytes)
+                finally:
+                    rt.engine.shutdown()
+
+        assert total("float64") == 2 * total("float32")
+
+
+class TestZeroSteadyStateAllocation:
+    """After warmup, no new plans and no new arenas — only checkouts."""
+
+    def test_plans_and_arenas_are_reused(self):
+        net = _net()
+        rt = _multidevice(net, compiled=True)
+        try:
+            x = _batch()
+            for _ in range(2):
+                rt.run_ha(x)
+            endpoints = list(rt.engine.endpoints.values())
+            plans = [ep._plan for ep in endpoints]
+            compiled_counts = [len(ep._compiler) for ep in endpoints]
+            created = [plan.workspaces.created for plan in plans]
+            checkouts = [plan.workspaces.checkouts for plan in plans]
+            for _ in range(10):
+                rt.run_ha(x)
+            for ep, n in zip(endpoints, compiled_counts):
+                assert len(ep._compiler) == n  # no recompilation
+            for plan, c, k in zip(plans, created, checkouts):
+                assert plan.workspaces.created == c  # no new arenas
+                assert plan.workspaces.checkouts == k + 10
+        finally:
+            rt.engine.shutdown()
+
+
+class _BarrierEndpoint(Endpoint):
+    """Blocks in run_subnet until its peer arrives — proves real overlap."""
+
+    def __init__(self, name: str, barrier: threading.Barrier) -> None:
+        self.name = name
+        self.barrier = barrier
+        self.calls = 0
+
+    @property
+    def available(self) -> bool:
+        return True
+
+    def ping(self, timeout: float = 1.0) -> bool:
+        return True
+
+    def run_subnet(self, spec, x) -> EndpointReply:
+        self.calls += 1
+        # Raises BrokenBarrierError (failing the test) if the engine were
+        # to serialise the two stream calls instead of overlapping them.
+        self.barrier.wait(timeout=5.0)
+        return EndpointReply(
+            arrays={"logits": np.zeros((x.shape[0], 10))}, compute_s=0.001
+        )
+
+    def shutdown(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class TestOverlappedDispatch:
+    def test_stream_calls_run_concurrently(self):
+        barrier = threading.Barrier(2)
+        a, b = _BarrierEndpoint("a", barrier), _BarrierEndpoint("b", barrier)
+        engine = ExecutionEngine({"a": a, "b": b}, paper_width_spec())
+        try:
+            plan = streams_plan([("a", "lower50"), ("b", "lower50")])
+            result = engine.execute(plan, _batch(4))
+            assert result.logits is not None and result.logits.shape == (4, 10)
+            assert a.calls == 1 and b.calls == 1
+            # Both spans cover the whole round: overlap reads near 1.0
+            # (a serial dispatch would deadlock at the barrier instead).
+            assert engine.metrics.ewma("stream.overlap").value > 0.5
+        finally:
+            engine.shutdown()
+
+
+class TestGraphGuards:
+    """Regression tests for the malformed-graph error paths."""
+
+    def _engine(self, net: SlimmableConvNet) -> ExecutionEngine:
+        rt = _multidevice(net, compiled=False)
+        return rt.engine
+
+    def test_partitioned_graph_without_fc_round(self):
+        net = _net()
+        rt = _multidevice(net, compiled=False)
+        try:
+            graph = rt.engine.compile(rt.plan())
+            stripped = ExecutionGraph(
+                mode=graph.mode,
+                subnet=graph.subnet,
+                rounds=tuple(
+                    op for op in graph.rounds if isinstance(op, PartitionLayerOp)
+                ),
+            )
+            with pytest.raises(ValueError, match="PartitionFcOp"):
+                rt.engine._execute_partitioned(stripped, _batch(2))
+        finally:
+            rt.engine.shutdown()
+
+    def test_stream_graph_without_streams(self):
+        net = _net()
+        rt = _multidevice(net, compiled=False)
+        try:
+            empty = ExecutionGraph(mode=ExecutionMode.HIGH_THROUGHPUT, subnet=None)
+            with pytest.raises(ValueError, match="no stream ops"):
+                rt.engine._execute_streams(empty, _batch(2), None)
+        finally:
+            rt.engine.shutdown()
