@@ -87,6 +87,11 @@ SMOKES: Tuple[Smoke, ...] = (
         (sys.executable, "benchmarks/bench_dist_plan.py", "--smoke"),
         "compiled HA vs eager: bitwise parity, delta halos, zero steady-state alloc",
     ),
+    Smoke(
+        "trace_replay",
+        (sys.executable, "benchmarks/bench_trace_replay.py", "--smoke"),
+        "scenario-zoo replay: pinned corpus, sim determinism, tracing overhead",
+    ),
 )
 
 
@@ -244,6 +249,45 @@ def check_dist_plan_record(record: dict) -> None:
         assert record["figure2"][transport]["ha"], f"{transport} HA results missing"
 
 
+def check_trace_replay_record(record: dict) -> None:
+    names = set(record["scenarios"])
+    expected = {"diurnal", "heavy_tail", "bursts", "adversarial", "multi_tenant"}
+    assert names == expected, (
+        f"BENCH_trace_replay.json covers scenarios {sorted(names)}, "
+        f"expected {sorted(expected)}"
+    )
+    determinism = record["determinism"]
+    assert determinism["sim_byte_identical"] is True, (
+        "trace-replay record lost the byte-identical simulation fact"
+    )
+    assert determinism["corpus_byte_reproducible"] is True, (
+        "trace-replay record lost the byte-reproducible corpus fact"
+    )
+    for name, fact in record["scenarios"].items():
+        assert fact["requests"] > 0, f"{name} records no requests"
+        assert sum(fact["outcomes"].values()) == fact["requests"], (
+            f"{name}: outcomes {fact['outcomes']} do not sum to "
+            f"{fact['requests']} requests"
+        )
+        assert record["corpus"][name]["requests"] == fact["requests"], (
+            f"{name}: pinned corpus size differs from the replayed stream"
+        )
+    ordering = record["miss_rate_ordering"]
+    rates = [record["scenarios"][n]["miss_rate"] for n in ordering]
+    assert sorted(ordering) == sorted(names) and rates == sorted(rates), (
+        f"miss_rate_ordering {ordering} does not sort the recorded "
+        f"miss rates {rates}"
+    )
+    overhead = record["overhead"]
+    assert overhead["meets_threshold"] is True, (
+        f"trace-replay record lost the tracing-overhead fact: {overhead}"
+    )
+    assert overhead["overhead_frac"] < overhead["threshold"], (
+        f"recorded overhead {overhead['overhead_frac']:.3f} is not under "
+        f"its own threshold {overhead['threshold']}"
+    )
+
+
 RECORD_CHECKS: Tuple[Tuple[str, Callable[[dict], None]], ...] = (
     ("BENCH_plan.json", check_plan_record),
     ("BENCH_scheduler.json", check_scheduler_record),
@@ -252,6 +296,7 @@ RECORD_CHECKS: Tuple[Tuple[str, Callable[[dict], None]], ...] = (
     ("BENCH_nn_micro.json", check_nn_micro_record),
     ("BENCH_multiproc.json", check_multiproc_record),
     ("BENCH_dist_plan.json", check_dist_plan_record),
+    ("BENCH_trace_replay.json", check_trace_replay_record),
 )
 
 

@@ -7,7 +7,9 @@ Subcommands::
     python -m repro fig2 [--fast]
     python -m repro simulate --family fluid --fail worker:10 --recover worker:25
     python -m repro serve --family fluid --subnet lower50 --requests 256
-    python -m repro serve --sla 40 --replicas 2
+    python -m repro serve --sla 40 --replicas 2 --trace out.jsonl
+    python -m repro replay --scenario bursts --mode sim
+    python -m repro replay --trace out.jsonl --mode live
     python -m repro calibration
 
 All commands are deterministic per ``--seed`` (``serve`` timings vary, its
@@ -135,6 +137,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--stats", action="store_true",
         help="print per-worker telemetry (rows, repacks, rows/s) after the run",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record every scheduler-run request lifecycle (admission, width, "
+        "batch, hedge, resolve spans) to this trace artifact; requires --sla",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a scenario-zoo or recorded trace through the SLA "
+        "scheduler: sim mode is deterministic virtual time, live mode "
+        "drives a real frontend on the wall clock",
+    )
+    replay.add_argument("--scenario", default=None, help="scenario zoo name (see --list)")
+    replay.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="trace artifact to replay (generated or recorded JSONL)",
+    )
+    replay.add_argument("--mode", choices=("sim", "live"), default="sim")
+    replay.add_argument("--family", choices=("static", "dynamic", "fluid"), default="fluid")
+    replay.add_argument("--weights", default=None, help="optional npz checkpoint to serve")
+    replay.add_argument("--replicas", type=int, default=2)
+    replay.add_argument("--seed", type=int, default=0, help="tracer sampling seed (live mode)")
+    replay.add_argument(
+        "--sampling", type=float, default=1.0,
+        help="fraction of requests traced in live mode (deterministic per request id)",
+    )
+    replay.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the replay's own recorded artifact here (replayable again)",
+    )
+    replay.add_argument(
+        "--list", action="store_true", help="list the scenario zoo and exit",
     )
 
     dist = sub.add_parser(
@@ -282,6 +317,8 @@ def cmd_serve(args) -> int:
         raise SystemExit(
             "--replica-backend/--workers/--stats require --sla (scheduled serving)"
         )
+    if args.sla is None and args.trace is not None:
+        raise SystemExit("--trace requires --sla (tracing attaches to the scheduler frontend)")
     if args.workers is not None:
         if args.workers <= 0:
             raise SystemExit("--workers must be positive")
@@ -339,8 +376,23 @@ def _serve_scheduled(model, args) -> int:
         rows_ladder=args.rows_ladder,
         replica_backend=args.replica_backend,
     )
+    tracer = recorder = None
+    if args.trace:
+        from repro.trace import TraceRecorder, Tracer
+
+        tracer = Tracer(sampling=1.0, seed=args.seed)
+        recorder = TraceRecorder(
+            args.trace,
+            meta={
+                "name": "serve-sla",
+                "deadline_s": args.sla / 1000.0,
+                "duration_s": trace.duration_s,
+                "seed": args.seed,
+            },
+        )
     report = run_scheduler_comparison(
-        model, trace, replicas=args.replicas, scheduler_config=scheduler_config
+        model, trace, replicas=args.replicas, scheduler_config=scheduler_config,
+        tracer=tracer, recorder=recorder,
     )
     print(
         f"SLA serving ({args.family}): {report['arrivals']} requests over "
@@ -377,6 +429,95 @@ def _serve_scheduled(model, args) -> int:
                 )
         else:
             print("  per-worker telemetry: none (thread backend records pool-level metrics)")
+    if recorder is not None:
+        path = recorder.write()
+        stats = tracer.stats()
+        print(
+            f"  trace: {len(recorder)} request records -> {path} "
+            f"(events emitted {stats['emitted']}, dropped {stats['dropped']})"
+        )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """``replay``: re-inject a scenario or trace artifact against the scheduler."""
+    from repro.scheduler.frontend import SchedulerConfig
+    from repro.trace import SCENARIOS, TraceRecorder, Tracer, TraceReplayer
+
+    if args.list:
+        print(f"{'scenario':13s} {'seed':>5s} {'duration':>9s} {'requests':>9s}  generator")
+        for name, spec in SCENARIOS.items():
+            print(
+                f"{name:13s} {spec.seed:5d} {spec.duration_s:8.2f}s "
+                f"{len(spec.generate()):9d}  {spec.generator}"
+            )
+        return 0
+    if (args.scenario is None) == (args.trace is None):
+        raise SystemExit("replay needs exactly one of --scenario or --trace (or --list)")
+    if args.replicas <= 0:
+        raise SystemExit("--replicas must be positive")
+    if not 0.0 <= args.sampling <= 1.0:
+        raise SystemExit("--sampling must be in [0, 1]")
+    if args.scenario is not None:
+        if args.scenario not in SCENARIOS:
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r} (repro replay --list shows the zoo)"
+            )
+        replayer = TraceReplayer.from_scenario(args.scenario)
+    else:
+        replayer = TraceReplayer.from_file(args.trace)
+
+    model = build_model(args.family, rng=make_rng(args.seed))
+    if args.weights:
+        model.load_state_dict(load_state(args.weights))
+    config = SchedulerConfig(replicas=args.replicas)
+    recorder = None
+    if args.out:
+        recorder = TraceRecorder(
+            args.out,
+            meta={
+                **replayer.meta,
+                "name": replayer.name,
+                "duration_s": replayer.duration_s,
+                "mode": args.mode,
+            },
+        )
+
+    tracer = None
+    if args.mode == "sim":
+        result = replayer.simulate(model, config, recorder=recorder)
+    else:
+        tracer = Tracer(sampling=args.sampling, seed=args.seed)
+        result = replayer.replay(model, config, tracer=tracer, recorder=recorder)
+
+    def ms(value) -> str:
+        return f"{1e3 * value:.1f}ms" if value is not None else "n/a"
+
+    outcomes, lat = result["outcomes"], result["latency"]
+    print(
+        f"replay {result['name']} ({result['mode']}): {result['requests']} requests "
+        f"over {result['duration_s']:.2f}s, {args.replicas} replicas"
+    )
+    print(
+        f"  outcomes  ok {outcomes['ok']}  late {outcomes['late']}  "
+        f"rejected {outcomes['rejected']}  lost {outcomes['lost']}"
+    )
+    print(
+        f"  miss-rate {result['miss_rate']:.3f}  goodput {result['goodput_rps']:7.1f} req/s  "
+        f"p50 {ms(lat['p50_s'])}  p95 {ms(lat['p95_s'])}  p99 {ms(lat['p99_s'])}"
+    )
+    if result.get("widths"):
+        served = "  ".join(f"{w}:{c}" for w, c in result["widths"].items())
+        print(f"  widths    {served}")
+    if tracer is not None:
+        stats = tracer.stats()
+        print(
+            f"  tracing   sampling {stats['sampling']:.2f}  emitted {stats['emitted']}  "
+            f"dropped {stats['dropped']}"
+        )
+    if recorder is not None:
+        path = recorder.write()
+        print(f"  recorded  {len(recorder)} request records -> {path}")
     return 0
 
 
@@ -503,6 +644,7 @@ COMMANDS = {
     "fig2": cmd_fig2,
     "simulate": cmd_simulate,
     "serve": cmd_serve,
+    "replay": cmd_replay,
     "dist": cmd_dist,
     "calibration": cmd_calibration,
 }

@@ -88,19 +88,21 @@ class _DispatchLane:
         self._thread.start()
 
     def _loop(self) -> None:
+        from repro.scheduler.telemetry import Timer  # deferred: package cycle
+
         while True:
             task = self._inbox.get()
             if task is None:
                 return
             call, policy = task
-            t0 = time.perf_counter()
+            timer = Timer()
             try:
-                with dtype_policy(policy):
+                with timer, dtype_policy(policy):
                     value = call()
             except BaseException as exc:  # collected and re-raised by the caller
-                self._outbox.put((False, exc, time.perf_counter() - t0))
+                self._outbox.put((False, exc, timer.elapsed))
             else:
-                self._outbox.put((True, value, time.perf_counter() - t0))
+                self._outbox.put((True, value, timer.elapsed))
 
     def submit(self, call: Callable[[], "EndpointReply"], policy) -> None:
         self._inbox.put((call, policy))
@@ -127,6 +129,7 @@ class ExecutionEngine:
         extra_specs: Optional[Mapping[str, SubNetSpec]] = None,
         compiled: bool = False,
         metrics=None,  # MetricsRegistry; imported lazily (scheduler pkg cycle)
+        tracer=None,   # repro.trace Tracer; engine-side round events (optional)
     ) -> None:
         self.endpoints: Dict[str, Endpoint] = dict(endpoints)
         self.width_spec = width_spec
@@ -142,6 +145,11 @@ class ExecutionEngine:
 
             metrics = MetricsRegistry()
         self.metrics = metrics
+        # Optional request-lifecycle tracer: when set, every observed round
+        # also lands as an "engine.round" trace event.  Callers serving one
+        # request wrap the execute in ``tracer.scope(request_id)`` so the
+        # thread-local binding joins the event to that request's timeline.
+        self.tracer = tracer
         self.logger = get_logger("engine")
         #: Per-round exchanged activation bytes of the most recent
         #: partitioned execute (engine↔endpoint boundary, wire itemsize).
@@ -199,30 +207,35 @@ class ExecutionEngine:
         thread's dtype policy is reinstalled in every dispatch thread
         (thread-scoped overrides would otherwise be invisible there).
         """
+        from repro.scheduler.telemetry import Timer  # deferred: package cycle
+
         if len(calls) == 1:
-            started = time.perf_counter()
-            reply = calls[0]()
-            span = time.perf_counter() - started
-            return [reply], [span], span
+            with Timer() as timer:
+                reply = calls[0]()
+            return [reply], [timer.elapsed], timer.elapsed
         # The first call runs inline on the dispatching thread while the
         # rest overlap in lane threads — one less thread handoff per round,
         # and numpy releases the GIL inside the kernels either way.
         policy = get_dtype_policy()
         lanes = self._lane_set(len(calls) - 1)
-        started = time.perf_counter()
+        round_timer = Timer()
+        round_timer.__enter__()
         for lane, call in zip(lanes, calls[1:]):
             lane.submit(call, policy)
         first_exc: Optional[BaseException] = None
         first: Tuple[Optional[EndpointReply], float] = (None, 0.0)
-        t0 = time.perf_counter()
+        first_timer = Timer()
         try:
-            first = (calls[0](), time.perf_counter() - t0)
+            with first_timer:
+                reply0 = calls[0]()
+            first = (reply0, first_timer.elapsed)
         except BaseException as exc:
             first_exc = exc
         # Always drain every submitted lane — a leftover result would be
         # misattributed to the next round's dispatch.
         gathered = [lane.collect() for lane in lanes]
-        wall = time.perf_counter() - started
+        round_timer.__exit__(None, None, None)
+        wall = round_timer.elapsed
         if first_exc is not None:
             raise first_exc
         replies: List[EndpointReply] = [first[0]]
@@ -247,6 +260,17 @@ class ExecutionEngine:
             # 1/k when the k calls ran back-to-back, →1 under perfect overlap.
             m.ewma(f"{kind}.overlap").observe(sum(spans) / (wall * len(spans)))
         self._wall_rounds_s += wall
+        if self.tracer is not None:
+            # EVENT_ENGINE_ROUND from repro.trace.tracer (literal here to
+            # keep the trace package import out of the engine's hot path).
+            self.tracer.emit_scoped(
+                "engine.round",
+                round=kind,
+                wall_s=wall,
+                compute_s=compute_s,
+                comm_bytes=int(comm_bytes),
+                calls=len(spans),
+            )
 
     # -- execution -------------------------------------------------------------
 

@@ -63,7 +63,13 @@ RECENT_BATCH_WINDOW = 256
 
 @dataclass
 class BatchingStats:
-    """Counters describing how the queue flushed."""
+    """Counters describing how the queue flushed.
+
+    Mutated only by the owning queue (collector thread, plus the submit
+    path for ``expired_rejects``) under ``lock``; concurrent readers must
+    use :meth:`snapshot` rather than iterating ``recent_batch_sizes``
+    directly, which the flush path appends to.
+    """
 
     requests: int = 0
     batches: int = 0
@@ -74,9 +80,26 @@ class BatchingStats:
     recent_batch_sizes: "deque" = field(
         default_factory=lambda: deque(maxlen=RECENT_BATCH_WINDOW)
     )
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def mean_batch_rows(self) -> float:
         return self.rows / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        """A consistent, JSON-friendly copy taken under the stats lock."""
+        with self.lock:
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "rows": self.rows,
+                "full_flushes": self.full_flushes,
+                "deadline_flushes": self.deadline_flushes,
+                "expired_rejects": self.expired_rejects,
+                "mean_batch_rows": self.mean_batch_rows(),
+                "recent_batch_sizes": list(self.recent_batch_sizes),
+            }
 
 
 class MicroBatchQueue:
@@ -88,6 +111,7 @@ class MicroBatchQueue:
         config: Optional[BatchingConfig] = None,
         *,
         run_batch_parts: Optional[Callable[[List[np.ndarray]], np.ndarray]] = None,
+        on_batch: Optional[Callable[[List[object], int], None]] = None,
         autostart: bool = True,
     ) -> None:
         if (run_batch is None) == (run_batch_parts is None):
@@ -101,6 +125,11 @@ class MicroBatchQueue:
         # smallest arena rung, so deadline flushes of one or two requests
         # never touch the max_batch-sized buffers.
         self.run_batch_parts = run_batch_parts
+        # Called on the collector thread with ([tags...], total_rows)
+        # immediately before each batched forward — the hook tracing uses
+        # to pair a request (its submit-time ``tag``) with the batch it
+        # actually rode.  Tags of dropped (cancelled) requests are absent.
+        self.on_batch = on_batch
         self.config = config or BatchingConfig()
         self.stats = BatchingStats()
         self._queue: "queue.Queue" = queue.Queue()
@@ -126,7 +155,7 @@ class MicroBatchQueue:
     # -- client side -----------------------------------------------------------
 
     def submit(
-        self, x: np.ndarray, *, deadline: Optional[float] = None
+        self, x: np.ndarray, *, deadline: Optional[float] = None, tag: object = None
     ) -> "Future[np.ndarray]":
         """Enqueue one request (rows = ``x.shape[0]``); returns its future.
 
@@ -135,12 +164,16 @@ class MicroBatchQueue:
         its future with :class:`DeadlineExceeded` immediately and never
         enters the queue — an expired request must not occupy batch-row
         budget that live requests could use.
+
+        ``tag`` is an opaque caller handle carried alongside the request
+        and handed back through the ``on_batch`` hook with the batch it
+        flushed in.
         """
         if x.ndim < 1 or x.shape[0] == 0:
             raise ValueError(f"request must have at least one row, got shape {x.shape}")
         future: "Future[np.ndarray]" = Future()
         if deadline is not None and time.monotonic() >= deadline:
-            with self._submit_lock:
+            with self.stats.lock:
                 self.stats.expired_rejects += 1
             future.set_exception(
                 DeadlineExceeded(f"deadline {deadline:.6f} already passed at submit")
@@ -151,7 +184,7 @@ class MicroBatchQueue:
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("submit on a closed MicroBatchQueue")
-            self._queue.put((x, future))
+            self._queue.put((x, future, tag))
         return future
 
     def close(self, timeout: Optional[float] = None) -> None:
@@ -173,7 +206,7 @@ class MicroBatchQueue:
     # -- collector side ---------------------------------------------------------
 
     def _collector(self) -> None:
-        carry: Optional[Tuple[np.ndarray, Future]] = None
+        carry: Optional[Tuple[np.ndarray, Future, object]] = None
         while True:
             if carry is not None:
                 item, carry = carry, None
@@ -187,8 +220,13 @@ class MicroBatchQueue:
                 return
 
     def _gather(
-        self, first: Tuple[np.ndarray, Future]
-    ) -> Tuple[List[Tuple[np.ndarray, Future]], bool, bool, Optional[Tuple[np.ndarray, Future]]]:
+        self, first: Tuple[np.ndarray, Future, object]
+    ) -> Tuple[
+        List[Tuple[np.ndarray, Future, object]],
+        bool,
+        bool,
+        Optional[Tuple[np.ndarray, Future, object]],
+    ]:
         """Collect requests until the row or deadline budget is spent.
 
         Returns ``(batch, saw_shutdown, full, carry)`` where ``full`` means
@@ -218,19 +256,23 @@ class MicroBatchQueue:
             rows += item[0].shape[0]
         return batch, False, True, None
 
-    def _flush(self, batch: List[Tuple[np.ndarray, Future]], *, full: bool) -> None:
+    def _flush(self, batch: List[Tuple[np.ndarray, Future, object]], *, full: bool) -> None:
         # Claim every future before computing: set_running_or_notify_cancel
         # returns False for futures the client already cancelled (dropped
         # here), and afterwards cancel() can no longer succeed — so the
         # set_result/set_exception calls below cannot race a cancellation
         # and kill the collector.
-        batch = [(x, f) for x, f in batch if f.set_running_or_notify_cancel()]
+        batch = [(x, f, t) for x, f, t in batch if f.set_running_or_notify_cancel()]
         if not batch:
             return
-        arrays = [x for x, _ in batch]
-        futures = [f for _, f in batch]
+        arrays = [x for x, _, _ in batch]
+        futures = [f for _, f, _ in batch]
         rows = [x.shape[0] for x in arrays]
         try:
+            # The hook failing must fail this batch's futures, not the
+            # collector thread — later submissions still get served.
+            if self.on_batch is not None:
+                self.on_batch([t for _, _, t in batch], sum(rows))
             if self.run_batch_parts is not None:
                 out = self.run_batch_parts(arrays)
             else:
@@ -244,14 +286,15 @@ class MicroBatchQueue:
             for future in futures:
                 future.set_exception(exc)
             return
-        self.stats.requests += len(batch)
-        self.stats.batches += 1
-        self.stats.rows += sum(rows)
-        self.stats.recent_batch_sizes.append(sum(rows))
-        if full:
-            self.stats.full_flushes += 1
-        else:
-            self.stats.deadline_flushes += 1
+        with self.stats.lock:
+            self.stats.requests += len(batch)
+            self.stats.batches += 1
+            self.stats.rows += sum(rows)
+            self.stats.recent_batch_sizes.append(sum(rows))
+            if full:
+                self.stats.full_flushes += 1
+            else:
+                self.stats.deadline_flushes += 1
         offset = 0
         for future, n in zip(futures, rows):
             future.set_result(out[offset : offset + n])

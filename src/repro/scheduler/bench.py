@@ -32,13 +32,11 @@ from repro.runtime.batching import DeadlineExceeded
 from repro.scheduler.admission import SLA
 from repro.scheduler.frontend import SchedulerConfig, ServingFrontend
 from repro.scheduler.telemetry import nearest_rank
-from repro.utils.rng import derive_seed, make_rng
 
-#: Outcome labels for one traced request.
-OK = "ok"               # completed within its deadline
-LATE = "late"           # completed, but after the deadline
-REJECTED = "rejected"   # failed fast at admission (no compute spent)
-LOST = "lost"           # errored / never produced a result
+# Outcome labels for one traced request — the single definitions live in
+# the trace layer (re-exported here for existing importers).
+from repro.trace.recorder import LATE, LOST, OK, REJECTED
+from repro.utils.rng import derive_seed, make_rng
 
 
 @dataclass(frozen=True)
@@ -198,12 +196,16 @@ def run_scheduler_comparison(
     *,
     replicas: int = 2,
     scheduler_config: Optional[SchedulerConfig] = None,
+    tracer=None,
+    recorder=None,
 ) -> Dict:
     """Drive the trace through the scheduler and the fixed-widest baseline.
 
     ``replicas`` sizes both pools; an explicit ``scheduler_config`` is the
     single source of truth (its ``replicas`` wins), so the two runs can
-    never compare unequal pools.
+    never compare unequal pools.  ``tracer``/``recorder`` (from
+    :mod:`repro.trace`) attach to the *scheduler* run only — the baseline
+    stays untraced so the comparison shows tracing's cost where it runs.
     """
     arrivals = trace.arrivals()
     payloads = _make_payloads(model, min(256, len(arrivals)), trace.seed)
@@ -231,7 +233,10 @@ def run_scheduler_comparison(
             sla = SLA(
                 deadline_s=trace.deadline_s, min_width=widest, max_width=widest
             )
-        frontend = ServingFrontend(model, config)
+        if label == "scheduler":
+            frontend = ServingFrontend(model, config, tracer=tracer, recorder=recorder)
+        else:
+            frontend = ServingFrontend(model, config)
         try:
             records = _drive(frontend, trace, payloads, sla)
             runs[label] = {

@@ -43,6 +43,31 @@ from repro.scheduler.pool import Replica, ReplicaPool, ReplicaUnavailable
 from repro.scheduler.telemetry import MetricsRegistry
 from repro.scheduler.width_policy import WidthPolicy
 from repro.slimmable.spec import SubNetSpec
+from repro.trace.recorder import (
+    LATE,
+    LOST,
+    OK,
+    REJECTED,
+    RequestRecord,
+    RequestSpec,
+    TraceRecorder,
+)
+from repro.trace.tracer import (
+    EVENT_ADMISSION,
+    EVENT_BATCH,
+    EVENT_ENQUEUE,
+    EVENT_EXECUTE,
+    EVENT_FAIL,
+    EVENT_HEDGE,
+    EVENT_HEDGE_LOST,
+    EVENT_HEDGE_WON,
+    EVENT_REROUTE,
+    EVENT_RESOLVE,
+    EVENT_SUBMIT,
+    EVENT_WIDTH,
+    NULL_TRACER,
+    Tracer,
+)
 from repro.utils.config import Config
 from repro.utils.logging import get_logger
 
@@ -98,9 +123,19 @@ class _Entry:
     __slots__ = (
         "x", "sla", "arrival", "deadline", "width", "future",
         "exclude", "primary_replica", "hedged", "lock",
+        "rid", "trace", "spec",
     )
 
-    def __init__(self, x: np.ndarray, sla: SLA, arrival: float) -> None:
+    def __init__(
+        self,
+        x: np.ndarray,
+        sla: SLA,
+        arrival: float,
+        *,
+        rid: int = -1,
+        trace=NULL_TRACER,
+        spec: Optional[RequestSpec] = None,
+    ) -> None:
         self.x = x
         self.sla = sla
         self.arrival = arrival
@@ -111,6 +146,9 @@ class _Entry:
         self.primary_replica: Optional[int] = None  # where the live leg waits
         self.hedged = False
         self.lock = threading.Lock()
+        self.rid = rid          # request id (trace/record identity)
+        self.trace = trace      # per-request tracer: sampled-in or NULL_TRACER
+        self.spec = spec        # replayed RequestSpec (None for live traffic)
 
 
 class _HedgeWatchdog:
@@ -167,10 +205,19 @@ class ServingFrontend:
         candidates: Optional[Sequence[SubNetSpec]] = None,
         heartbeat_config: Optional[Config] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.config = config or SchedulerConfig()
         self.metrics = metrics or MetricsRegistry()
         self.logger = get_logger("scheduler.frontend")
+        # Tracing is opt-in: without a tracer every emit call lands on the
+        # shared NULL_TRACER no-op, and sampled-out requests bind it too.
+        self.tracer = tracer or NULL_TRACER
+        self.recorder = recorder
+        self._epoch = time.monotonic()  # arrival offsets for recorded specs
+        self._rids = itertools.count()
+        self._batch_ids = itertools.count()
         net = getattr(model, "net", model)
         if candidates is None:
             candidates = self._default_candidates(model, net)
@@ -263,11 +310,10 @@ class ServingFrontend:
         x = np.zeros((1, net.in_channels, net.image_size, net.image_size))
         replica = self.pool.replicas[0]
         for spec in self.policy.candidates:
-            started = time.perf_counter()
-            replica.run(x, spec.name)
-            elapsed = time.perf_counter() - started
-            self.policy.observe(spec.name, elapsed)
-            self.metrics.ewma("frontend.row_service_s").observe(elapsed)
+            with self.metrics.timer("frontend.warmup_s") as timer:
+                replica.run(x, spec.name)
+            self.policy.observe(spec.name, timer.elapsed)
+            self.metrics.ewma("frontend.row_service_s").observe(timer.elapsed)
         if self.config.replica_backend == "process":
             # Process workers compile plans per-process; prime the rest so
             # no request pays a mid-trace compile stall (untimed — the
@@ -278,18 +324,39 @@ class ServingFrontend:
 
     # -- submission -----------------------------------------------------------
 
-    def submit(self, x: np.ndarray, sla: Optional[SLA] = None) -> "Future[np.ndarray]":
+    def submit(
+        self,
+        x: np.ndarray,
+        sla: Optional[SLA] = None,
+        *,
+        spec: Optional[RequestSpec] = None,
+    ) -> "Future[np.ndarray]":
         """Schedule one request; the future resolves with its output rows.
 
         The future fails with :class:`AdmissionRejected` (fail-fast, no
         compute spent) when the SLA is infeasible, or with
         :class:`ReplicaUnavailable` when the whole pool is dead.
+
+        ``spec`` is the replayed :class:`RequestSpec` when a
+        :class:`~repro.trace.replay.TraceReplayer` drives this frontend:
+        it pins the request's trace/record identity to the corpus id (so
+        sampling decisions and recorded artifacts line up across replays)
+        and is written verbatim into the recorded artifact.
         """
         if self._closing:
             raise RuntimeError("submit on a closed ServingFrontend")
         sla = sla or self.config.default_sla
-        entry = _Entry(x, sla, time.monotonic())
+        rid = spec.request_id if spec is not None else next(self._rids)
+        trace = self.tracer if self.tracer.sample(rid) else NULL_TRACER
+        entry = _Entry(x, sla, time.monotonic(), rid=rid, trace=trace, spec=spec)
         self.metrics.counter("frontend.requests").inc()
+        trace.emit(
+            rid,
+            EVENT_SUBMIT,
+            deadline_s=sla.deadline_s,
+            priority=sla.priority,
+            rows=int(x.shape[0]) if x.ndim >= 1 else 1,
+        )
 
         floor = self.policy.predict(
             self.policy.narrowest(sla.min_width, sla.max_width).name
@@ -312,21 +379,38 @@ class ServingFrontend:
                 queue_wait_s=queue_wait,
                 service_floor_s=floor,
             )
+            trace.emit(
+                rid,
+                EVENT_ADMISSION,
+                admitted=decision.admitted,
+                reason=decision.reason,
+                estimated_s=decision.estimated_s,
+                queue_wait_s=queue_wait,
+            )
             if not decision.admitted:
                 self.metrics.counter("frontend.rejected").inc()
                 entry.future.set_exception(AdmissionRejected(decision.reason))
+                trace.emit(rid, EVENT_FAIL, error="AdmissionRejected")
+                self._finalize(entry, REJECTED, None)
                 return entry.future
 
         budget = (entry.deadline - time.monotonic()) - queue_wait
-        spec, predicted = self.policy.choose(
+        spec_w, predicted = self.policy.choose(
             max(budget, 0.0), min_width=sla.min_width, max_width=sla.max_width
         )
-        entry.width = spec.name
-        self.metrics.counter(f"frontend.width.{spec.name}").inc()
+        entry.width = spec_w.name
+        self.metrics.counter(f"frontend.width.{spec_w.name}").inc()
+        trace.emit(
+            rid,
+            EVENT_WIDTH,
+            width=spec_w.name,
+            predicted_s=predicted,
+            budget_s=max(budget, 0.0),
+        )
         # Critical-priority requests were admitted on "a late answer beats
         # none", so their leg carries no fail-fast deadline.
         leg_deadline = entry.deadline if sla.priority < CRITICAL_PRIORITY else None
-        self._dispatch(entry, spec.name, deadline=leg_deadline, primary=True)
+        self._dispatch(entry, spec_w.name, deadline=leg_deadline, primary=True)
         if self._watchdog is not None:
             # Hedge a true straggler, not ordinary backlog: no earlier than
             # several predicted service times AND half the remaining budget
@@ -356,8 +440,27 @@ class ServingFrontend:
                     max_batch=self.config.max_batch,
                     max_delay_s=self.config.max_delay_s,
                 )
+                # One mutable cell shared by the two collector-thread hooks
+                # below: _on_batch (membership, runs first) stashes the
+                # batch id and tags, _run_parts (execution) reads them.
+                # Safe without a lock — each queue has exactly one
+                # collector thread, and both hooks run on it.
+                batch_ctx: Dict[str, object] = {}
 
-                def _run_parts(parts, r=replica, w=width) -> np.ndarray:
+                def _on_batch(tags, rows, r=replica, w=width, ctx=batch_ctx) -> None:
+                    bid = next(self._batch_ids)
+                    ctx["id"], ctx["tags"] = bid, tags
+                    for tag in tags:
+                        tag.trace.emit(
+                            tag.rid,
+                            EVENT_BATCH,
+                            batch=bid,
+                            rows=rows,
+                            replica=r.index,
+                            width=w,
+                        )
+
+                def _run_parts(parts, r=replica, w=width, ctx=batch_ctx) -> np.ndarray:
                     # Observe *pure* service time (one batched forward), not
                     # dispatch-to-done latency: queue wait is accounted
                     # separately from live pending counts, so backlog never
@@ -369,21 +472,58 @@ class ServingFrontend:
                     # raw per-request arrays: a compiled plan scatters their
                     # rows straight into its input arena, so the batch is
                     # never concatenated into a temporary.
-                    started = time.monotonic()
-                    out = r.run_parts(parts, w)
-                    service = time.monotonic() - started
+                    with self.metrics.timer("frontend.batch_service_s") as timer:
+                        out = r.run_parts(parts, w)
+                    service = timer.elapsed
                     self.policy.observe(w, service)
                     # Pooled per-row rate over the live width mix: pending
                     # rows x this EWMA estimates queue wait at admission.
                     self.metrics.ewma("frontend.row_service_s").observe(
                         service / out.shape[0]
                     )
+                    tags = ctx.get("tags", ())
+                    if any(tag.trace.enabled for tag in tags):
+                        info = self._execution_info(w, parts)
+                        for tag in tags:
+                            tag.trace.emit(
+                                tag.rid,
+                                EVENT_EXECUTE,
+                                batch=ctx.get("id"),
+                                service_s=service,
+                                **info,
+                            )
                     return out
 
                 self._queues[key] = MicroBatchQueue(
-                    run_batch_parts=_run_parts, config=batching
+                    run_batch_parts=_run_parts, config=batching, on_batch=_on_batch
                 )
             return self._queues[key]
+
+    def _execution_info(self, width: str, parts: Sequence[np.ndarray]) -> Dict[str, object]:
+        """How this flush actually executed: plan rung, eager fallback, backend."""
+        rows = sum(int(p.shape[0]) for p in parts)
+        plan = self.plans.get(width)
+        if plan is None:
+            return {"mode": "eager", "rows": rows}
+        if isinstance(plan, PlanLadder):
+            rung = plan.rung_for(rows) if plan.accepts_parts(parts) else None
+            if rung is None:
+                return {"mode": "eager", "rows": rows}
+            return {
+                "mode": "plan",
+                "rows": rows,
+                "plan_rows": rung.batch_rows,
+                "conv_backend": rung.conv_backend,
+                "ladder": True,
+            }
+        if not plan.accepts_parts(parts):
+            return {"mode": "eager", "rows": rows}
+        return {
+            "mode": "plan",
+            "rows": rows,
+            "plan_rows": plan.batch_rows,
+            "conv_backend": plan.conv_backend,
+        }
 
     def _dispatch(
         self,
@@ -393,6 +533,7 @@ class ServingFrontend:
         exclude: Tuple[int, ...] = (),
         deadline: Optional[float] = None,
         primary: bool = False,
+        leg: str = "primary",
     ) -> None:
         """Queue one leg of a request on a routed replica.
 
@@ -400,6 +541,8 @@ class ServingFrontend:
         check on the *initial* leg only; reroute and hedge legs carry no
         deadline because once work was admitted the plane commits to
         producing a result (a late answer is a miss, never a loss).
+        ``leg`` labels the dispatch for tracing and hedge-outcome
+        accounting: ``"primary"``, ``"reroute"`` or ``"hedge"``.
         """
         if self._closed:
             self._fail(entry, ReplicaUnavailable("frontend closed"))
@@ -412,8 +555,13 @@ class ServingFrontend:
         if primary:
             with entry.lock:
                 entry.primary_replica = replica.index
+        entry.trace.emit(
+            entry.rid, EVENT_ENQUEUE, replica=replica.index, width=width, leg=leg
+        )
         try:
-            inner = self._queue_for(replica, width).submit(entry.x, deadline=deadline)
+            inner = self._queue_for(replica, width).submit(
+                entry.x, deadline=deadline, tag=entry
+            )
         except (RuntimeError, ValueError) as exc:
             # Closed queue (frontend shutting down under a reroute/hedge) or
             # an invalid payload; either way the routed replica's pending
@@ -421,7 +569,7 @@ class ServingFrontend:
             replica.finish()
             self._fail(entry, exc if isinstance(exc, ValueError) else ReplicaUnavailable(str(exc)))
             return
-        inner.add_done_callback(lambda f: self._on_done(entry, replica, width, f))
+        inner.add_done_callback(lambda f: self._on_done(entry, replica, width, f, leg))
 
     def _on_done(
         self,
@@ -429,11 +577,12 @@ class ServingFrontend:
         replica: Replica,
         width: str,
         inner: "Future[np.ndarray]",
+        leg: str = "primary",
     ) -> None:
         replica.finish()
         exc = None if inner.cancelled() else inner.exception()
         if not inner.cancelled() and exc is None:
-            self._resolve(entry, inner.result())
+            self._resolve(entry, inner.result(), leg=leg)
             return
         if isinstance(exc, ReplicaUnavailable):
             # The endpoint died under this request: eject it through the
@@ -448,7 +597,10 @@ class ServingFrontend:
             self.logger.warning(
                 "replica %d lost mid-request; rerouting at width %s", replica.index, width
             )
-            self._dispatch(entry, width, exclude=exclude, primary=True)
+            entry.trace.emit(
+                entry.rid, EVENT_REROUTE, dead_replica=replica.index, width=width
+            )
+            self._dispatch(entry, width, exclude=exclude, primary=True, leg="reroute")
             return
         if isinstance(exc, DeadlineExceeded):
             # The initial leg expired before it could even enter a batch
@@ -482,9 +634,12 @@ class ServingFrontend:
         narrower = self.policy.narrower_than(entry.width, entry.sla.min_width)
         width = (narrower or self.policy.narrowest(entry.sla.min_width)).name
         self.metrics.counter("frontend.hedges").inc()
-        self._dispatch(entry, width, exclude=hedge_exclude)
+        entry.trace.emit(
+            entry.rid, EVENT_HEDGE, width=width, primary_width=entry.width
+        )
+        self._dispatch(entry, width, exclude=hedge_exclude, leg="hedge")
 
-    def _resolve(self, entry: _Entry, result: np.ndarray) -> None:
+    def _resolve(self, entry: _Entry, result: np.ndarray, *, leg: str = "primary") -> None:
         try:
             entry.future.set_result(result)
         except InvalidStateError:
@@ -492,10 +647,27 @@ class ServingFrontend:
         latency = time.monotonic() - entry.arrival
         self.metrics.histogram("frontend.latency").observe(latency)
         self.metrics.counter("frontend.completed").inc()
-        if time.monotonic() <= entry.deadline:
+        on_time = time.monotonic() <= entry.deadline
+        if on_time:
             self.metrics.counter("frontend.completed_within_deadline").inc()
         else:
             self.metrics.counter("frontend.completed_late").inc()
+        if entry.hedged:
+            # Exactly one leg reaches this point (the future is a
+            # single-assignment gate), so the winner's identity is exact.
+            won = leg == "hedge"
+            entry.trace.emit(
+                entry.rid,
+                EVENT_HEDGE_WON if won else EVENT_HEDGE_LOST,
+                leg=leg,
+            )
+            self.metrics.counter(
+                "frontend.hedge_wins" if won else "frontend.hedge_losses"
+            ).inc()
+        entry.trace.emit(
+            entry.rid, EVENT_RESOLVE, latency_s=latency, on_time=on_time, leg=leg
+        )
+        self._finalize(entry, OK if on_time else LATE, latency)
 
     def _fail(self, entry: _Entry, exc: BaseException) -> None:
         try:
@@ -503,6 +675,38 @@ class ServingFrontend:
         except InvalidStateError:
             return
         self.metrics.counter("frontend.failed").inc()
+        entry.trace.emit(entry.rid, EVENT_FAIL, error=type(exc).__name__)
+        outcome = REJECTED if isinstance(exc, DeadlineExceeded) else LOST
+        self._finalize(entry, outcome, None)
+
+    def _finalize(self, entry: _Entry, outcome: str, latency: Optional[float]) -> None:
+        """Terminal bookkeeping: assemble and persist the request's record.
+
+        Runs exactly once per request (guarded by the future's
+        single-assignment in :meth:`_resolve` / :meth:`_fail`).  The
+        request's events are *taken* from the tracer here, so the
+        per-request index stays bounded by in-flight traced requests.
+        """
+        events = entry.trace.take(entry.rid)
+        if self.recorder is None:
+            return
+        spec = entry.spec or RequestSpec(
+            request_id=entry.rid,
+            arrival_s=entry.arrival - self._epoch,
+            deadline_s=entry.sla.deadline_s,
+            priority=entry.sla.priority,
+            min_width=entry.sla.min_width,
+            max_width=entry.sla.max_width,
+        )
+        self.recorder.record(
+            RequestRecord(
+                spec=spec,
+                outcome=outcome,
+                width=entry.width,
+                latency_s=latency,
+                events=tuple(e.to_json() for e in events),
+            )
+        )
 
     # -- background health -----------------------------------------------------
 
@@ -517,6 +721,8 @@ class ServingFrontend:
     def report(self) -> Dict:
         """JSON-friendly snapshot: metrics + width-policy calibration."""
         snapshot = self.metrics.snapshot()
+        with self._queues_lock:
+            queues = dict(self._queues)
         report = {
             "metrics": snapshot,
             "calibration": self.policy.calibration_snapshot(),
@@ -524,7 +730,15 @@ class ServingFrontend:
                 {"index": r.index, "alive": r.alive, "pending": r.pending}
                 for r in self.pool.replicas
             ],
+            # Per-(replica, width) micro-batch stats, copied under each
+            # queue's stats lock (readers never race the flush thread).
+            "batching": {
+                f"{replica}:{width}": queue.stats.snapshot()
+                for (replica, width), queue in sorted(queues.items())
+            },
         }
+        if self.tracer.enabled:
+            report["trace"] = self.tracer.stats()
         workers = self._worker_stats(snapshot)
         if workers:
             report["workers"] = workers

@@ -254,7 +254,10 @@ class ReplicaPool:
         for _ in range(len(self.replicas)):
             replica = self.route(exclude=tried)
             try:
-                out = replica.run(x, width)
+                # The timer observes into pool.execute_s only on success —
+                # a dead-replica attempt's duration is not a service time.
+                with self.metrics.timer("pool.execute_s"):
+                    out = replica.run(x, width)
                 return out, replica
             except ReplicaUnavailable:
                 self.report_failure(replica)

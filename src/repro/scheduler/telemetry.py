@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional
 
 #: How many recent observations a LatencyHistogram retains for percentile
 #: queries (totals stay exact; only the sample window is bounded).
@@ -129,16 +130,30 @@ class LatencyHistogram:
         with self._lock:
             return self._count
 
-    def mean(self) -> float:
+    def mean(self) -> Optional[float]:
+        """Lifetime mean, or ``None`` before any observation."""
         with self._lock:
-            return self._total / self._count if self._count else 0.0
+            return self._total / self._count if self._count else None
 
-    def percentile(self, p: float) -> float:
-        """Nearest-rank percentile over the retained window (0 < p <= 100)."""
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile over the retained window (0 < p <= 100).
+
+        ``None`` when nothing has been observed: an empty histogram has no
+        tail, and reporting a fake ``0.0`` would read as "infinitely fast"
+        in dashboards and bench records.
+        """
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
         with self._lock:
+            if not self._samples:
+                return None
             return nearest_rank(sorted(self._samples), p)
 
     def summary(self) -> Dict[str, float]:
+        """Count/mean/tails; the latency keys are omitted entirely when no
+        observation has been made (no fake zero tails)."""
+        if not self.count:
+            return {"count": 0}
         return {
             "count": self.count,
             "mean_s": self.mean(),
@@ -147,6 +162,32 @@ class LatencyHistogram:
             "p99_s": self.percentile(99),
             "max_s": self._max,
         }
+
+
+class Timer:
+    """Context manager timing one block into an observation sink.
+
+    The single clock-reading idiom for the serving stack: enter reads
+    :func:`time.perf_counter`, exit computes ``elapsed`` and — on a clean
+    exit only — feeds it to the sink.  A block that raises still gets its
+    ``elapsed`` set (callers may want it for logging) but is *not*
+    observed: a failed operation's duration would poison latency stats.
+    """
+
+    __slots__ = ("_observe", "_started", "elapsed")
+
+    def __init__(self, observe: Optional[Callable[[float], None]] = None) -> None:
+        self._observe = observe
+        self.elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._started
+        if exc_type is None and self._observe is not None:
+            self._observe(self.elapsed)
 
 
 class MetricsRegistry:
@@ -171,6 +212,17 @@ class MetricsRegistry:
             if name not in self._ewmas:
                 self._ewmas[name] = EWMA(alpha)
             return self._ewmas[name]
+
+    def timer(self, name: str) -> Timer:
+        """A :class:`Timer` observing into ``histogram(name)`` on clean exit.
+
+        Usage::
+
+            with metrics.timer("pool.execute_s") as timer:
+                result = replica.run(...)
+            # timer.elapsed holds the measured seconds
+        """
+        return Timer(self.histogram(name).observe)
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-friendly dump of every registered metric."""

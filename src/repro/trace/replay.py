@@ -1,0 +1,524 @@
+"""Open-loop trace replay: live (wall-clock) and simulated (virtual time).
+
+A :class:`TraceReplayer` takes a request stream — a scenario-zoo
+:class:`~repro.trace.scenarios.TraceSpec`, a recorded artifact, or an
+explicit spec list — and re-injects it against a
+:class:`~repro.scheduler.frontend.SchedulerConfig` in one of two modes:
+
+* :meth:`TraceReplayer.replay` drives a **real**
+  :class:`~repro.scheduler.frontend.ServingFrontend` open-loop: payloads
+  are regenerated deterministically from each spec's ``payload_seed``
+  (``derive_seed``-namespaced), submission times follow the recorded
+  arrival offsets, and outcomes are measured on the wall clock.  This is
+  the mode that answers "what does *this machine* do under this trace"
+  — and the mode the tracing-overhead benchmark uses.
+
+* :meth:`TraceReplayer.simulate` runs the same stream through a
+  **deterministic virtual-time model** of the control plane: real
+  admission arithmetic (:class:`~repro.scheduler.admission.AdmissionController`),
+  real width-ordering (the analytical cost ratios the
+  :class:`~repro.scheduler.width_policy.WidthPolicy` starts from), and a
+  faithful per-(replica, width) micro-batch flush model — but service
+  times are pure functions of (width, rows), so the same corpus yields
+  **bit-identical per-request outcomes** on every run and every machine.
+  This is the mode CI pins: miss-rate drift in ``BENCH_trace_replay.json``
+  means the scheduler's *decision logic* changed, not that the runner was
+  noisy.
+
+The two modes share outcome vocabulary and summary shape with
+``scheduler/bench.py``, so replay results read like bench results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.scheduler.admission import SLA, AdmissionController
+from repro.scheduler.telemetry import nearest_rank
+from repro.trace.recorder import (
+    LATE,
+    LOST,
+    OK,
+    OUTCOMES,
+    REJECTED,
+    RequestRecord,
+    RequestSpec,
+    TraceRecorder,
+    read_specs,
+)
+from repro.trace.scenarios import TraceSpec, get_scenario
+from repro.trace.tracer import (
+    EVENT_ADMISSION,
+    EVENT_BATCH,
+    EVENT_ENQUEUE,
+    EVENT_RESOLVE,
+    EVENT_SUBMIT,
+    EVENT_WIDTH,
+    Tracer,
+)
+from repro.utils.rng import derive_seed, make_rng
+
+#: Virtual service time of the *narrowest* width for one row, seconds.
+#: The other widths scale by their analytical cost ratios — the part of
+#: the cost model that is trustworthy (see width_policy docstring).
+SIM_NARROWEST_ROW_S = 0.004
+
+#: Marginal cost of each additional batched row, as a fraction of the
+#: first row (batching amortisation: a 16-row batch costs ~6.25 rows).
+SIM_AMORTIZE = 0.35
+
+
+def payload_for(spec: RequestSpec, net) -> np.ndarray:
+    """Deterministically regenerate one request's input payload."""
+    shape = spec.shape or (1, net.in_channels, net.image_size, net.image_size)
+    seed = spec.payload_seed
+    if seed is None:
+        seed = derive_seed(0, "payload", spec.request_id)
+    return make_rng(seed).standard_normal(shape)
+
+
+def sla_for(spec: RequestSpec) -> SLA:
+    return SLA(
+        deadline_s=spec.deadline_s,
+        priority=spec.priority,
+        min_width=spec.min_width,
+        max_width=spec.max_width,
+    )
+
+
+def summarize_outcomes(
+    records: Sequence[Mapping[str, object]], duration_s: float
+) -> Dict[str, object]:
+    """Goodput / miss-rate / tail-latency stats (bench-compatible shape)."""
+    total = len(records)
+    by_outcome = {k: 0 for k in OUTCOMES}
+    widths: Dict[str, int] = {}
+    for r in records:
+        by_outcome[r["outcome"]] += 1
+        if r.get("width"):
+            widths[r["width"]] = widths.get(r["width"], 0) + 1
+    latencies = sorted(
+        r["latency_s"] for r in records if r.get("latency_s") is not None
+    )
+    misses = total - by_outcome[OK]
+    return {
+        "requests": total,
+        "outcomes": by_outcome,
+        "widths": dict(sorted(widths.items())),
+        "lost": by_outcome[LOST],
+        "miss_rate": misses / total if total else 0.0,
+        "goodput_rps": by_outcome[OK] / duration_s if duration_s > 0 else 0.0,
+        "latency": {
+            "p50_s": nearest_rank(latencies, 50) if latencies else None,
+            "p95_s": nearest_rank(latencies, 95) if latencies else None,
+            "p99_s": nearest_rank(latencies, 99) if latencies else None,
+            "max_s": latencies[-1] if latencies else None,
+        },
+    }
+
+
+class TraceReplayer:
+    """Re-injects a recorded or generated request stream."""
+
+    def __init__(
+        self,
+        specs: Sequence[RequestSpec],
+        *,
+        name: str = "trace",
+        duration_s: Optional[float] = None,
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.specs: Tuple[RequestSpec, ...] = tuple(
+            sorted(specs, key=lambda s: (s.arrival_s, s.request_id))
+        )
+        self.name = name
+        self.meta = dict(meta or {})
+        if duration_s is None:
+            duration_s = max((s.arrival_s for s in self.specs), default=0.0) + 1e-9
+        self.duration_s = duration_s
+
+    @classmethod
+    def from_file(cls, path) -> "TraceReplayer":
+        """Load any trace artifact (``generated`` or ``recorded``)."""
+        header, specs = read_specs(path)
+        meta = header.get("meta", {}) or {}
+        return cls(
+            specs,
+            name=str(meta.get("name", "trace")),
+            duration_s=(
+                float(meta["duration_s"]) if meta.get("duration_s") else None
+            ),
+            meta=meta,
+        )
+
+    @classmethod
+    def from_scenario(cls, scenario: Union[str, TraceSpec]) -> "TraceReplayer":
+        spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        return cls(
+            spec.generate(),
+            name=spec.name,
+            duration_s=spec.duration_s,
+            meta=spec.meta(),
+        )
+
+    # -- live replay -----------------------------------------------------------
+
+    def replay(
+        self,
+        model,
+        config=None,
+        *,
+        tracer: Optional[Tracer] = None,
+        recorder: Optional[TraceRecorder] = None,
+        timeout_s: float = 120.0,
+    ) -> Dict[str, object]:
+        """Drive a real :class:`ServingFrontend` open-loop (wall clock).
+
+        Payloads are regenerated from each spec's ``payload_seed``; each
+        request carries its own SLA.  ``tracer``/``recorder`` are passed
+        straight into the frontend, so a replay can itself be recorded —
+        the record-of-a-replay round trip.
+        """
+        from repro.scheduler.frontend import SchedulerConfig, ServingFrontend
+
+        config = config or SchedulerConfig()
+        net = getattr(model, "net", model)
+        frontend = ServingFrontend(model, config, tracer=tracer, recorder=recorder)
+        try:
+            records = self._drive(frontend, net, timeout_s)
+            # Snapshot before close(): draining clears the per-queue state
+            # the report's "batching" section reads.
+            report = frontend.report()
+        finally:
+            frontend.close()
+        summary = summarize_outcomes(records, self.duration_s)
+        return {
+            "mode": "live",
+            "name": self.name,
+            "duration_s": self.duration_s,
+            **summary,
+            "records": records,
+            "frontend": report,
+        }
+
+    def _drive(self, frontend, net, timeout_s: float) -> List[Dict[str, object]]:
+        records: List[Dict[str, object]] = [
+            {
+                "request_id": s.request_id,
+                "arrival_s": s.arrival_s,
+                "outcome": LOST,
+                "width": None,
+                "latency_s": None,
+            }
+            for s in self.specs
+        ]
+        payloads = [payload_for(s, net) for s in self.specs]
+        done = threading.Event()
+        remaining = [len(self.specs)]
+        lock = threading.Lock()
+
+        def _finish(index: int, submit_t: float, future) -> None:
+            now = time.monotonic()
+            record, spec = records[index], self.specs[index]
+            exc = future.exception()
+            if exc is None:
+                record["latency_s"] = now - submit_t
+                record["outcome"] = (
+                    OK if record["latency_s"] <= spec.deadline_s else LATE
+                )
+            else:
+                # AdmissionRejected and queue fail-fast both subclass
+                # DeadlineExceeded: no compute was spent.
+                from repro.runtime.batching import DeadlineExceeded
+
+                record["outcome"] = (
+                    REJECTED if isinstance(exc, DeadlineExceeded) else LOST
+                )
+            with lock:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.set()
+
+        start = time.monotonic()
+        for index, spec in enumerate(self.specs):
+            delay = (start + spec.arrival_s) - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            submit_t = time.monotonic()
+            future = frontend.submit(payloads[index], sla_for(spec), spec=spec)
+            future.add_done_callback(
+                lambda f, i=index, t=submit_t: _finish(i, t, f)
+            )
+        if not done.wait(timeout=timeout_s):
+            raise RuntimeError(
+                f"replay did not drain: {remaining[0]} requests unresolved"
+            )
+        return records
+
+    # -- deterministic simulation ----------------------------------------------
+
+    def simulate(
+        self,
+        model,
+        config=None,
+        *,
+        narrowest_row_s: float = SIM_NARROWEST_ROW_S,
+        amortize: float = SIM_AMORTIZE,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> Dict[str, object]:
+        """Replay in virtual time: bit-identical outcomes on every run.
+
+        Models the control plane's decision structure — admission
+        arithmetic, widest-that-fits width choice, least-loaded routing,
+        per-(replica, width) micro-batch coalescing with ``max_batch`` /
+        ``max_delay_s`` flushes, FIFO replica service — with service
+        times that are pure functions of (width, rows):
+
+        ``service(w, n) = row_s(w) * (1 + amortize * (n - 1))``
+
+        where ``row_s`` preserves the analytical cost *ratios* between
+        widths and anchors the narrowest at ``narrowest_row_s``.  No
+        wall clock is read anywhere, so the per-request outcome stream
+        is a pure function of (specs, config, parameters).
+        """
+        from repro.scheduler.frontend import SchedulerConfig, ServingFrontend
+        from repro.scheduler.width_policy import WidthPolicy
+
+        config = config or SchedulerConfig()
+        net = getattr(model, "net", model)
+        candidates = ServingFrontend._default_candidates(model, net)
+        policy = WidthPolicy(net, candidates)
+        # Width cost table: analytical ratios, anchored at the narrowest.
+        base = {spec.name: policy.predict(spec.name) for spec in policy.candidates}
+        anchor = min(base.values())
+        row_s = {name: narrowest_row_s * cost / anchor for name, cost in base.items()}
+        widest_first = [spec.name for spec in policy.candidates]  # widest → narrowest
+
+        def service_s(width: str, rows: int) -> float:
+            return row_s[width] * (1.0 + amortize * (rows - 1))
+
+        admission = AdmissionController(headroom=config.admission_headroom)
+
+        sim = _Simulation(
+            replicas=config.replicas,
+            max_batch=config.max_batch,
+            max_delay_s=config.max_delay_s,
+            service_s=service_s,
+        )
+
+        def choose(sla: SLA, budget_s: float) -> Tuple[str, float]:
+            allowed = [s.name for s in policy.allowed(sla.min_width, sla.max_width)]
+            for name in allowed:
+                predicted = service_s(name, 1)
+                if predicted <= budget_s:
+                    return name, predicted
+            return allowed[-1], service_s(allowed[-1], 1)
+
+        records: List[Dict[str, object]] = []
+        for spec in self.specs:
+            sla = sla_for(spec)
+            t = spec.arrival_s
+            sim.advance(t)
+            events: List[Dict[str, object]] = [
+                {"t_s": t, "kind": EVENT_SUBMIT, "deadline_s": spec.deadline_s}
+            ]
+            replica = sim.least_loaded()
+            queue_wait = sim.queue_wait(replica, t)
+            floor = service_s(
+                policy.narrowest(sla.min_width, sla.max_width).name, 1
+            )
+            record: Dict[str, object] = {
+                "request_id": spec.request_id,
+                "arrival_s": spec.arrival_s,
+                "outcome": LOST,
+                "width": None,
+                "latency_s": None,
+            }
+            if config.enable_admission:
+                decision = admission.decide_remaining(
+                    sla,
+                    remaining_s=spec.deadline_s,
+                    queue_wait_s=queue_wait,
+                    service_floor_s=floor,
+                )
+                events.append(
+                    {
+                        "t_s": t,
+                        "kind": EVENT_ADMISSION,
+                        "admitted": decision.admitted,
+                        "reason": decision.reason,
+                        "estimated_s": decision.estimated_s,
+                    }
+                )
+                if not decision.admitted:
+                    record["outcome"] = REJECTED
+                    records.append(record)
+                    self._record_sim(recorder, spec, record, events)
+                    continue
+            budget = max(spec.deadline_s - queue_wait, 0.0)
+            width, predicted = choose(sla, budget)
+            record["width"] = width
+            events.append(
+                {
+                    "t_s": t,
+                    "kind": EVENT_WIDTH,
+                    "width": width,
+                    "predicted_s": predicted,
+                    "budget_s": budget,
+                }
+            )
+            events.append(
+                {
+                    "t_s": t,
+                    "kind": EVENT_ENQUEUE,
+                    "replica": replica,
+                    "width": width,
+                }
+            )
+            sim.enqueue(replica, width, t, record, events, spec)
+            records.append(record)
+        sim.drain()
+        if recorder is not None:
+            for spec, record, events in sim.completed:
+                self._record_sim(recorder, spec, record, events)
+        summary = summarize_outcomes(records, self.duration_s)
+        return {
+            "mode": "sim",
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "params": {
+                "narrowest_row_s": narrowest_row_s,
+                "amortize": amortize,
+                "replicas": config.replicas,
+                "max_batch": config.max_batch,
+                "max_delay_s": config.max_delay_s,
+                "widths": widest_first,
+            },
+            **summary,
+            "records": records,
+        }
+
+    @staticmethod
+    def _record_sim(
+        recorder: Optional[TraceRecorder],
+        spec: RequestSpec,
+        record: Mapping[str, object],
+        events: Sequence[Dict[str, object]],
+    ) -> None:
+        if recorder is None:
+            return
+        recorder.record(
+            RequestRecord(
+                spec=spec,
+                outcome=record["outcome"],
+                width=record.get("width"),
+                latency_s=record.get("latency_s"),
+                events=tuple(events),
+            )
+        )
+
+
+class _Simulation:
+    """Virtual-time replica / micro-batch state for :meth:`simulate`.
+
+    Replicas serve batches FIFO (one forward at a time, like a thread
+    replica holding the packed-weight store); an open batch per
+    (replica, width) flushes when it reaches ``max_batch`` rows or
+    ``max_delay_s`` after its first row — the
+    :class:`~repro.runtime.batching.MicroBatchQueue` contract.
+    """
+
+    def __init__(self, *, replicas, max_batch, max_delay_s, service_s) -> None:
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.service_s = service_s
+        self.free_at = [0.0] * replicas      # replica busy-until (virtual s)
+        self.pending = [0] * replicas        # rows enqueued but unfinished
+        self.open: Dict[Tuple[int, str], List] = {}  # (replica, width) → members
+        # Flush timers: (flush_at, seq, replica, width, generation).
+        self.timers: List[Tuple[float, int, int, str, int]] = []
+        self.generation: Dict[Tuple[int, str], int] = {}
+        self.batches = 0
+        self.seq = 0
+        self.completed: List[Tuple[RequestSpec, Dict, List[Dict]]] = []
+
+    def least_loaded(self) -> int:
+        return min(
+            range(len(self.free_at)),
+            key=lambda i: (self.pending[i], self.free_at[i], i),
+        )
+
+    def queue_wait(self, replica: int, now: float) -> float:
+        """Backlog ahead of a new arrival on ``replica``: residual busy
+        time plus the open rows it would queue behind."""
+        wait = max(self.free_at[replica] - now, 0.0)
+        for (r, width), members in self.open.items():
+            if r == replica and members:
+                wait += self.service_s(width, len(members))
+        return wait
+
+    def enqueue(self, replica, width, now, record, events, spec) -> None:
+        key = (replica, width)
+        members = self.open.setdefault(key, [])
+        if not members:
+            # First row opens the batch and starts its max_delay timer.
+            self.seq += 1
+            gen = self.generation.get(key, 0)
+            heapq.heappush(
+                self.timers,
+                (now + self.max_delay_s, self.seq, replica, width, gen),
+            )
+        members.append((now, record, events, spec))
+        self.pending[replica] += 1
+        if len(members) >= self.max_batch:
+            self._flush(key, now)
+
+    def advance(self, now: float) -> None:
+        """Fire every flush timer due at or before virtual ``now``."""
+        while self.timers and self.timers[0][0] <= now:
+            flush_at, _, replica, width, gen = heapq.heappop(self.timers)
+            key = (replica, width)
+            if self.generation.get(key, 0) != gen or not self.open.get(key):
+                continue  # batch already flushed (size trigger) or empty
+            self._flush(key, flush_at)
+
+    def drain(self) -> None:
+        while self.timers:
+            self.advance(self.timers[0][0])
+
+    def _flush(self, key: Tuple[int, str], now: float) -> None:
+        replica, width = key
+        members = self.open.pop(key, [])
+        if not members:
+            return
+        self.generation[key] = self.generation.get(key, 0) + 1
+        rows = len(members)
+        batch_id = self.batches
+        self.batches += 1
+        start = max(now, self.free_at[replica])
+        finish = start + self.service_s(width, rows)
+        self.free_at[replica] = finish
+        self.pending[replica] -= rows
+        for arrival, record, events, spec in members:
+            events.append(
+                {
+                    "t_s": now,
+                    "kind": EVENT_BATCH,
+                    "batch": batch_id,
+                    "rows": rows,
+                    "replica": replica,
+                    "width": width,
+                }
+            )
+            latency = finish - arrival
+            record["latency_s"] = latency
+            record["outcome"] = OK if latency <= spec.deadline_s else LATE
+            events.append(
+                {"t_s": finish, "kind": EVENT_RESOLVE, "outcome": record["outcome"]}
+            )
+            self.completed.append((spec, record, events))

@@ -307,6 +307,119 @@ class TestStats:
         assert len(stats.recent_batch_sizes) == RECENT_BATCH_WINDOW
         assert stats.recent_batch_sizes[-1] == RECENT_BATCH_WINDOW + 49
 
+    def test_snapshot_is_consistent_and_json_friendly(self):
+        import json
+
+        stats = BatchingStats()
+        with stats.lock:
+            stats.requests, stats.batches, stats.rows = 6, 2, 10
+            stats.full_flushes, stats.deadline_flushes = 1, 1
+            stats.recent_batch_sizes.extend([4, 6])
+        snap = stats.snapshot()
+        assert snap["requests"] == 6
+        assert snap["mean_batch_rows"] == 5.0
+        assert snap["recent_batch_sizes"] == [4, 6]
+        json.dumps(snap)  # plain data, no deques/locks
+
+    def test_snapshot_under_concurrent_mutation_never_tears(self):
+        """Readers snapshotting while writers mutate see internally
+        consistent values (rows always == 5 * batches here)."""
+        stats = BatchingStats()
+        stop = threading.Event()
+
+        def _writer():
+            while not stop.is_set():
+                with stats.lock:
+                    stats.batches += 1
+                    stats.rows += 5
+                    stats.recent_batch_sizes.append(5)
+
+        writers = [threading.Thread(target=_writer) for _ in range(4)]
+        for t in writers:
+            t.start()
+        try:
+            for _ in range(200):
+                snap = stats.snapshot()
+                assert snap["rows"] == 5 * snap["batches"]
+        finally:
+            stop.set()
+            for t in writers:
+                t.join()
+
+    def test_live_queue_snapshot_matches_attributes(self):
+        queue = MicroBatchQueue(
+            rows_runner(), BatchingConfig(max_batch=2, max_delay_s=5.0)
+        )
+        futures = [queue.submit(np.full((1,), float(i))) for i in range(4)]
+        for f in futures:
+            f.result(timeout=10.0)
+        queue.close()
+        snap = queue.stats.snapshot()
+        assert snap["requests"] == 4
+        assert snap["batches"] == queue.stats.batches
+        assert snap["full_flushes"] == 2
+
+
+class TestBatchCallbackAndTags:
+    def test_on_batch_reports_tags_and_rows_before_results(self):
+        """on_batch sees the claimed requests' tags + total rows on the
+        collector thread, before the runner executes the batch."""
+        seen = []
+        order = []
+
+        def _run(batch):
+            order.append("run")
+            return batch * 10.0
+
+        queue = MicroBatchQueue(
+            _run,
+            BatchingConfig(max_batch=2, max_delay_s=5.0),
+            on_batch=lambda tags, rows: (seen.append((tags, rows)), order.append("on_batch")),
+            autostart=False,
+        )
+        futures = [
+            queue.submit(np.full((1,), float(i)), tag=f"req{i}") for i in range(2)
+        ]
+        queue.start()
+        for f in futures:
+            f.result(timeout=10.0)
+        queue.close()
+        assert seen == [(["req0", "req1"], 2)]
+        assert order == ["on_batch", "run"]
+
+    def test_tags_default_to_none(self):
+        seen = []
+        queue = MicroBatchQueue(
+            rows_runner(),
+            BatchingConfig(max_batch=2, max_delay_s=5.0),
+            on_batch=lambda tags, rows: seen.append((tags, rows)),
+            autostart=False,
+        )
+        futures = [queue.submit(np.full((1,), float(i))) for i in range(2)]
+        queue.start()
+        for f in futures:
+            f.result(timeout=10.0)
+        queue.close()
+        assert seen == [([None, None], 2)]
+
+    def test_on_batch_failure_does_not_wedge_futures(self):
+        """A raising on_batch hook must not strand the batch's futures."""
+
+        def _boom(tags, rows):
+            raise RuntimeError("hook broke")
+
+        queue = MicroBatchQueue(
+            rows_runner(),
+            BatchingConfig(max_batch=1, max_delay_s=0.01),
+            on_batch=_boom,
+        )
+        future = queue.submit(np.ones((1,)))
+        try:
+            with pytest.raises(RuntimeError, match="hook broke"):
+                future.result(timeout=10.0)
+        finally:
+            queue.close()
+
 
 class TestDeadlineFailFast:
     def test_expired_deadline_resolves_immediately(self):

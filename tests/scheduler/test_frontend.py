@@ -277,6 +277,59 @@ class TestHedging:
             assert (1, "lower25") in frontend._queues
 
 
+class TestHedgeWatchdog:
+    """arm/close ordering on the watchdog thread itself (no frontend)."""
+
+    def test_fires_in_deadline_order_not_arm_order(self):
+        from repro.scheduler.frontend import _HedgeWatchdog
+
+        fired = []
+        done = __import__("threading").Event()
+
+        def _fire(entry):
+            fired.append(entry)
+            if len(fired) == 2:
+                done.set()
+
+        watchdog = _HedgeWatchdog(_fire)
+        try:
+            now = time.monotonic()
+            watchdog.arm(now + 0.05, "late")
+            watchdog.arm(now + 0.01, "early")
+            assert done.wait(timeout=5.0)
+            assert fired == ["early", "late"]
+        finally:
+            watchdog.close()
+
+    def test_arm_after_close_never_fires(self):
+        from repro.scheduler.frontend import _HedgeWatchdog
+
+        fired = []
+        watchdog = _HedgeWatchdog(fired.append)
+        watchdog.close()
+        watchdog.arm(time.monotonic() - 1.0, "dropped")  # no-op, no crash
+        time.sleep(0.05)
+        assert fired == []
+        assert not watchdog._thread.is_alive()
+
+    def test_close_with_pending_entries_does_not_fire_them(self):
+        from repro.scheduler.frontend import _HedgeWatchdog
+
+        fired = []
+        watchdog = _HedgeWatchdog(fired.append)
+        watchdog.arm(time.monotonic() + 30.0, "pending")
+        watchdog.close()
+        assert fired == []
+        assert not watchdog._thread.is_alive()
+
+    def test_close_is_idempotent(self):
+        from repro.scheduler.frontend import _HedgeWatchdog
+
+        watchdog = _HedgeWatchdog(lambda entry: None)
+        watchdog.close()
+        watchdog.close()
+
+
 class TestCandidateSelection:
     def test_fluid_candidates_are_certified_lowers(self, model):
         with make_frontend(model) as frontend:
@@ -309,9 +362,65 @@ class TestReport:
         with make_frontend(model) as frontend:
             frontend.submit(one_image(), SLA(deadline_s=5.0)).result(timeout=10.0)
             report = frontend.report()
-            assert set(report) == {"metrics", "calibration", "replicas"}
+            assert set(report) == {"metrics", "calibration", "replicas", "batching"}
             assert len(report["replicas"]) == 2
             assert "lower100" in report["calibration"]
+
+    def test_report_before_any_traffic(self, model):
+        """Zero-traffic report: well-formed, no fake-zero latency stats."""
+        with make_frontend(model) as frontend:
+            report = frontend.report()
+            assert set(report) == {"metrics", "calibration", "replicas", "batching"}
+            assert report["batching"] == {}  # queues are created lazily
+            assert report["metrics"]["counters"] == {}
+            for summary in report["metrics"]["histograms"].values():
+                # An unobserved histogram must say so, not report p99 == 0.
+                assert summary == {"count": 0}
+            assert all(r["alive"] for r in report["replicas"])
+
+    def test_report_after_traffic_has_batching_stats(self, model):
+        with make_frontend(model) as frontend:
+            for i in range(8):
+                frontend.submit(one_image(i), SLA(deadline_s=5.0)).result(timeout=10.0)
+            report = frontend.report()
+            assert report["batching"], "served traffic must surface queue stats"
+            for key, stats in report["batching"].items():
+                replica, width = key.split(":")
+                assert replica.isdigit() and width.startswith("lower")
+                assert stats["requests"] >= 1
+                assert stats["batches"] >= 1
+            total = sum(s["requests"] for s in report["batching"].values())
+            assert total == 8
+            service = report["metrics"]["histograms"]["frontend.batch_service_s"]
+            assert service["count"] >= 1 and service["p99_s"] > 0
+
+    def test_report_after_replica_ejection(self, model):
+        with make_frontend(model, max_delay_s=0.005) as frontend:
+            futures = []
+            for i in range(20):
+                futures.append(frontend.submit(one_image(i), SLA(deadline_s=30.0)))
+                if i == 5:
+                    frontend.pool.replicas[0].kill()
+            for f in futures:
+                f.result(timeout=30.0)
+            report = frontend.report()
+            assert [r["alive"] for r in report["replicas"]] == [False, True]
+            assert report["metrics"]["counters"]["pool.ejections"] >= 1
+            # Queues on the dead replica keep their (pre-death) stats.
+            assert any(key.startswith("1:") for key in report["batching"])
+
+    def test_report_includes_trace_stats_when_tracing(self, model):
+        from repro.trace import Tracer
+
+        tracer = Tracer(sampling=1.0)
+        with ServingFrontend(
+            model, SchedulerConfig(replicas=2, warmup=False), tracer=tracer
+        ) as frontend:
+            frontend.submit(one_image(), SLA(deadline_s=5.0)).result(timeout=10.0)
+            report = frontend.report()
+            assert "trace" in report
+            assert report["trace"]["emitted"] > 0
+            assert report["trace"]["in_flight_requests"] == 0  # taken at resolve
 
     def test_warmup_primes_every_width(self, model):
         with ServingFrontend(model, SchedulerConfig(replicas=1)) as frontend:

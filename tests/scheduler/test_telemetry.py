@@ -77,8 +77,15 @@ class TestLatencyHistogram:
         assert h.percentile(99) == pytest.approx(0.099)
         assert h.percentile(100) == pytest.approx(0.100)
 
-    def test_empty_percentile_is_zero(self):
-        assert LatencyHistogram().percentile(99) == 0.0
+    def test_empty_percentile_is_none(self):
+        # "No observations" must be distinguishable from a true 0.0 latency.
+        assert LatencyHistogram().percentile(99) is None
+
+    def test_empty_mean_is_none(self):
+        assert LatencyHistogram().mean() is None
+
+    def test_empty_summary_is_count_only(self):
+        assert LatencyHistogram().summary() == {"count": 0}
 
     def test_window_bounds_memory_but_totals_exact(self):
         h = LatencyHistogram(window=4)
@@ -104,6 +111,40 @@ class TestLatencyHistogram:
             h.percentile(0)
         with pytest.raises(ValueError):
             LatencyHistogram(window=0)
+
+    def test_empty_percentile_still_validates_range(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
+
+
+class TestTimer:
+    def test_observes_elapsed_into_histogram(self):
+        reg = MetricsRegistry()
+        with reg.timer("op_s") as timer:
+            pass
+        assert timer.elapsed is not None and timer.elapsed >= 0.0
+        hist = reg.histogram("op_s")
+        assert hist.count == 1
+        assert hist.percentile(50) == pytest.approx(timer.elapsed)
+
+    def test_does_not_observe_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.timer("op_s") as timer:
+                raise RuntimeError("boom")
+        # elapsed is still measured (callers may want it), but a failed
+        # operation's duration is not a service-time observation.
+        assert timer.elapsed is not None
+        assert reg.histogram("op_s").count == 0
+
+    def test_each_call_is_a_fresh_timer(self):
+        reg = MetricsRegistry()
+        assert reg.timer("op_s") is not reg.timer("op_s")
+        with reg.timer("op_s"):
+            pass
+        with reg.timer("op_s"):
+            pass
+        assert reg.histogram("op_s").count == 2
 
 
 class TestMetricsRegistry:

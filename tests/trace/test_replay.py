@@ -1,0 +1,161 @@
+"""Trace replay: deterministic simulation, live frontend replay, round trips."""
+
+import pytest
+
+from repro.models import build_model
+from repro.scheduler.frontend import SchedulerConfig
+from repro.trace.recorder import (
+    OK,
+    REJECTED,
+    RequestSpec,
+    TraceRecorder,
+    canonical_dumps,
+    write_trace,
+)
+from repro.trace.replay import (
+    TraceReplayer,
+    payload_for,
+    sla_for,
+    summarize_outcomes,
+)
+from repro.trace.scenarios import SCENARIOS
+from repro.trace.tracer import Tracer
+from repro.utils import make_rng
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("fluid", rng=make_rng(0))
+
+
+def tiny_specs(n=8, deadline_s=5.0, spacing_s=0.005):
+    return [
+        RequestSpec(
+            request_id=i, arrival_s=i * spacing_s, deadline_s=deadline_s,
+            payload_seed=100 + i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestPayloadRegeneration:
+    def test_payload_is_deterministic_per_seed(self, model):
+        spec = tiny_specs()[3]
+        a = payload_for(spec, model.net)
+        b = payload_for(spec, model.net)
+        assert (a == b).all()
+        assert a.shape == (1, 1, 28, 28)  # the model's default image
+
+    def test_explicit_shape_wins(self, model):
+        spec = RequestSpec(
+            request_id=0, arrival_s=0.0, deadline_s=1.0,
+            payload_seed=7, shape=(2, 1, 28, 28),
+        )
+        assert payload_for(spec, model.net).shape == (2, 1, 28, 28)
+
+    def test_sla_mirrors_the_spec(self):
+        spec = RequestSpec(
+            request_id=0, arrival_s=0.0, deadline_s=0.03,
+            priority=1, min_width="lower50", max_width="lower75",
+        )
+        sla = sla_for(spec)
+        assert (sla.deadline_s, sla.priority) == (0.03, 1)
+        assert (sla.min_width, sla.max_width) == ("lower50", "lower75")
+
+
+class TestSummarize:
+    def test_empty_latency_stats_are_none(self):
+        summary = summarize_outcomes(
+            [{"outcome": REJECTED, "latency_s": None}], duration_s=1.0
+        )
+        assert summary["miss_rate"] == 1.0
+        assert summary["goodput_rps"] == 0.0
+        assert summary["latency"]["p99_s"] is None
+
+
+class TestConstruction:
+    def test_specs_are_sorted_by_arrival(self):
+        specs = list(reversed(tiny_specs()))
+        replayer = TraceReplayer(specs)
+        arrivals = [s.arrival_s for s in replayer.specs]
+        assert arrivals == sorted(arrivals)
+
+    def test_from_file_matches_from_scenario(self, tmp_path):
+        spec = SCENARIOS["bursts"]
+        path = write_trace(tmp_path / "bursts.jsonl", spec.generate(), meta=spec.meta())
+        from_file = TraceReplayer.from_file(path)
+        from_zoo = TraceReplayer.from_scenario("bursts")
+        assert list(from_file.specs) == list(from_zoo.specs)
+        assert from_file.duration_s == from_zoo.duration_s
+
+
+class TestSimulate:
+    def test_is_bit_deterministic(self, model):
+        rec1, rec2 = TraceRecorder(), TraceRecorder()
+        replayer = TraceReplayer.from_scenario("heavy_tail")
+        r1 = replayer.simulate(model, recorder=rec1)
+        r2 = replayer.simulate(model, recorder=rec2)
+        assert rec1.dumps() == rec2.dumps()
+        assert r1["outcomes"] == r2["outcomes"]
+        assert r1["latency"] == r2["latency"]
+
+    def test_every_request_gets_exactly_one_outcome(self, model):
+        result = TraceReplayer.from_scenario("adversarial").simulate(model)
+        assert sum(result["outcomes"].values()) == result["requests"]
+        assert result["requests"] == len(SCENARIOS["adversarial"].generate())
+
+    def test_tight_deadlines_are_rejected_not_served(self, model):
+        """Admission arithmetic is real: impossible deadlines fail fast."""
+        specs = [
+            RequestSpec(request_id=i, arrival_s=0.001 * i, deadline_s=1e-6)
+            for i in range(5)
+        ]
+        result = TraceReplayer(specs, duration_s=0.1).simulate(model)
+        assert result["outcomes"][REJECTED] == 5
+
+    def test_generous_deadlines_all_ok_at_widest(self, model):
+        result = TraceReplayer(tiny_specs(), duration_s=0.1).simulate(model)
+        assert result["outcomes"][OK] == 8
+        assert set(result["widths"]) == {"lower100"}  # budget fits the widest
+
+    def test_recorded_artifact_is_replayable(self, model, tmp_path):
+        """simulate -> write -> from_file -> simulate reproduces outcomes."""
+        recorder = TraceRecorder(tmp_path / "sim.jsonl")
+        replayer = TraceReplayer.from_scenario("bursts")
+        first = replayer.simulate(model, recorder=recorder)
+        again = TraceReplayer.from_file(recorder.write())
+        rec2 = TraceRecorder()
+        second = again.simulate(model, recorder=rec2)
+        assert first["outcomes"] == second["outcomes"]
+        assert canonical_dumps(recorder.records) == canonical_dumps(rec2.records)
+
+
+class TestLiveReplay:
+    def test_tiny_replay_end_to_end(self, model):
+        replayer = TraceReplayer(tiny_specs(), name="tiny", duration_s=0.1)
+        tracer = Tracer(sampling=1.0)
+        recorder = TraceRecorder()
+        result = replayer.replay(
+            model, SchedulerConfig(replicas=1, warmup=False),
+            tracer=tracer, recorder=recorder,
+        )
+        assert result["mode"] == "live"
+        assert result["outcomes"][OK] == 8
+        assert len(recorder) == 8
+        kinds = [e["kind"] for e in recorder.records[0].events]
+        for expected in ("submit", "admission", "width", "enqueue", "batch",
+                         "execute", "resolve"):
+            assert expected in kinds, f"missing {expected} in {kinds}"
+        assert tracer.stats()["in_flight_requests"] == 0
+        assert result["frontend"]["batching"]  # snapshotted before close
+
+    def test_live_record_is_replayable_in_sim(self, model, tmp_path):
+        """The record-of-a-replay round trip across modes."""
+        recorder = TraceRecorder(tmp_path / "live.jsonl")
+        TraceReplayer(tiny_specs(), duration_s=0.1).replay(
+            model, SchedulerConfig(replicas=1, warmup=False), recorder=recorder,
+        )
+        again = TraceReplayer.from_file(recorder.write())
+        result = again.simulate(model)
+        assert result["requests"] == 8
+        assert sum(result["outcomes"].values()) == 8
