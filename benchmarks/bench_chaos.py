@@ -1,0 +1,383 @@
+"""Self-healing under chaos: the PR-9 acceptance benchmark.
+
+Three parts, all driven by the scripted incidents in
+:mod:`repro.faults.scenarios`:
+
+1. **Live incident** — ``bursts_faulty`` replayed against a real
+   four-replica *process* pool with ``supervise=True``: replicas 1 and 2
+   are SIGKILLed mid-burst and replica 3 stalls for a window.  The
+   supervised frontend must lose **zero** requests, the supervisor must
+   respawn every crashed worker (no tripped restart budget), and the
+   pool must return to full capacity; the crash-to-rejoin time is
+   recorded against ``RECOVERY_BOUND_S``.  Wall-clock recovery time is
+   machine-dependent, so CI gates the *facts* (zero lost, respawns,
+   full capacity back) — never the seconds.
+
+2. **Deterministic chaos simulation** — the same incident through
+   :meth:`~repro.trace.replay.TraceReplayer.simulate` (virtual time):
+   two runs must produce byte-identical artifacts, and the outcome
+   counts are recorded for exact recompute in CI.
+
+3. **Brown-out comparison** — ``multi_tenant_faulty`` on two replicas,
+   with and without a :class:`~repro.faults.policy.BrownoutPolicy`.
+   Shedding sheddable (low-priority) traffic must yield a *strictly
+   lower* critical-priority miss rate than serving everyone — the
+   degrade-don't-fail fact, deterministic in the simulator.
+
+Run directly for the acceptance record::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py
+
+or for the CI smoke (asserts against the committed record)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import BrownoutPolicy, RetryPolicy
+from repro.faults.scenarios import FAULTY_REPLICAS, faulty_replayer
+from repro.models import build_model
+from repro.scheduler.admission import CRITICAL_PRIORITY
+from repro.scheduler.frontend import SchedulerConfig, ServingFrontend
+from repro.trace.recorder import LATE, LOST, OK, REJECTED, TraceRecorder
+from repro.trace.replay import payload_for, sla_for, summarize_outcomes
+from repro.trace.tracer import EVENT_FAULT, EVENT_RESPAWN, Tracer
+from repro.runtime.batching import DeadlineExceeded
+from repro.utils import make_rng
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_chaos.json"
+
+LIVE_SCENARIO = "bursts_faulty"
+BROWNOUT_SCENARIO = "multi_tenant_faulty"
+BROWNOUT_REPLICAS = 2
+BROWNOUT_POLICY = BrownoutPolicy(enter_queue_depth=8, exit_queue_depth=2)
+
+#: Crash-to-last-rejoin bound the record asserts (recording machine only).
+RECOVERY_BOUND_S = 10.0
+#: How long the bench waits for the pool to heal after the trace drains.
+RECOVERY_TIMEOUT_S = 30.0
+
+
+def _model():
+    return build_model("fluid", rng=make_rng(0))
+
+
+# -- live incident ------------------------------------------------------------
+
+
+def _drive_open_loop(frontend, replayer, net):
+    """Submit every spec at its arrival offset; return outcome records."""
+    specs = replayer.specs
+    payloads = [payload_for(s, net) for s in specs]
+    records = [
+        {
+            "request_id": s.request_id,
+            "arrival_s": s.arrival_s,
+            "outcome": LOST,
+            "width": None,
+            "latency_s": None,
+        }
+        for s in specs
+    ]
+    done = threading.Event()
+    remaining = [len(specs)]
+    lock = threading.Lock()
+
+    def _finish(index, submit_t, future):
+        now = time.monotonic()
+        record, spec = records[index], specs[index]
+        exc = future.exception()
+        if exc is None:
+            record["latency_s"] = now - submit_t
+            record["outcome"] = (
+                OK if record["latency_s"] <= spec.deadline_s else LATE
+            )
+        else:
+            record["outcome"] = (
+                REJECTED if isinstance(exc, DeadlineExceeded) else LOST
+            )
+        with lock:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.set()
+
+    start = time.monotonic()
+    for index, spec in enumerate(specs):
+        delay = (start + spec.arrival_s) - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        submit_t = time.monotonic()
+        future = frontend.submit(payloads[index], sla_for(spec), spec=spec)
+        future.add_done_callback(lambda f, i=index, t=submit_t: _finish(i, t, f))
+    if not done.wait(timeout=120.0):
+        raise RuntimeError(f"chaos drive did not drain: {remaining[0]} unresolved")
+    return records
+
+
+def live_chaos_facts(model=None) -> dict:
+    """The acceptance incident against a real supervised process pool."""
+    model = model or _model()
+    net = getattr(model, "net", model)
+    replayer = faulty_replayer(LIVE_SCENARIO)
+    tracer = Tracer(sampling=1.0)
+    config = SchedulerConfig(
+        replicas=FAULTY_REPLICAS,
+        replica_backend="process",
+        supervise=True,
+        retry_policy=RetryPolicy(),
+    )
+    frontend = ServingFrontend(model, config, tracer=tracer)
+    injector = FaultInjector(frontend, replayer.faults)
+    try:
+        injector.start()
+        records = _drive_open_loop(frontend, replayer, net)
+        # The trace drained; now wait (bounded) for the supervisor to
+        # finish returning crashed workers to routing.
+        recovered = False
+        deadline = time.monotonic() + RECOVERY_TIMEOUT_S
+        while time.monotonic() < deadline:
+            if len(frontend.pool.healthy()) == FAULTY_REPLICAS:
+                recovered = True
+                break
+            time.sleep(0.01)
+        report = frontend.report()
+    finally:
+        injector.stop()
+        frontend.close()
+    events = tracer.events()
+    crash_t = [
+        e.t_s for e in events
+        if e.kind == EVENT_FAULT and e.data.get("fault") == "crash"
+    ]
+    respawn_t = [e.t_s for e in events if e.kind == EVENT_RESPAWN]
+    recovery_s = (
+        max(respawn_t) - min(crash_t) if respawn_t and crash_t else None
+    )
+    summary = summarize_outcomes(records, replayer.duration_s)
+    supervisor = report["supervisor"]
+    return {
+        "scenario": LIVE_SCENARIO,
+        "replicas": FAULTY_REPLICAS,
+        "backend": "process",
+        "faults": replayer.faults.to_json(),
+        "requests": summary["requests"],
+        "outcomes": summary["outcomes"],
+        "lost": summary["lost"],
+        "miss_rate": summary["miss_rate"],
+        "goodput_rps": summary["goodput_rps"],
+        "crashes": len(crash_t),
+        "respawns": supervisor["respawns"],
+        "gave_up": supervisor["gave_up"],
+        "recovered_full_capacity": recovered,
+        "recovery_s": recovery_s,
+        "recovery_bound_s": RECOVERY_BOUND_S,
+        "recovery_within_bound": (
+            recovery_s is not None and recovery_s <= RECOVERY_BOUND_S
+        ),
+    }
+
+
+# -- deterministic chaos simulation -------------------------------------------
+
+
+def sim_chaos_facts(model=None) -> dict:
+    """The same incident in virtual time: byte-determinism + outcome facts."""
+    model = model or _model()
+    config = SchedulerConfig(replicas=FAULTY_REPLICAS, warmup=False)
+    dumps, result = [], None
+    for _ in range(2):
+        replayer = faulty_replayer(LIVE_SCENARIO)
+        recorder = TraceRecorder(kind="simulated", meta=replayer.meta)
+        result = replayer.simulate(model, config, recorder=recorder)
+        dumps.append(recorder.dumps())
+    return {
+        "scenario": LIVE_SCENARIO,
+        "replicas": FAULTY_REPLICAS,
+        "requests": result["requests"],
+        "outcomes": result["outcomes"],
+        "lost": result["lost"],
+        "miss_rate": result["miss_rate"],
+        "goodput_rps": result["goodput_rps"],
+        "byte_identical": dumps[0] == dumps[1],
+    }
+
+
+# -- brown-out comparison -----------------------------------------------------
+
+
+def _critical_miss_rate(replayer, result) -> float:
+    critical = {
+        s.request_id for s in replayer.specs
+        if s.priority >= CRITICAL_PRIORITY
+    }
+    records = [r for r in result["records"] if r["request_id"] in critical]
+    misses = sum(1 for r in records if r["outcome"] != OK)
+    return misses / len(records) if records else 0.0
+
+
+def brownout_facts(model=None) -> dict:
+    """Brown-out vs serve-everyone on the grey-failure incident (sim)."""
+    model = model or _model()
+
+    def _run(brownout):
+        replayer = faulty_replayer(BROWNOUT_SCENARIO)
+        config = SchedulerConfig(
+            replicas=BROWNOUT_REPLICAS, warmup=False, brownout=brownout
+        )
+        result = replayer.simulate(model, config)
+        return {
+            "critical_miss_rate": _critical_miss_rate(replayer, result),
+            "miss_rate": result["miss_rate"],
+            "outcomes": result["outcomes"],
+            "lost": result["lost"],
+        }
+
+    baseline = _run(None)
+    browned = _run(BROWNOUT_POLICY)
+    return {
+        "scenario": BROWNOUT_SCENARIO,
+        "replicas": BROWNOUT_REPLICAS,
+        "policy": {
+            "enter_queue_depth": BROWNOUT_POLICY.enter_queue_depth,
+            "exit_queue_depth": BROWNOUT_POLICY.exit_queue_depth,
+        },
+        "baseline": baseline,
+        "brownout": browned,
+        "critical_miss_improvement": (
+            baseline["critical_miss_rate"] - browned["critical_miss_rate"]
+        ),
+    }
+
+
+# -- smoke assertions ---------------------------------------------------------
+
+
+def test_sim_chaos_matches_record(model=None):
+    """Committed sim facts (chaos + brown-out) recompute exactly."""
+    record = json.loads(RECORD_PATH.read_text())
+    facts = sim_chaos_facts(model)
+    for key, value in facts.items():
+        assert record["sim"][key] == value, (
+            f"sim.{key}: committed {record['sim'][key]!r} != recomputed "
+            f"{value!r} — fault-aware simulation drifted"
+        )
+    brown = brownout_facts(model)
+    for key, value in brown.items():
+        assert record["brownout"][key] == value, (
+            f"brownout.{key}: committed {record['brownout'][key]!r} != "
+            f"recomputed {value!r}"
+        )
+
+
+def test_sim_chaos_is_deterministic(model=None):
+    facts = sim_chaos_facts(model)
+    assert facts["byte_identical"], "fault-aware simulation is not deterministic"
+    assert facts["lost"] == 0, (
+        f"sim incident lost {facts['lost']} requests (must be 0)"
+    )
+
+
+def test_brownout_spares_critical_traffic(model=None):
+    facts = brownout_facts(model)
+    assert (
+        facts["brownout"]["critical_miss_rate"]
+        < facts["baseline"]["critical_miss_rate"]
+    ), (
+        f"brown-out critical miss {facts['brownout']['critical_miss_rate']:.4f} "
+        f"not below baseline {facts['baseline']['critical_miss_rate']:.4f}"
+    )
+
+
+def test_live_chaos(model=None):
+    """Zero lost + every crashed worker respawned + full capacity back."""
+    facts = live_chaos_facts(model)
+    assert facts["lost"] == 0, (
+        f"supervised frontend lost {facts['lost']} requests: {facts['outcomes']}"
+    )
+    assert facts["crashes"] == 2, f"expected 2 crash injections: {facts}"
+    assert facts["respawns"] >= facts["crashes"], (
+        f"supervisor respawned {facts['respawns']} < {facts['crashes']} crashes"
+    )
+    assert facts["gave_up"] == [], (
+        f"restart budget tripped for replicas {facts['gave_up']}"
+    )
+    assert facts["recovered_full_capacity"], (
+        f"pool never returned to {facts['replicas']} healthy replicas"
+    )
+    assert sum(facts["outcomes"].values()) == facts["requests"]
+    return facts
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def _record(live: dict, sim: dict, brownout: dict, path: Path = RECORD_PATH) -> None:
+    payload = {
+        "benchmark": "benchmarks/bench_chaos.py",
+        "description": (
+            "Self-healing under scripted chaos: the bursts_faulty incident "
+            "(2 of 4 process replicas SIGKILLed mid-burst, a third stalled) "
+            "loses zero requests under a supervised frontend and recovers "
+            "full capacity; the same incident simulates byte-identically in "
+            "virtual time; brown-out shedding yields a strictly lower "
+            "critical-priority miss rate than serving everyone"
+        ),
+        "live": live,
+        "sim": sim,
+        "brownout": brownout,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="assert sim determinism + committed record facts + the live incident",
+    )
+    args = parser.parse_args(argv)
+    model = _model()
+    if args.smoke:
+        test_sim_chaos_is_deterministic(model)
+        test_sim_chaos_matches_record(model)
+        test_brownout_spares_critical_traffic(model)
+        test_live_chaos(model)
+        print("smoke OK")
+        return 0
+    sim = sim_chaos_facts(model)
+    brownout = brownout_facts(model)
+    live = test_live_chaos(model)
+    _record(live, sim, brownout)
+    print(f"wrote {RECORD_PATH}")
+    print(
+        f"  live  {live['requests']:4d} requests  lost {live['lost']}  "
+        f"respawns {live['respawns']}/{live['crashes']} crashes  "
+        f"recovery {live['recovery_s']:.2f}s "
+        f"(bound {live['recovery_bound_s']:.0f}s: "
+        f"{'OK' if live['recovery_within_bound'] else 'OVER'})"
+    )
+    print(
+        f"  sim   {sim['requests']:4d} requests  lost {sim['lost']}  "
+        f"byte-identical {sim['byte_identical']}"
+    )
+    print(
+        f"  brown-out critical miss "
+        f"{brownout['brownout']['critical_miss_rate']:.4f} vs baseline "
+        f"{brownout['baseline']['critical_miss_rate']:.4f} "
+        f"(improvement {brownout['critical_miss_improvement']:+.4f})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

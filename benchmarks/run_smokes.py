@@ -92,6 +92,11 @@ SMOKES: Tuple[Smoke, ...] = (
         (sys.executable, "benchmarks/bench_trace_replay.py", "--smoke"),
         "scenario-zoo replay: pinned corpus, sim determinism, tracing overhead",
     ),
+    Smoke(
+        "chaos",
+        (sys.executable, "benchmarks/bench_chaos.py", "--smoke"),
+        "self-healing: zero-lost supervised incident, chaos sim, brown-out",
+    ),
 )
 
 
@@ -288,6 +293,50 @@ def check_trace_replay_record(record: dict) -> None:
     )
 
 
+def check_chaos_record(record: dict) -> None:
+    live = record["live"]
+    assert live["lost"] == 0, (
+        f"chaos record shows {live['lost']} lost requests in the supervised "
+        "live incident (the zero-lost fact)"
+    )
+    assert live["crashes"] == 2, (
+        f"the bursts_faulty incident scripts 2 crashes, record has {live['crashes']}"
+    )
+    assert live["respawns"] >= live["crashes"], (
+        f"supervisor respawned {live['respawns']} workers for "
+        f"{live['crashes']} crashes"
+    )
+    assert live["gave_up"] == [], (
+        f"restart budget tripped for replicas {live['gave_up']}"
+    )
+    assert live["recovered_full_capacity"] is True, (
+        "chaos record lost the full-capacity-recovery fact"
+    )
+    assert live["recovery_within_bound"] is True, (
+        f"recorded recovery {live['recovery_s']}s exceeds the record's own "
+        f"bound {live['recovery_bound_s']}s"
+    )
+    sim = record["sim"]
+    assert sim["byte_identical"] is True, (
+        "chaos record lost the byte-identical fault simulation fact"
+    )
+    assert sim["lost"] == 0, f"sim incident lost {sim['lost']} requests"
+    for part in (live, sim):
+        assert sum(part["outcomes"].values()) == part["requests"], (
+            f"outcomes {part['outcomes']} do not sum to {part['requests']}"
+        )
+    brown = record["brownout"]
+    base_miss = brown["baseline"]["critical_miss_rate"]
+    shed_miss = brown["brownout"]["critical_miss_rate"]
+    assert shed_miss < base_miss, (
+        f"brown-out critical miss {shed_miss:.4f} not strictly below "
+        f"baseline {base_miss:.4f}"
+    )
+    assert abs(brown["critical_miss_improvement"] - (base_miss - shed_miss)) < 1e-12, (
+        "brown-out improvement is inconsistent with its own miss rates"
+    )
+
+
 RECORD_CHECKS: Tuple[Tuple[str, Callable[[dict], None]], ...] = (
     ("BENCH_plan.json", check_plan_record),
     ("BENCH_scheduler.json", check_scheduler_record),
@@ -297,6 +346,7 @@ RECORD_CHECKS: Tuple[Tuple[str, Callable[[dict], None]], ...] = (
     ("BENCH_multiproc.json", check_multiproc_record),
     ("BENCH_dist_plan.json", check_dist_plan_record),
     ("BENCH_trace_replay.json", check_trace_replay_record),
+    ("BENCH_chaos.json", check_chaos_record),
 )
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.comm import CommLatencyModel
@@ -167,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--out", default=None, metavar="FILE",
         help="write the replay's own recorded artifact here (replayable again)",
+    )
+    replay.add_argument(
+        "--faults", nargs="?", const="auto", default=None, metavar="FILE",
+        help="inject a fault plan during the replay: with no value, use the "
+        "plan attached to the scenario/artifact (faulty scenarios and "
+        "recorded incidents carry one); with FILE, load a serialised "
+        "FaultPlan JSON.  Live mode also enables supervised respawn and "
+        "bounded retries",
     )
     replay.add_argument(
         "--list", action="store_true", help="list the scenario zoo and exit",
@@ -441,15 +450,18 @@ def _serve_scheduled(model, args) -> int:
 
 def cmd_replay(args) -> int:
     """``replay``: re-inject a scenario or trace artifact against the scheduler."""
+    from repro.faults import FAULTY_SCENARIOS, FaultPlan, RetryPolicy, faulty_replayer
     from repro.scheduler.frontend import SchedulerConfig
     from repro.trace import SCENARIOS, TraceRecorder, Tracer, TraceReplayer
+    from repro.trace.scenarios import EXTRA_SCENARIOS
 
     if args.list:
-        print(f"{'scenario':13s} {'seed':>5s} {'duration':>9s} {'requests':>9s}  generator")
-        for name, spec in SCENARIOS.items():
+        print(f"{'scenario':20s} {'seed':>5s} {'duration':>9s} {'requests':>9s}  generator")
+        for name, spec in {**SCENARIOS, **EXTRA_SCENARIOS}.items():
+            suffix = "  (+faults)" if name in FAULTY_SCENARIOS else ""
             print(
-                f"{name:13s} {spec.seed:5d} {spec.duration_s:8.2f}s "
-                f"{len(spec.generate()):9d}  {spec.generator}"
+                f"{name:20s} {spec.seed:5d} {spec.duration_s:8.2f}s "
+                f"{len(spec.generate()):9d}  {spec.generator}{suffix}"
             )
         return 0
     if (args.scenario is None) == (args.trace is None):
@@ -459,18 +471,43 @@ def cmd_replay(args) -> int:
     if not 0.0 <= args.sampling <= 1.0:
         raise SystemExit("--sampling must be in [0, 1]")
     if args.scenario is not None:
-        if args.scenario not in SCENARIOS:
+        if args.scenario in FAULTY_SCENARIOS:
+            replayer = faulty_replayer(args.scenario)
+        elif args.scenario in SCENARIOS or args.scenario in EXTRA_SCENARIOS:
+            replayer = TraceReplayer.from_scenario(args.scenario)
+        else:
             raise SystemExit(
                 f"unknown scenario {args.scenario!r} (repro replay --list shows the zoo)"
             )
-        replayer = TraceReplayer.from_scenario(args.scenario)
     else:
         replayer = TraceReplayer.from_file(args.trace)
+
+    # Injection is gated on --faults; a bare flag uses the plan already
+    # attached (faulty scenario / recorded incident), a value loads one.
+    if args.faults is None:
+        replayer.faults = None
+    elif args.faults != "auto":
+        import json as _json
+
+        replayer.faults = FaultPlan.from_json(
+            _json.loads(Path(args.faults).read_text())
+        )
+    elif not replayer.faults:
+        raise SystemExit(
+            "--faults given but neither the scenario nor the artifact "
+            "carries a fault plan (pass a FaultPlan JSON file instead)"
+        )
 
     model = build_model(args.family, rng=make_rng(args.seed))
     if args.weights:
         model.load_state_dict(load_state(args.weights))
     config = SchedulerConfig(replicas=args.replicas)
+    if replayer.faults and args.mode == "live":
+        # An injected incident without self-healing would just lose the
+        # crashed replicas' capacity for the rest of the run.
+        config = SchedulerConfig(
+            replicas=args.replicas, supervise=True, retry_policy=RetryPolicy()
+        )
     recorder = None
     if args.out:
         recorder = TraceRecorder(
@@ -498,6 +535,12 @@ def cmd_replay(args) -> int:
         f"replay {result['name']} ({result['mode']}): {result['requests']} requests "
         f"over {result['duration_s']:.2f}s, {args.replicas} replicas"
     )
+    if replayer.faults:
+        kinds = [e.kind for e in replayer.faults.events]
+        print(
+            f"  faults    {len(kinds)} injected "
+            f"({', '.join(f'{kinds.count(k)} {k}' for k in dict.fromkeys(kinds))})"
+        )
     print(
         f"  outcomes  ok {outcomes['ok']}  late {outcomes['late']}  "
         f"rejected {outcomes['rejected']}  lost {outcomes['lost']}"

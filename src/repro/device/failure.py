@@ -1,62 +1,30 @@
-"""Failure injection.
+"""Failure injection (device-plane adapter over :mod:`repro.faults.plan`).
 
 Physical devices "could completely fail due to factors such as power
-outages and hardware/software failures" (paper §I).  A
-:class:`FailureSchedule` scripts such events for the emulated cluster and
-the analytical scenarios; the runtime monitor observes only their effect
-(missed heartbeats / dead sockets), never the schedule itself.
+outages and hardware/software failures" (paper §I).  The scripted
+schedule types that model this grew into the serving plane's
+general fault taxonomy (:class:`~repro.faults.plan.FaultPlan`); this
+module keeps the historical device-plane names and helpers as thin
+aliases so every existing import path keeps working:
+
+* :class:`FailureEvent` *is* :class:`~repro.faults.plan.FaultEvent`
+  (``device`` is an alias property for the generalised ``target``);
+* :class:`FailureSchedule` *is* :class:`~repro.faults.plan.FaultPlan`
+  (``is_alive`` / ``crash_time`` semantics are unchanged — only
+  ``crash`` / ``recover`` events affect liveness).
+
+:class:`CrashCounter` stays here: a crash-on-Nth-request trigger is a
+live-device behaviour, not a scripted timeline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
+from repro.faults.plan import FaultEvent, FaultPlan
 
-@dataclass(frozen=True)
-class FailureEvent:
-    """A scripted device failure (or recovery)."""
-
-    time_s: float
-    device: str
-    kind: str = "crash"  # "crash" | "recover"
-
-    def __post_init__(self) -> None:
-        if self.time_s < 0:
-            raise ValueError("event time must be non-negative")
-        if self.kind not in ("crash", "recover"):
-            raise ValueError(f"unknown failure kind {self.kind!r}")
-
-
-@dataclass
-class FailureSchedule:
-    """Ordered failure/recovery script consulted by emulated devices."""
-
-    events: List[FailureEvent] = field(default_factory=list)
-
-    def __post_init__(self) -> None:
-        self.events = sorted(self.events, key=lambda e: e.time_s)
-
-    def add(self, event: FailureEvent) -> None:
-        self.events.append(event)
-        self.events.sort(key=lambda e: e.time_s)
-
-    def is_alive(self, device: str, now_s: float) -> bool:
-        """Device liveness at time ``now_s`` after replaying the script."""
-        alive = True
-        for event in self.events:
-            if event.time_s > now_s:
-                break
-            if event.device == device:
-                alive = event.kind == "recover"
-        return alive
-
-    def crash_time(self, device: str) -> Optional[float]:
-        """First crash time for ``device``, or None if it never crashes."""
-        for event in self.events:
-            if event.device == device and event.kind == "crash":
-                return event.time_s
-        return None
+FailureEvent = FaultEvent
+FailureSchedule = FaultPlan
 
 
 def single_failure(device: str, at_s: float = 0.0) -> FailureSchedule:

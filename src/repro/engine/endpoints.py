@@ -31,7 +31,7 @@ request/reply pair so the engine can charge the communication model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -324,6 +324,12 @@ class TransportEndpoint(Endpoint):
         # probes alive raises EndpointTimeout ("slow") instead of
         # EndpointUnavailable ("dead").
         self.alive_probe = alive_probe
+        # Optional fault-injection hook consulted before each reply wait
+        # (see repro.faults.injector).  It may sleep (a delayed reply) or
+        # raise TransportError (a dropped message); the slow-vs-dead
+        # classification below then applies unchanged.  Never set by
+        # production code — None costs one attribute check per wait.
+        self.intercept: Optional[Callable[[], None]] = None
         self._pending_sent_bytes = 0
         self._plan_session: Optional[Tuple[Tuple[int, ...], int, int]] = None
 
@@ -360,6 +366,8 @@ class TransportEndpoint(Endpoint):
         pairing; patience loops must resume the recv instead.
         """
         try:
+            if self.intercept is not None:
+                self.intercept()
             reply = self.transport.recv(timeout=timeout or self.request_timeout)
         except TransportError as exc:
             # A timeout leaves the transport open; hard failures close it.

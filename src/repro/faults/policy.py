@@ -1,0 +1,195 @@
+"""Degradation policies: deadline-aware retries and frontend brown-out.
+
+Two policies the :class:`~repro.scheduler.frontend.ServingFrontend`
+consults when the pool is unhealthy or overloaded:
+
+* :class:`RetryPolicy` bounds the reroute loop.  Without one, a request
+  whose replica dies is re-dispatched immediately and without limit
+  (the legacy behaviour, still the default).  With one, each retry
+  waits an exponential backoff — but never longer than the request's
+  remaining deadline budget, and never more than ``max_retries`` times;
+  exhaustion fails the request with :class:`RetryExhausted`.  Retries
+  compose with the hedge watchdog rather than stacking on it: a
+  rerouted leg keeps the original hedge arm, it never re-arms.
+
+* :class:`BrownoutController` is the overload valve.  Driven by two
+  pressure signals from the :class:`~repro.scheduler.telemetry.MetricsRegistry`
+  (live queue depth and the deadline-miss EWMA), it trips with
+  hysteresis: enter when *either* signal crosses its high threshold,
+  exit only when *both* fall below their low thresholds and the mode
+  has dwelt at least ``min_dwell_s``.  While engaged, the frontend
+  sheds lowest-priority admissions first (:class:`BrownoutShed`) and
+  clamps width selection to the narrowest width each SLA allows —
+  trading answer quality for critical-tier deadline hits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.scheduler.admission import CRITICAL_PRIORITY, AdmissionRejected
+from repro.scheduler.pool import ReplicaUnavailable
+from repro.scheduler.telemetry import MetricsRegistry
+from repro.trace.tracer import (
+    EVENT_BROWNOUT_ENTER,
+    EVENT_BROWNOUT_EXIT,
+    NULL_TRACER,
+)
+
+
+class RetryExhausted(ReplicaUnavailable):
+    """A request burned its retry budget before any replica served it."""
+
+
+class BrownoutShed(AdmissionRejected):
+    """Rejected at admission because the frontend is in brown-out mode."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deadline-aware backoff for replica-failure reroutes.
+
+    ``delay_for`` answers "may attempt N retry, and after how long?":
+    ``None`` means give up, a float is the wait before re-dispatch.
+    Critical-priority requests are never given up on (a late answer
+    beats no answer — the admission plane's stance), but still back
+    off so a flapping pool is not hammered.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.002
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+
+    def delay_for(
+        self, attempt: int, remaining_s: float, *, critical: bool = False
+    ) -> Optional[float]:
+        """Delay before retry ``attempt``, or ``None`` to give up.
+
+        The wait never exceeds the request's remaining deadline budget —
+        a retry scheduled past the deadline would only resolve as an
+        expired failure anyway.
+        """
+        delay = self.backoff_s(attempt)
+        if critical:
+            return delay
+        if attempt > self.max_retries or remaining_s <= 0:
+            return None
+        return min(delay, remaining_s)
+
+
+@dataclass(frozen=True)
+class BrownoutPolicy:
+    """Thresholds for the overload valve (see :class:`BrownoutController`)."""
+
+    enter_queue_depth: int = 64      # engage when pool pending >= this ...
+    enter_miss_rate: float = 0.5     # ... or the miss EWMA >= this
+    exit_queue_depth: int = 16       # disengage only when pending <= this ...
+    exit_miss_rate: float = 0.2      # ... and the miss EWMA <= this
+    min_dwell_s: float = 0.05        # ... and we dwelt at least this long
+    shed_below_priority: int = CRITICAL_PRIORITY  # shed priorities < this
+    clamp_width: bool = True         # narrow width selection while engaged
+
+    def __post_init__(self) -> None:
+        if self.exit_queue_depth > self.enter_queue_depth:
+            raise ValueError("exit_queue_depth must not exceed enter_queue_depth")
+        if self.exit_miss_rate > self.enter_miss_rate:
+            raise ValueError("exit_miss_rate must not exceed enter_miss_rate")
+        if self.min_dwell_s < 0:
+            raise ValueError("min_dwell_s must be non-negative")
+
+
+class BrownoutController:
+    """Hysteresis state machine over the frontend's pressure signals.
+
+    ``update`` is called on the submit path with the live signals and
+    returns whether brown-out is engaged; transitions emit
+    ``brownout.enter`` / ``brownout.exit`` trace events and count into
+    ``frontend.brownout_enters`` / ``frontend.brownout_exits``.
+    Thread-safe: many submitters may race one transition; exactly one
+    wins it.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BrownoutPolicy] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=NULL_TRACER,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or BrownoutPolicy()
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._engaged = False
+        self._since = 0.0
+
+    @property
+    def engaged(self) -> bool:
+        with self._lock:
+            return self._engaged
+
+    def update(self, queue_depth: int, miss_rate: Optional[float]) -> bool:
+        """Advance the state machine; returns the (possibly new) mode."""
+        p = self.policy
+        miss = 0.0 if miss_rate is None else miss_rate
+        now = self._clock()
+        with self._lock:
+            if not self._engaged:
+                if queue_depth >= p.enter_queue_depth or miss >= p.enter_miss_rate:
+                    self._engaged = True
+                    self._since = now
+                    self.metrics.counter("frontend.brownout_enters").inc()
+                    self.tracer.emit(
+                        None, EVENT_BROWNOUT_ENTER,
+                        queue_depth=int(queue_depth), miss_rate=miss,
+                    )
+            elif (
+                queue_depth <= p.exit_queue_depth
+                and miss <= p.exit_miss_rate
+                and now - self._since >= p.min_dwell_s
+            ):
+                self._engaged = False
+                self.metrics.counter("frontend.brownout_exits").inc()
+                self.tracer.emit(
+                    None, EVENT_BROWNOUT_EXIT,
+                    queue_depth=int(queue_depth), miss_rate=miss,
+                    dwell_s=now - self._since,
+                )
+            return self._engaged
+
+    def should_shed(self, priority: int) -> bool:
+        """Shed this admission?  Lowest priorities go first; critical never."""
+        return self.engaged and priority < self.policy.shed_below_priority
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "engaged": self._engaged,
+                "enters": self.metrics.counter("frontend.brownout_enters").value,
+                "exits": self.metrics.counter("frontend.brownout_exits").value,
+                "sheds": self.metrics.counter("frontend.brownout_sheds").value,
+                "clamps": self.metrics.counter("frontend.brownout_clamped").value,
+            }

@@ -1,0 +1,221 @@
+"""Self-healing: supervised respawn of ejected replicas.
+
+The pool's heartbeat machinery *ejects* a dead replica — capacity is
+lost until something puts a replacement back.  :class:`ReplicaSupervisor`
+is that something: a background loop at heartbeat cadence that watches
+the pool's health view and, per ejected slot,
+
+1. respawns a replacement via :meth:`ReplicaPool.spawn_replica`
+   (a fresh forked worker for the process backend; an in-place revive
+   for threads), retrying with exponential backoff + deterministic
+   jitter when the spawn itself fails;
+2. enforces a **restart budget** (circuit breaker): a replica that dies
+   more than ``restart_budget`` times within ``budget_window_s`` stays
+   down, is counted in ``supervisor.gave_up`` and reported via
+   :meth:`status` — flapping hardware must not eat the control plane;
+3. **warms the replacement up** before it rejoins routing: one untimed
+   forward per candidate width re-primes the worker-side plan compile
+   (and ladder rungs) so the first real request never pays a compile
+   stall — and so cold-start times never poison the width policy's
+   calibrated EWMAs;
+4. adopts it (:meth:`ReplicaPool.adopt` swaps the slot and rebinds the
+   monitor) and invalidates the frontend's stale per-(replica, width)
+   queues, then emits a ``replica.respawn`` trace event.
+
+Shutdown is a graceful drain: :meth:`close` lets an in-flight respawn
+finish, then stops the loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+import numpy as np
+
+from repro.trace.tracer import EVENT_RESPAWN, NULL_TRACER
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed, make_rng
+
+
+@dataclass
+class _SlotState:
+    """Supervision state of one replica slot."""
+
+    down: bool = False
+    attempts: int = 0          # failed respawn attempts for the current death
+    next_attempt_at: float = 0.0
+    respawns: int = 0
+    gave_up: bool = False
+    deaths: Deque[float] = field(default_factory=deque)
+
+
+class ReplicaSupervisor:
+    """Watches a frontend's pool and puts ejected replicas back."""
+
+    def __init__(
+        self,
+        frontend,
+        *,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max_s: float = 1.0,
+        jitter: float = 0.1,
+        restart_budget: int = 3,
+        budget_window_s: float = 30.0,
+        warmup: bool = True,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if backoff_base_s < 0 or backoff_max_s < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if restart_budget < 1:
+            raise ValueError("restart_budget must be at least 1")
+        self.frontend = frontend
+        self.pool = frontend.pool
+        self.metrics = frontend.metrics
+        self.tracer = getattr(frontend, "tracer", NULL_TRACER)
+        self.logger = get_logger("faults.supervisor")
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.backoff_max_s = backoff_max_s
+        self.jitter = jitter
+        self.restart_budget = restart_budget
+        self.budget_window_s = budget_window_s
+        self.warmup = warmup
+        self._clock = clock
+        # Deterministic jitter: two supervisors with the same seed retry
+        # on the same schedule (chaos runs stay reproducible).
+        self._rng = make_rng(derive_seed(seed, "supervisor", "jitter"))
+        self._slots: Dict[int, _SlotState] = {
+            i: _SlotState() for i in range(len(self.pool.replicas))
+        }
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ReplicaSupervisor":
+        if self._thread is not None:
+            raise RuntimeError("supervisor already started")
+        self._thread = threading.Thread(
+            target=self._run, name="replica-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Graceful drain: an in-flight respawn completes, then the loop stops."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def __enter__(self) -> "ReplicaSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- supervision loop ------------------------------------------------------
+
+    def _run(self) -> None:
+        interval = max(self.pool.heartbeat_interval_s, 1e-3)
+        while not self._stop.wait(interval):
+            self.poll()
+
+    def poll(self) -> None:
+        """One supervision pass (the loop body; tests may call directly)."""
+        now = self._clock()
+        for index, monitor in enumerate(self.pool.monitors):
+            state = self._slots[index]
+            if not monitor.declared_dead:
+                state.down = False
+                continue
+            if state.gave_up:
+                continue
+            if not state.down:
+                # Freshly observed death: open a respawn episode and
+                # charge the restart budget's sliding window.
+                state.down = True
+                state.attempts = 0
+                state.next_attempt_at = now
+                state.deaths.append(now)
+                while state.deaths and now - state.deaths[0] > self.budget_window_s:
+                    state.deaths.popleft()
+                if len(state.deaths) > self.restart_budget:
+                    state.gave_up = True
+                    self.metrics.counter("supervisor.gave_up").inc()
+                    self.tracer.emit(
+                        None, EVENT_RESPAWN,
+                        replica=index, gave_up=True, deaths=len(state.deaths),
+                    )
+                    self.logger.error(
+                        "replica %d died %d times within %.1fs; restart budget "
+                        "exhausted, leaving it down",
+                        index, len(state.deaths), self.budget_window_s,
+                    )
+                    continue
+            if now < state.next_attempt_at:
+                continue
+            try:
+                self._respawn(index)
+            except Exception as exc:  # noqa: BLE001 - retried with backoff
+                state.attempts += 1
+                backoff = min(
+                    self.backoff_base_s * self.backoff_factor ** (state.attempts - 1),
+                    self.backoff_max_s,
+                )
+                backoff *= 1.0 + self.jitter * (2.0 * float(self._rng.random()) - 1.0)
+                state.next_attempt_at = self._clock() + backoff
+                self.metrics.counter("supervisor.respawn_failures").inc()
+                self.logger.warning(
+                    "respawn of replica %d failed (attempt %d): %s; next try in %.3fs",
+                    index, state.attempts, exc, backoff,
+                )
+            else:
+                state.down = False
+                state.attempts = 0
+                state.respawns += 1
+                self.metrics.counter("supervisor.respawns").inc()
+
+    def _respawn(self, index: int) -> None:
+        fresh = self.pool.spawn_replica(index)
+        if self.warmup:
+            net = self.frontend.net
+            x = np.zeros((1, net.in_channels, net.image_size, net.image_size))
+            for spec in self.frontend.policy.candidates:
+                # Untimed on purpose: a fresh worker's first forward pays
+                # plan compilation, and observing that into the width
+                # policy would bias every later latency prediction.
+                fresh.run(x, spec.name)
+        replaced = self.pool.adopt(index, fresh)
+        self.frontend.invalidate_replica_queues(index)
+        if replaced is not fresh:
+            replaced.close()
+        self.tracer.emit(
+            None, EVENT_RESPAWN,
+            replica=index, attempts=self._slots[index].attempts + 1,
+        )
+        self.logger.warning("replica %d respawned and rejoined routing", index)
+
+    # -- reporting -------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "respawns": self.metrics.counter("supervisor.respawns").value,
+            "respawn_failures": self.metrics.counter(
+                "supervisor.respawn_failures"
+            ).value,
+            "gave_up": sorted(
+                i for i, s in self._slots.items() if s.gave_up
+            ),
+            "down": sorted(i for i, s in self._slots.items() if s.down),
+        }

@@ -90,6 +90,26 @@ class HeartbeatMonitor:
         self.consecutive_failures = 0
         self.declared_dead = False
 
+    @property
+    def ping_fn(self) -> Callable[[], bool]:
+        """The liveness callable this monitor drives (settable: fault
+        injection wraps it to make heartbeats go dark for a window)."""
+        return self._ping
+
+    @ping_fn.setter
+    def ping_fn(self, ping: Callable[[], bool]) -> None:
+        self._ping = ping
+
+    def rebind(self, ping: Callable[[], bool]) -> None:
+        """Point the monitor at a new peer and clear its death verdict.
+
+        The supervisor's adoption step: the monitor object (and its slot
+        in the pool's parallel lists) survives a respawn — only the peer
+        behind it changes.
+        """
+        self._ping = ping
+        self.reset()
+
 
 class ScheduleMonitor:
     """Liveness view over a scripted failure schedule at simulated time."""

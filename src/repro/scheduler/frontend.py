@@ -30,6 +30,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+# Module bindings, not name imports: repro.faults.policy imports the
+# admission types right back, so the cycle only resolves if both sides
+# defer attribute access to call time (annotations stay strings under
+# ``from __future__ import annotations``).
+import repro.faults.policy as fault_policy
+import repro.faults.supervisor as fault_supervisor
 from repro.nn import functional as F
 from repro.nn.plan import InferencePlan, PlanLadder, compile_width_plans
 from repro.runtime.batching import BatchingConfig, DeadlineExceeded, MicroBatchQueue
@@ -96,10 +102,24 @@ class SchedulerConfig:
     replica_backend: str = "thread"  # "thread" shares one interpreter;
     # "process" forks GIL-free workers over shared-memory weights
     # (see repro.scheduler.procpool).
+    supervise: bool = False     # respawn ejected replicas (see faults.supervisor)
+    restart_backoff_s: float = 0.05    # supervisor backoff base ...
+    restart_backoff_max_s: float = 1.0  # ... and cap between respawn attempts
+    restart_budget: int = 3      # deaths tolerated per replica ...
+    restart_window_s: float = 30.0  # ... within this sliding window
+    retry_policy: Optional[RetryPolicy] = None  # None keeps the legacy
+    # unlimited immediate reroute; a policy bounds it with backoff.
+    brownout: Optional[BrownoutPolicy] = None  # None disables brown-out;
+    # a policy sheds low-priority admissions and clamps width under
+    # overload (see faults.policy.BrownoutController).
 
     def __post_init__(self) -> None:
         if self.replicas <= 0:
             raise ValueError("replicas must be positive")
+        if self.restart_backoff_s < 0 or self.restart_backoff_max_s < 0:
+            raise ValueError("restart backoffs must be non-negative")
+        if self.restart_budget < 1:
+            raise ValueError("restart_budget must be at least 1")
         if self.replica_backend not in ("thread", "process"):
             raise ValueError(f"unknown replica backend {self.replica_backend!r}")
         F.check_conv_backend(self.conv_backend)
@@ -219,6 +239,7 @@ class ServingFrontend:
         self._rids = itertools.count()
         self._batch_ids = itertools.count()
         net = getattr(model, "net", model)
+        self.net = net  # the supervisor's warmup needs the bare net's shape
         if candidates is None:
             candidates = self._default_candidates(model, net)
         # One compiled plan — or, with ``rows_ladder``, one PlanLadder of
@@ -247,6 +268,11 @@ class ServingFrontend:
         self.admission = AdmissionController(
             headroom=self.config.admission_headroom, metrics=self.metrics
         )
+        self.brownout: Optional[BrownoutController] = None
+        if self.config.brownout is not None:
+            self.brownout = fault_policy.BrownoutController(
+                self.config.brownout, metrics=self.metrics, tracer=self.tracer
+            )
         process_options = None
         if self.config.replica_backend == "process":
             # Workers compile their *own* plans (packed blocks and
@@ -283,6 +309,18 @@ class ServingFrontend:
         self._health_thread.start()
         if self.config.warmup:
             self._warmup(net)
+        self.supervisor: Optional[ReplicaSupervisor] = None
+        if self.config.supervise:
+            # Started after warmup so the supervisor never races the
+            # initial priming runs on replica 0.
+            self.supervisor = fault_supervisor.ReplicaSupervisor(
+                self,
+                backoff_base_s=self.config.restart_backoff_s,
+                backoff_max_s=self.config.restart_backoff_max_s,
+                restart_budget=self.config.restart_budget,
+                budget_window_s=self.config.restart_window_s,
+                warmup=self.config.warmup,
+            ).start()
 
     @staticmethod
     def _default_candidates(model, net) -> List[SubNetSpec]:
@@ -358,6 +396,23 @@ class ServingFrontend:
             rows=int(x.shape[0]) if x.ndim >= 1 else 1,
         )
 
+        browned_out = False
+        if self.brownout is not None:
+            # Pressure signals: live pending across the whole pool plus the
+            # deadline-miss EWMA (fed only by served outcomes and losses,
+            # never by sheds — shedding must not keep brown-out engaged).
+            depth = sum(r.pending for r in self.pool.replicas)
+            miss = self.metrics.ewma("frontend.miss_rate").value
+            browned_out = self.brownout.update(depth, miss)
+            if browned_out and self.brownout.should_shed(sla.priority):
+                self.metrics.counter("frontend.brownout_sheds").inc()
+                exc = fault_policy.BrownoutShed("brown-out: low-priority admission shed")
+                self._classify_failure(exc)
+                entry.future.set_exception(exc)
+                trace.emit(rid, EVENT_FAIL, error="BrownoutShed")
+                self._finalize(entry, REJECTED, None)
+                return entry.future
+
         floor = self.policy.predict(
             self.policy.narrowest(sla.min_width, sla.max_width).name
         )
@@ -389,15 +444,24 @@ class ServingFrontend:
             )
             if not decision.admitted:
                 self.metrics.counter("frontend.rejected").inc()
-                entry.future.set_exception(AdmissionRejected(decision.reason))
+                exc = AdmissionRejected(decision.reason)
+                self._classify_failure(exc)
+                entry.future.set_exception(exc)
                 trace.emit(rid, EVENT_FAIL, error="AdmissionRejected")
                 self._finalize(entry, REJECTED, None)
                 return entry.future
 
         budget = (entry.deadline - time.monotonic()) - queue_wait
-        spec_w, predicted = self.policy.choose(
-            max(budget, 0.0), min_width=sla.min_width, max_width=sla.max_width
-        )
+        if browned_out and self.brownout.policy.clamp_width:
+            # Overload valve: serve the narrowest slice each SLA allows —
+            # quality traded for throughput until pressure subsides.
+            spec_w = self.policy.narrowest(sla.min_width, sla.max_width)
+            predicted = self.policy.predict(spec_w.name)
+            self.metrics.counter("frontend.brownout_clamped").inc()
+        else:
+            spec_w, predicted = self.policy.choose(
+                max(budget, 0.0), min_width=sla.min_width, max_width=sla.max_width
+            )
         entry.width = spec_w.name
         self.metrics.counter(f"frontend.width.{spec_w.name}").inc()
         trace.emit(
@@ -600,6 +664,46 @@ class ServingFrontend:
             entry.trace.emit(
                 entry.rid, EVENT_REROUTE, dead_replica=replica.index, width=width
             )
+            retry = self.config.retry_policy
+            if retry is not None:
+                # Attempt number = replicas already burned on this request;
+                # the policy answers "retry, and after how long?" against
+                # the remaining deadline budget.  Critical priority never
+                # gives up (a late answer beats none), but still backs off.
+                attempt = len(exclude)
+                remaining = entry.deadline - time.monotonic()
+                critical = entry.sla.priority >= CRITICAL_PRIORITY
+                delay = retry.delay_for(attempt, remaining, critical=critical)
+                if delay is None:
+                    if remaining <= 0:
+                        # The deadline expired while rerouting: that is a
+                        # miss, not an infrastructure loss — classify it
+                        # with the other expired-deadline paths.
+                        self._fail(
+                            entry,
+                            DeadlineExceeded(
+                                "deadline expired while rerouting"
+                            ),
+                        )
+                    else:
+                        self._fail(
+                            entry,
+                            fault_policy.RetryExhausted(
+                                f"retry budget exhausted after {attempt} attempts"
+                            ),
+                        )
+                    return
+                self.metrics.counter("frontend.retries").inc()
+                if delay > 0:
+                    timer = threading.Timer(
+                        delay,
+                        self._dispatch,
+                        args=(entry, width),
+                        kwargs={"exclude": exclude, "primary": True, "leg": "reroute"},
+                    )
+                    timer.daemon = True
+                    timer.start()
+                    return
             self._dispatch(entry, width, exclude=exclude, primary=True, leg="reroute")
             return
         if isinstance(exc, DeadlineExceeded):
@@ -652,6 +756,9 @@ class ServingFrontend:
             self.metrics.counter("frontend.completed_within_deadline").inc()
         else:
             self.metrics.counter("frontend.completed_late").inc()
+        # Deadline-miss EWMA: one of the brown-out controller's two
+        # pressure signals (the other is live queue depth).
+        self.metrics.ewma("frontend.miss_rate").observe(0.0 if on_time else 1.0)
         if entry.hedged:
             # Exactly one leg reaches this point (the future is a
             # single-assignment gate), so the winner's identity is exact.
@@ -669,14 +776,43 @@ class ServingFrontend:
         )
         self._finalize(entry, OK if on_time else LATE, latency)
 
+    def _classify_failure(self, exc: BaseException) -> str:
+        """Count the terminal failure under its distinct cause.
+
+        Most-specific first: the exception hierarchy nests (BrownoutShed
+        is an AdmissionRejected is a DeadlineExceeded; RetryExhausted is
+        a ReplicaUnavailable), and each cause must land in exactly one
+        ``frontend.failures.<cause>`` counter.
+        """
+        if isinstance(exc, fault_policy.BrownoutShed):
+            cause = "brownout_shed"
+        elif isinstance(exc, AdmissionRejected):
+            cause = "admission_rejected"
+        elif isinstance(exc, DeadlineExceeded):
+            cause = "deadline_expired"
+        elif isinstance(exc, fault_policy.RetryExhausted):
+            cause = "retry_exhausted"
+        elif isinstance(exc, ReplicaUnavailable):
+            cause = "replica_unavailable"
+        else:
+            cause = "error"
+        self.metrics.counter(f"frontend.failures.{cause}").inc()
+        return cause
+
     def _fail(self, entry: _Entry, exc: BaseException) -> None:
         try:
             entry.future.set_exception(exc)
         except InvalidStateError:
             return
         self.metrics.counter("frontend.failed").inc()
+        self._classify_failure(exc)
         entry.trace.emit(entry.rid, EVENT_FAIL, error=type(exc).__name__)
         outcome = REJECTED if isinstance(exc, DeadlineExceeded) else LOST
+        if outcome == LOST:
+            # A lost request is the hardest miss signal brown-out sees;
+            # rejections and sheds deliberately don't feed it (a shedding
+            # brown-out must not keep itself engaged).
+            self.metrics.ewma("frontend.miss_rate").observe(1.0)
         self._finalize(entry, outcome, None)
 
     def _finalize(self, entry: _Entry, outcome: str, latency: Optional[float]) -> None:
@@ -708,6 +844,26 @@ class ServingFrontend:
             )
         )
 
+    def invalidate_replica_queues(self, index: int) -> None:
+        """Retire the per-(replica, width) queues bound to a replaced slot.
+
+        The queue closures capture the *replica object*, so after the
+        supervisor adopts a fresh one the old queues would keep running
+        batches against the dead peer.  Closing them drains any pending
+        entries through the dead replica's ``run_parts`` — which raises
+        ``ReplicaUnavailable`` and reroutes each request to a survivor —
+        and the next dispatch to this slot lazily builds fresh queues
+        around the adopted replica.  The closes run outside the queues
+        lock: a drain triggers reroutes whose ``_queue_for`` needs it.
+        """
+        with self._queues_lock:
+            stale = [
+                self._queues.pop(key)
+                for key in [k for k in self._queues if k[0] == index]
+            ]
+        for queue in stale:
+            queue.close(timeout=5.0)
+
     # -- background health -----------------------------------------------------
 
     def _health_loop(self) -> None:
@@ -737,6 +893,13 @@ class ServingFrontend:
                 for (replica, width), queue in sorted(queues.items())
             },
         }
+        failures = self.metrics.counters_with_prefix("frontend.failures.")
+        if failures:
+            report["failures"] = failures
+        if self.brownout is not None:
+            report["brownout"] = self.brownout.status()
+        if self.supervisor is not None:
+            report["supervisor"] = self.supervisor.status()
         if self.tracer.enabled:
             report["trace"] = self.tracer.stats()
         workers = self._worker_stats(snapshot)
@@ -777,6 +940,11 @@ class ServingFrontend:
         if self._closing:
             return
         self._closing = True
+        # The supervisor drains first: a respawn landing mid-close would
+        # adopt a replica nothing will ever route to (and invalidate
+        # queues the drain rounds below are trying to empty).
+        if self.supervisor is not None:
+            self.supervisor.close(timeout=timeout)
         # Stop the watchdog first: a hedge firing mid-drain could insert a
         # queue after the final drain round and leak its collector thread.
         # Reroutes stay enabled throughout — they run synchronously inside

@@ -156,6 +156,11 @@ class ReplicaPool:
             raise ValueError(f"unknown replica backend {backend!r}")
         self.backend = backend
         self.metrics = metrics or MetricsRegistry()
+        # Spawn ingredients, kept so a supervisor can respawn a dead
+        # replica with exactly the recipe the pool was built from.
+        self._model = model
+        self._plans = plans
+        self._process_options = dict(process_options or {})
         if backend == "process":
             from repro.scheduler.procpool import make_process_replicas
 
@@ -211,11 +216,58 @@ class ReplicaPool:
         """
         monitor = self.monitors[replica.index]
         with self._health_lock:
+            if self.replicas[replica.index] is not replica:
+                # Stale report: this replica was already replaced by a
+                # respawn.  Its monitor now pings the *new* (live) peer, so
+                # driving it here could never reach the threshold — and the
+                # failure belongs to an object no longer in routing anyway.
+                return
             was_dead = monitor.declared_dead
             while not monitor.declared_dead and not replica.ping():
                 monitor.check()
             if monitor.declared_dead and not was_dead:
                 self.metrics.counter("pool.ejections").inc()
+
+    # -- respawn --------------------------------------------------------------
+
+    def spawn_replica(self, index: int) -> Replica:
+        """Build a fresh replica for slot ``index`` from the pool's recipe.
+
+        Process backend: forks a brand-new worker (the old process is
+        gone — SIGKILL is not survivable).  Thread backend: revives the
+        existing object in place.  The result is *not* yet routed; warm
+        it up, then :meth:`adopt` it.
+        """
+        replica = self.replicas[index]
+        if self.backend != "process":
+            replica.revive()
+            return replica
+        from repro.scheduler.procpool import (
+            ProcessReplica,
+            partition_thread_budget,
+        )
+
+        options = dict(self._process_options)
+        total_threads = options.pop("total_threads", None)
+        options.setdefault(
+            "omp_threads", partition_thread_budget(len(self.replicas), total_threads)
+        )
+        return ProcessReplica(index, self._model, metrics=self.metrics, **options)
+
+    def adopt(self, index: int, replica: Replica) -> Replica:
+        """Swap ``replica`` into slot ``index`` and return it to routing.
+
+        The monitor object keeps its slot — it is rebound to the new
+        peer and reset, so the replica re-enters :meth:`healthy` with a
+        clean heartbeat history.  Returns the replaced replica (the
+        caller owns closing it; for a respawn that unlinks the dead
+        worker's ring segment).
+        """
+        with self._lock, self._health_lock:
+            old = self.replicas[index]
+            self.replicas[index] = replica
+            self.monitors[index].rebind(replica.ping)
+        return old
 
     # -- routing --------------------------------------------------------------
 

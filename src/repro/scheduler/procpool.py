@@ -281,6 +281,7 @@ class ProcessReplica(Replica):
         self._in_ring = ShmRing(self._segment, 0, self._ring_bytes)
         self._out_ring = ShmRing(self._segment, self._ring_bytes, self._ring_bytes)
         self._transport_lock = threading.Lock()  # one in-flight batch per worker
+        self._reaped = False  # set once close() has reaped the process object
         self._last_packs = 0
 
         parent_sock, child_sock = socket.socketpair()
@@ -424,27 +425,43 @@ class ProcessReplica(Replica):
     # -- lifecycle ------------------------------------------------------------
 
     def close(self, timeout: float = 5.0) -> None:
-        """Graceful shutdown: SHUTDOWN message, join, escalate, unlink shm."""
+        """Bounded shutdown: SHUTDOWN message, join, SIGTERM, SIGKILL, unlink.
+
+        The transport lock is held by any in-flight exchange; a *hung*
+        exchange (stalled worker, dropped reply) must not stall close
+        forever, so the graceful SHUTDOWN leg waits at most ``timeout``
+        for the lock and is skipped — straight to signal escalation —
+        when it cannot be taken.  Either way the worker is dead and the
+        ring segment unlinked when this returns.
+        """
         self._alive = False
+        if self._reaped:
+            return  # idempotent: the process object is already closed
+        shutdown_sent = False
         if self._proc.is_alive():
-            try:
-                with self._transport_lock:
+            if self._transport_lock.acquire(timeout=timeout):
+                try:
                     self._endpoint.shutdown()  # sends SHUTDOWN, closes transport
-            except (TransportError, OSError):
-                pass
-            self._proc.join(timeout=timeout)
-            if self._proc.is_alive():
-                self._proc.terminate()
+                    shutdown_sent = True
+                except (TransportError, OSError):
+                    pass
+                finally:
+                    self._transport_lock.release()
+            if shutdown_sent:
                 self._proc.join(timeout=timeout)
             if self._proc.is_alive():
-                self._proc.kill()
+                self._proc.terminate()  # SIGTERM: the worker's handler exits
                 self._proc.join(timeout=timeout)
-        else:
+            if self._proc.is_alive():
+                self._proc.kill()  # SIGKILL: unconditional
+                self._proc.join(timeout=timeout)
+        if not shutdown_sent:
             try:
                 self._endpoint.transport.close()
             except (TransportError, OSError):
                 pass
         self._proc.close()
+        self._reaped = True
         from repro.nn.shm import _unlink_quietly
 
         _unlink_quietly(self._segment.name)

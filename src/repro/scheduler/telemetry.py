@@ -224,6 +224,20 @@ class MetricsRegistry:
         """
         return Timer(self.histogram(name).observe)
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """``{suffix: value}`` for every counter named ``<prefix><suffix>``.
+
+        How the frontend report assembles its failure-cause breakdown
+        (``frontend.failures.*``) without hard-coding the cause list.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            name[len(prefix):]: c.value
+            for name, c in sorted(counters.items())
+            if name.startswith(prefix)
+        }
+
     def snapshot(self) -> Dict[str, object]:
         """A JSON-friendly dump of every registered metric."""
         with self._lock:

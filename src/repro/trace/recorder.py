@@ -34,6 +34,10 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 TRACE_FORMAT = "repro-trace"
 TRACE_VERSION = 1
 
+#: Header-meta key under which a serialised fault plan rides in an
+#: artifact, so ``replay --faults`` can re-run a recorded incident.
+FAULTS_META_KEY = "faults"
+
 #: Outcome labels for one traced request (shared with the scheduler bench).
 OK = "ok"               # completed within its deadline
 LATE = "late"           # completed, but after the deadline

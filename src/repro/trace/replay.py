@@ -38,9 +38,20 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.faults.plan import (
+    CRASH,
+    DROP,
+    HEARTBEAT_DELAY,
+    RECOVER,
+    STALL,
+    FaultEvent,
+    FaultPlan,
+    target_index,
+)
 from repro.scheduler.admission import SLA, AdmissionController
 from repro.scheduler.telemetry import nearest_rank
 from repro.trace.recorder import (
+    FAULTS_META_KEY,
     LATE,
     LOST,
     OK,
@@ -56,6 +67,8 @@ from repro.trace.tracer import (
     EVENT_ADMISSION,
     EVENT_BATCH,
     EVENT_ENQUEUE,
+    EVENT_FAIL,
+    EVENT_REROUTE,
     EVENT_RESOLVE,
     EVENT_SUBMIT,
     EVENT_WIDTH,
@@ -71,6 +84,10 @@ SIM_NARROWEST_ROW_S = 0.004
 #: Marginal cost of each additional batched row, as a fraction of the
 #: first row (batching amortisation: a 16-row batch costs ~6.25 rows).
 SIM_AMORTIZE = 0.35
+
+#: Virtual seconds a crashed replica stays unroutable in :meth:`simulate`
+#: — the analytic stand-in for the supervisor's detect + respawn + warmup.
+SIM_RESPAWN_DELAY_S = 0.25
 
 
 def payload_for(spec: RequestSpec, net) -> np.ndarray:
@@ -132,6 +149,7 @@ class TraceReplayer:
         name: str = "trace",
         duration_s: Optional[float] = None,
         meta: Optional[Mapping[str, object]] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.specs: Tuple[RequestSpec, ...] = tuple(
             sorted(specs, key=lambda s: (s.arrival_s, s.request_id))
@@ -141,6 +159,11 @@ class TraceReplayer:
         if duration_s is None:
             duration_s = max((s.arrival_s for s in self.specs), default=0.0) + 1e-9
         self.duration_s = duration_s
+        # An attached incident: explicit plan wins, else one riding in the
+        # artifact meta (how `replay --faults` re-runs a recorded run).
+        if faults is None and self.meta.get(FAULTS_META_KEY):
+            faults = FaultPlan.from_json(self.meta[FAULTS_META_KEY])
+        self.faults = faults
 
     @classmethod
     def from_file(cls, path) -> "TraceReplayer":
@@ -183,18 +206,31 @@ class TraceReplayer:
         request carries its own SLA.  ``tracer``/``recorder`` are passed
         straight into the frontend, so a replay can itself be recorded —
         the record-of-a-replay round trip.
+
+        An attached fault plan (``self.faults``) is armed against the
+        frontend for the duration of the drive, and serialised into the
+        recorder's artifact meta so the incident replays with the trace.
         """
         from repro.scheduler.frontend import SchedulerConfig, ServingFrontend
 
         config = config or SchedulerConfig()
         net = getattr(model, "net", model)
         frontend = ServingFrontend(model, config, tracer=tracer, recorder=recorder)
+        injector = None
+        if self.faults:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(frontend, self.faults)
+            if recorder is not None:
+                recorder.meta.setdefault(FAULTS_META_KEY, self.faults.to_json())
         try:
-            records = self._drive(frontend, net, timeout_s)
+            records = self._drive(frontend, net, timeout_s, injector=injector)
             # Snapshot before close(): draining clears the per-queue state
             # the report's "batching" section reads.
             report = frontend.report()
         finally:
+            if injector is not None:
+                injector.stop()
             frontend.close()
         summary = summarize_outcomes(records, self.duration_s)
         return {
@@ -206,7 +242,9 @@ class TraceReplayer:
             "frontend": report,
         }
 
-    def _drive(self, frontend, net, timeout_s: float) -> List[Dict[str, object]]:
+    def _drive(
+        self, frontend, net, timeout_s: float, *, injector=None
+    ) -> List[Dict[str, object]]:
         records: List[Dict[str, object]] = [
             {
                 "request_id": s.request_id,
@@ -245,6 +283,10 @@ class TraceReplayer:
                     done.set()
 
         start = time.monotonic()
+        if injector is not None:
+            # Armed at the trace epoch (after payload pre-generation), so
+            # fault offsets land where the plan scripted them.
+            injector.start()
         for index, spec in enumerate(self.specs):
             delay = (start + spec.arrival_s) - time.monotonic()
             if delay > 0:
@@ -270,6 +312,8 @@ class TraceReplayer:
         narrowest_row_s: float = SIM_NARROWEST_ROW_S,
         amortize: float = SIM_AMORTIZE,
         recorder: Optional[TraceRecorder] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        respawn_delay_s: float = SIM_RESPAWN_DELAY_S,
     ) -> Dict[str, object]:
         """Replay in virtual time: bit-identical outcomes on every run.
 
@@ -285,6 +329,20 @@ class TraceReplayer:
         widths and anchors the narrowest at ``narrowest_row_s``.  No
         wall clock is read anywhere, so the per-request outcome stream
         is a pure function of (specs, config, parameters).
+
+        Faults (``fault_plan`` argument, else the replayer's attached
+        plan) are modelled analytically: a **crash** makes the replica
+        unroutable for ``respawn_delay_s`` virtual seconds (the
+        supervisor's detect + respawn + warmup, collapsed to a constant)
+        and reroutes its open, un-flushed batches to survivors —
+        batches already flushed are treated as completing, the sim's
+        stand-in for reply-in-flight survival.  A **stall** adds the
+        event's ``delay_s`` to batches starting inside its window;
+        **drop** / **heartbeat_delay** are down-windows of the event's
+        duration.  ``shm_attach_fail`` has live-only semantics (it
+        shapes respawn retries, already a constant here) and is ignored.
+        ``config.brownout`` engages in sim too, driven by virtual queue
+        depth, so degradation comparisons are CI-deterministic.
         """
         from repro.scheduler.frontend import SchedulerConfig, ServingFrontend
         from repro.scheduler.width_policy import WidthPolicy
@@ -311,6 +369,30 @@ class TraceReplayer:
             service_s=service_s,
         )
 
+        plan = fault_plan if fault_plan is not None else self.faults
+        if plan and recorder is not None:
+            recorder.meta.setdefault(FAULTS_META_KEY, plan.to_json())
+        fault_queue: List[FaultEvent] = list(plan.events) if plan else []
+        fault_i = [0]
+
+        def apply_faults_until(t: float) -> None:
+            # Interleave scripted faults with flush timers in time order,
+            # so the virtual history is a single totally-ordered stream.
+            while fault_i[0] < len(fault_queue) and fault_queue[fault_i[0]].time_s <= t:
+                event = fault_queue[fault_i[0]]
+                fault_i[0] += 1
+                sim.advance(event.time_s)
+                sim.apply_fault(event, respawn_delay_s)
+
+        brownout = None
+        vnow = [0.0]
+        if getattr(config, "brownout", None) is not None:
+            from repro.faults.policy import BrownoutController
+
+            # Virtual clock: the controller's dwell logic reads the sim's
+            # current time, so hysteresis stays deterministic.
+            brownout = BrownoutController(config.brownout, clock=lambda: vnow[0])
+
         def choose(sla: SLA, budget_s: float) -> Tuple[str, float]:
             allowed = [s.name for s in policy.allowed(sla.min_width, sla.max_width)]
             for name in allowed:
@@ -323,22 +405,35 @@ class TraceReplayer:
         for spec in self.specs:
             sla = sla_for(spec)
             t = spec.arrival_s
+            apply_faults_until(t)
             sim.advance(t)
+            vnow[0] = t
             events: List[Dict[str, object]] = [
                 {"t_s": t, "kind": EVENT_SUBMIT, "deadline_s": spec.deadline_s}
             ]
-            replica = sim.least_loaded()
-            queue_wait = sim.queue_wait(replica, t)
-            floor = service_s(
-                policy.narrowest(sla.min_width, sla.max_width).name, 1
-            )
-            record: Dict[str, object] = {
+            record_stub: Dict[str, object] = {
                 "request_id": spec.request_id,
                 "arrival_s": spec.arrival_s,
                 "outcome": LOST,
                 "width": None,
                 "latency_s": None,
             }
+            if brownout is not None:
+                engaged = brownout.update(sim.depth(t), None)
+                if engaged and brownout.should_shed(sla.priority):
+                    events.append(
+                        {"t_s": t, "kind": EVENT_FAIL, "error": "BrownoutShed"}
+                    )
+                    record_stub["outcome"] = REJECTED
+                    records.append(record_stub)
+                    self._record_sim(recorder, spec, record_stub, events)
+                    continue
+            replica = sim.least_loaded(t)
+            queue_wait = sim.queue_wait(replica, t)
+            floor = service_s(
+                policy.narrowest(sla.min_width, sla.max_width).name, 1
+            )
+            record = record_stub
             if config.enable_admission:
                 decision = admission.decide_remaining(
                     sla,
@@ -361,7 +456,15 @@ class TraceReplayer:
                     self._record_sim(recorder, spec, record, events)
                     continue
             budget = max(spec.deadline_s - queue_wait, 0.0)
-            width, predicted = choose(sla, budget)
+            if (
+                brownout is not None
+                and brownout.engaged
+                and brownout.policy.clamp_width
+            ):
+                width = policy.narrowest(sla.min_width, sla.max_width).name
+                predicted = service_s(width, 1)
+            else:
+                width, predicted = choose(sla, budget)
             record["width"] = width
             events.append(
                 {
@@ -382,6 +485,7 @@ class TraceReplayer:
             )
             sim.enqueue(replica, width, t, record, events, spec)
             records.append(record)
+        apply_faults_until(float("inf"))
         sim.drain()
         if recorder is not None:
             for spec, record, events in sim.completed:
@@ -398,6 +502,9 @@ class TraceReplayer:
                 "max_batch": config.max_batch,
                 "max_delay_s": config.max_delay_s,
                 "widths": widest_first,
+                "faults": plan.to_json() if plan else None,
+                "respawn_delay_s": respawn_delay_s if plan else None,
+                "brownout": brownout is not None,
             },
             **summary,
             "records": records,
@@ -439,6 +546,8 @@ class _Simulation:
         self.service_s = service_s
         self.free_at = [0.0] * replicas      # replica busy-until (virtual s)
         self.pending = [0] * replicas        # rows enqueued but unfinished
+        self.down_until = [0.0] * replicas   # unroutable while now < this
+        self.stall: Dict[int, Tuple[float, float, float]] = {}  # i → (from, until, delay)
         self.open: Dict[Tuple[int, str], List] = {}  # (replica, width) → members
         # Flush timers: (flush_at, seq, replica, width, generation).
         self.timers: List[Tuple[float, int, int, str, int]] = []
@@ -446,11 +555,25 @@ class _Simulation:
         self.batches = 0
         self.seq = 0
         self.completed: List[Tuple[RequestSpec, Dict, List[Dict]]] = []
+        self.inflight: List[Tuple[float, int]] = []  # heap of (finish_s, rows)
 
-    def least_loaded(self) -> int:
-        return min(
-            range(len(self.free_at)),
-            key=lambda i: (self.pending[i], self.free_at[i], i),
+    def least_loaded(self, now: float = 0.0) -> int:
+        alive = [i for i in range(len(self.free_at)) if self.down_until[i] <= now]
+        if not alive:
+            # Whole pool down: route to the first replica back (matches
+            # the live plane, where route() blocks on ReplicaUnavailable
+            # reroutes until the supervisor restores capacity).
+            alive = list(range(len(self.free_at)))
+        return min(alive, key=lambda i: (self.pending[i], self.free_at[i], i))
+
+    def depth(self, now: float) -> int:
+        """Requests enqueued or executing at virtual ``now`` — the live
+        plane's ``sum(replica.pending)`` analog (pending there is held
+        until a request *finishes*, so open rows alone undercount)."""
+        while self.inflight and self.inflight[0][0] <= now:
+            heapq.heappop(self.inflight)
+        return sum(rows for _, rows in self.inflight) + sum(
+            len(members) for members in self.open.values()
         )
 
     def queue_wait(self, replica: int, now: float) -> float:
@@ -491,6 +614,55 @@ class _Simulation:
         while self.timers:
             self.advance(self.timers[0][0])
 
+    # -- faults (virtual) ------------------------------------------------------
+
+    def apply_fault(self, event, respawn_delay_s: float) -> None:
+        """Fold one scripted fault into the virtual state (see simulate)."""
+        try:
+            index = target_index(event.target)
+        except ValueError:
+            return  # device-plane target: not a serving replica
+        if not 0 <= index < len(self.free_at):
+            return
+        if event.kind == CRASH:
+            self._down(index, event.time_s, event.time_s + respawn_delay_s)
+        elif event.kind in (DROP, HEARTBEAT_DELAY):
+            # A reply blackout and a heartbeat blackout both read as "this
+            # replica serves nothing for the window" from virtual time.
+            self._down(index, event.time_s, event.time_s + event.duration_s)
+        elif event.kind == STALL:
+            self.stall[index] = (
+                event.time_s, event.time_s + event.duration_s, event.delay_s
+            )
+        elif event.kind == RECOVER:
+            self.down_until[index] = event.time_s
+        # SHM_ATTACH_FAIL shapes live respawn retries only — the respawn
+        # here is already an analytic constant.
+
+    def _down(self, index: int, now: float, until: float) -> None:
+        self.down_until[index] = max(self.down_until[index], until)
+        # Open (un-flushed) batches reroute to survivors, as the live
+        # plane's ReplicaUnavailable path would; batches already flushed
+        # are modelled as completing (reply-in-flight survival).
+        moved = []
+        for key in [k for k in self.open if k[0] == index]:
+            members = self.open.pop(key)
+            self.generation[key] = self.generation.get(key, 0) + 1
+            self.pending[index] -= len(members)
+            moved.extend((key[1], member) for member in members)
+        for width, (arrival, record, events, spec) in moved:
+            target = self.least_loaded(now)
+            events.append(
+                {
+                    "t_s": now,
+                    "kind": EVENT_REROUTE,
+                    "dead_replica": index,
+                    "replica": target,
+                    "width": width,
+                }
+            )
+            self.enqueue(target, width, now, record, events, spec)
+
     def _flush(self, key: Tuple[int, str], now: float) -> None:
         replica, width = key
         members = self.open.pop(key, [])
@@ -501,9 +673,14 @@ class _Simulation:
         batch_id = self.batches
         self.batches += 1
         start = max(now, self.free_at[replica])
-        finish = start + self.service_s(width, rows)
+        service = self.service_s(width, rows)
+        stall = self.stall.get(replica)
+        if stall is not None and stall[0] <= start < stall[1]:
+            service += stall[2]
+        finish = start + service
         self.free_at[replica] = finish
         self.pending[replica] -= rows
+        heapq.heappush(self.inflight, (finish, rows))
         for arrival, record, events, spec in members:
             events.append(
                 {
@@ -515,7 +692,9 @@ class _Simulation:
                     "width": width,
                 }
             )
-            latency = finish - arrival
+            # Latency runs from the *original* arrival (spec time), not the
+            # enqueue time — a rerouted member's clock never resets.
+            latency = finish - spec.arrival_s
             record["latency_s"] = latency
             record["outcome"] = OK if latency <= spec.deadline_s else LATE
             events.append(

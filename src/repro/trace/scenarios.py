@@ -249,10 +249,30 @@ SCENARIOS: Dict[str, TraceSpec] = {
 }
 
 
+#: Extension registry for scenario *variants* (e.g. the faulty zoo in
+#: :mod:`repro.faults.scenarios`).  Kept separate from :data:`SCENARIOS`
+#: on purpose: the pinned corpus and its CI byte-comparison iterate the
+#: reference five only, so registering a variant can never invalidate a
+#: committed artifact.
+EXTRA_SCENARIOS: Dict[str, TraceSpec] = {}
+
+
+def register_scenario(spec: TraceSpec) -> TraceSpec:
+    """Add a variant spec to the lookup space of :func:`get_scenario`."""
+    if spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} is pinned; pick another name")
+    existing = EXTRA_SCENARIOS.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ValueError(f"scenario {spec.name!r} already registered differently")
+    EXTRA_SCENARIOS[spec.name] = spec
+    return spec
+
+
 def get_scenario(name: str) -> TraceSpec:
-    try:
-        return SCENARIOS[name]
-    except KeyError:
+    spec = SCENARIOS.get(name) or EXTRA_SCENARIOS.get(name)
+    if spec is None:
         raise KeyError(
-            f"unknown scenario {name!r} (known: {sorted(SCENARIOS)})"
-        ) from None
+            f"unknown scenario {name!r} "
+            f"(known: {sorted(SCENARIOS) + sorted(EXTRA_SCENARIOS)})"
+        )
+    return spec

@@ -53,6 +53,10 @@ EVENT_REROUTE = "reroute"          # leg displaced off a dead replica
 EVENT_RESOLVE = "resolve"          # future resolved with a result
 EVENT_FAIL = "fail"                # future failed (rejection / loss)
 EVENT_ENGINE_ROUND = "engine.round"  # one engine dispatch round (PR 7 counters)
+EVENT_FAULT = "fault.inject"         # a FaultPlan event fired (kind, target)
+EVENT_RESPAWN = "replica.respawn"    # supervisor returned a replica to routing
+EVENT_BROWNOUT_ENTER = "brownout.enter"  # overload valve engaged
+EVENT_BROWNOUT_EXIT = "brownout.exit"    # overload valve released
 
 EVENT_VOCABULARY = (
     EVENT_SUBMIT,
@@ -68,6 +72,10 @@ EVENT_VOCABULARY = (
     EVENT_RESOLVE,
     EVENT_FAIL,
     EVENT_ENGINE_ROUND,
+    EVENT_FAULT,
+    EVENT_RESPAWN,
+    EVENT_BROWNOUT_ENTER,
+    EVENT_BROWNOUT_EXIT,
 )
 
 

@@ -1,0 +1,146 @@
+"""Degradation policies: retry backoff arithmetic, brown-out hysteresis."""
+
+import pytest
+
+from repro.faults.policy import (
+    BrownoutController,
+    BrownoutPolicy,
+    BrownoutShed,
+    RetryExhausted,
+    RetryPolicy,
+)
+from repro.scheduler.admission import CRITICAL_PRIORITY, AdmissionRejected
+from repro.scheduler.pool import ReplicaUnavailable
+from repro.scheduler.telemetry import MetricsRegistry
+
+
+class TestExceptionHierarchy:
+    def test_retry_exhausted_is_replica_unavailable(self):
+        assert issubclass(RetryExhausted, ReplicaUnavailable)
+
+    def test_brownout_shed_is_admission_rejected(self):
+        assert issubclass(BrownoutShed, AdmissionRejected)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(backoff_base_s=0.01, backoff_factor=2.0, backoff_max_s=0.03)
+        assert policy.backoff_s(1) == pytest.approx(0.01)
+        assert policy.backoff_s(2) == pytest.approx(0.02)
+        assert policy.backoff_s(3) == pytest.approx(0.03)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.03)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0)
+
+    def test_gives_up_past_max_retries(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.delay_for(2, remaining_s=10.0) is not None
+        assert policy.delay_for(3, remaining_s=10.0) is None
+
+    def test_gives_up_with_no_deadline_budget(self):
+        assert RetryPolicy().delay_for(1, remaining_s=0.0) is None
+        assert RetryPolicy().delay_for(1, remaining_s=-1.0) is None
+
+    def test_delay_never_exceeds_remaining_budget(self):
+        policy = RetryPolicy(backoff_base_s=0.05, backoff_max_s=0.05)
+        assert policy.delay_for(1, remaining_s=0.01) == pytest.approx(0.01)
+
+    def test_critical_never_gives_up_but_still_backs_off(self):
+        policy = RetryPolicy(max_retries=0, backoff_base_s=0.01)
+        assert policy.delay_for(5, remaining_s=-1.0, critical=True) == pytest.approx(
+            policy.backoff_s(5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestBrownoutPolicy:
+    def test_exit_thresholds_must_sit_below_enter(self):
+        with pytest.raises(ValueError):
+            BrownoutPolicy(enter_queue_depth=8, exit_queue_depth=9)
+        with pytest.raises(ValueError):
+            BrownoutPolicy(enter_miss_rate=0.3, exit_miss_rate=0.4)
+        with pytest.raises(ValueError):
+            BrownoutPolicy(min_dwell_s=-1.0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def controller(**policy_kwargs):
+    clock = FakeClock()
+    policy = BrownoutPolicy(
+        enter_queue_depth=10, enter_miss_rate=0.5,
+        exit_queue_depth=2, exit_miss_rate=0.1, min_dwell_s=1.0,
+        **policy_kwargs,
+    )
+    return BrownoutController(policy, metrics=MetricsRegistry(), clock=clock), clock
+
+
+class TestBrownoutController:
+    def test_enters_on_queue_depth(self):
+        ctl, _ = controller()
+        assert not ctl.update(9, 0.0)
+        assert ctl.update(10, 0.0)
+        assert ctl.engaged
+
+    def test_enters_on_miss_rate_alone(self):
+        ctl, _ = controller()
+        assert ctl.update(0, 0.5)
+
+    def test_none_miss_rate_reads_as_zero(self):
+        ctl, _ = controller()
+        assert not ctl.update(0, None)
+
+    def test_exit_needs_both_signals_low_and_dwell(self):
+        ctl, clock = controller()
+        assert ctl.update(10, 0.0)
+        clock.now = 2.0  # dwell satisfied
+        assert ctl.update(3, 0.0)   # depth still above exit threshold
+        assert ctl.update(2, 0.2)   # miss still above exit threshold
+        assert not ctl.update(2, 0.1)  # both low: disengage
+
+    def test_exit_waits_out_the_dwell(self):
+        ctl, clock = controller()
+        ctl.update(10, 0.0)
+        clock.now = 0.5  # below min_dwell_s=1.0
+        assert ctl.update(0, 0.0)
+        clock.now = 1.0
+        assert not ctl.update(0, 0.0)
+
+    def test_transitions_count_once(self):
+        ctl, clock = controller()
+        ctl.update(10, 0.0)
+        ctl.update(10, 0.0)  # still engaged: no second enter
+        clock.now = 2.0
+        ctl.update(0, 0.0)
+        status = ctl.status()
+        assert status["enters"] == 1 and status["exits"] == 1
+        assert not status["engaged"]
+
+    def test_should_shed_spares_critical(self):
+        ctl, _ = controller()
+        ctl.update(10, 0.0)
+        assert ctl.should_shed(0)
+        assert not ctl.should_shed(CRITICAL_PRIORITY)
+
+    def test_disengaged_never_sheds(self):
+        ctl, _ = controller()
+        assert not ctl.should_shed(0)
+
+    def test_status_shape(self):
+        ctl, _ = controller()
+        assert set(ctl.status()) == {"engaged", "enters", "exits", "sheds", "clamps"}

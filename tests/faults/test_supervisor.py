@@ -1,0 +1,223 @@
+"""Replica supervisor: respawn, backoff, restart budget, warmup hygiene.
+
+``poll()`` is driven directly with a fake clock so nothing here depends
+on the supervision thread's timing; one end-to-end test runs the real
+loop against a supervised frontend.
+"""
+
+import time
+
+import pytest
+
+from repro.faults.supervisor import ReplicaSupervisor
+from repro.models import build_model
+from repro.scheduler import SLA, SchedulerConfig, ServingFrontend
+from repro.utils import make_rng
+from repro.utils.config import Config
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("fluid", rng=make_rng(0))
+
+
+@pytest.fixture
+def frontend(model):
+    with ServingFrontend(model, SchedulerConfig(replicas=2, warmup=False)) as fe:
+        yield fe
+
+
+def one_image(seed=1):
+    return make_rng(seed).standard_normal((1, 1, 28, 28))
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def eject(frontend, index):
+    replica = frontend.pool.replicas[index]
+    replica.kill()
+    frontend.pool.report_failure(replica)
+    assert frontend.pool.monitors[index].declared_dead
+
+
+class TestRespawn:
+    def test_poll_revives_an_ejected_replica(self, frontend):
+        sup = ReplicaSupervisor(frontend, clock=FakeClock())
+        eject(frontend, 0)
+        assert [r.index for r in frontend.pool.healthy()] == [1]
+        sup.poll()
+        assert [r.index for r in frontend.pool.healthy()] == [0, 1]
+        assert frontend.pool.replicas[0].alive
+        assert not frontend.pool.monitors[0].declared_dead
+        assert frontend.metrics.counter("supervisor.respawns").value == 1
+        assert sup.status()["down"] == []
+
+    def test_healthy_pool_is_left_alone(self, frontend):
+        sup = ReplicaSupervisor(frontend, clock=FakeClock())
+        sup.poll()
+        assert frontend.metrics.counter("supervisor.respawns").value == 0
+
+    def test_respawned_replica_serves_again(self, frontend):
+        sup = ReplicaSupervisor(frontend, clock=FakeClock())
+        eject(frontend, 0)
+        sup.poll()
+        out = frontend.pool.replicas[0].run(one_image(), "lower25")
+        assert out.shape == (1, 10)
+
+    def test_untimed_warmup_never_feeds_the_width_ewmas(self, frontend):
+        """Satellite acceptance: a revived replica re-enters routing with
+        sane EWMAs — a fresh worker's cold forwards must not be observed
+        into the width policy's latency calibration."""
+        before = {
+            w: s["observed_ewma_s"]
+            for w, s in frontend.policy.calibration_snapshot().items()
+        }
+        sup = ReplicaSupervisor(frontend, clock=FakeClock(), warmup=True)
+        eject(frontend, 1)
+        sup.poll()
+        after = {
+            w: s["observed_ewma_s"]
+            for w, s in frontend.policy.calibration_snapshot().items()
+        }
+        assert after == before
+
+    def test_trace_event_emitted_per_respawn(self, model):
+        from repro.trace import Tracer
+        from repro.trace.tracer import EVENT_RESPAWN
+
+        tracer = Tracer(sampling=1.0)
+        with ServingFrontend(
+            model, SchedulerConfig(replicas=2, warmup=False), tracer=tracer
+        ) as fe:
+            sup = ReplicaSupervisor(fe, clock=FakeClock())
+            eject(fe, 0)
+            sup.poll()
+            events = [e for e in tracer.events() if e.kind == EVENT_RESPAWN]
+        assert len(events) == 1 and events[0].data["replica"] == 0
+
+
+class TestBackoff:
+    def test_failed_respawn_backs_off_before_retrying(self, frontend):
+        clock = FakeClock()
+        sup = ReplicaSupervisor(
+            frontend, clock=clock, backoff_base_s=0.5, backoff_max_s=2.0, jitter=0.0
+        )
+        eject(frontend, 0)
+        boom = lambda index: (_ for _ in ()).throw(RuntimeError("attach failed"))  # noqa: E731
+        frontend.pool.spawn_replica = boom
+        sup.poll()
+        assert frontend.metrics.counter("supervisor.respawn_failures").value == 1
+        sup.poll()  # clock unchanged: still inside the backoff window
+        assert frontend.metrics.counter("supervisor.respawn_failures").value == 1
+        clock.now = 0.6  # past base backoff: second attempt fires
+        sup.poll()
+        assert frontend.metrics.counter("supervisor.respawn_failures").value == 2
+        del frontend.pool.spawn_replica  # restore the bound method
+        clock.now = 5.0
+        sup.poll()
+        assert frontend.metrics.counter("supervisor.respawns").value == 1
+        assert frontend.pool.replicas[0].alive
+
+    def test_jitter_is_seed_deterministic(self, frontend):
+        a = ReplicaSupervisor(frontend, seed=3)
+        b = ReplicaSupervisor(frontend, seed=3)
+        assert [float(a._rng.random()) for _ in range(4)] == [
+            float(b._rng.random()) for _ in range(4)
+        ]
+
+    def test_knob_validation(self, frontend):
+        with pytest.raises(ValueError):
+            ReplicaSupervisor(frontend, backoff_base_s=-1.0)
+        with pytest.raises(ValueError):
+            ReplicaSupervisor(frontend, backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ReplicaSupervisor(frontend, jitter=1.0)
+        with pytest.raises(ValueError):
+            ReplicaSupervisor(frontend, restart_budget=0)
+
+
+class TestRestartBudget:
+    def test_flapping_replica_trips_the_circuit_breaker(self, frontend):
+        clock = FakeClock()
+        sup = ReplicaSupervisor(
+            frontend, clock=clock, restart_budget=1, budget_window_s=100.0
+        )
+        eject(frontend, 0)
+        sup.poll()  # first death: respawned
+        assert frontend.pool.replicas[0].alive
+        clock.now = 1.0
+        eject(frontend, 0)
+        sup.poll()  # second death inside the window: budget exhausted
+        assert not frontend.pool.replicas[0].alive
+        assert sup.status()["gave_up"] == [0]
+        assert frontend.metrics.counter("supervisor.gave_up").value == 1
+        clock.now = 2.0
+        sup.poll()  # gave-up slots are never retried
+        assert not frontend.pool.replicas[0].alive
+        assert frontend.metrics.counter("supervisor.respawns").value == 1
+
+    def test_deaths_outside_the_window_are_forgiven(self, frontend):
+        clock = FakeClock()
+        sup = ReplicaSupervisor(
+            frontend, clock=clock, restart_budget=1, budget_window_s=10.0
+        )
+        eject(frontend, 0)
+        sup.poll()
+        clock.now = 50.0  # first death ages out of the sliding window
+        eject(frontend, 0)
+        sup.poll()
+        assert frontend.pool.replicas[0].alive
+        assert sup.status()["gave_up"] == []
+        assert frontend.metrics.counter("supervisor.respawns").value == 2
+
+
+class TestLifecycle:
+    def test_start_twice_raises_and_close_is_idempotent(self, frontend):
+        sup = ReplicaSupervisor(frontend)
+        sup.start()
+        with pytest.raises(RuntimeError):
+            sup.start()
+        sup.close()
+        sup.close()
+
+    def test_status_shape(self, frontend):
+        sup = ReplicaSupervisor(frontend)
+        assert set(sup.status()) == {"respawns", "respawn_failures", "gave_up", "down"}
+
+
+class TestSupervisedFrontend:
+    def test_supervised_frontend_heals_and_keeps_serving(self, model):
+        frontend = ServingFrontend(
+            model,
+            SchedulerConfig(replicas=2, warmup=False, supervise=True),
+            heartbeat_config=Config({"heartbeat_interval_s": 0.005}),
+        )
+        try:
+            assert frontend.supervisor is not None
+            frontend.pool.replicas[0].kill()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if (
+                    len(frontend.pool.healthy()) == 2
+                    and frontend.pool.replicas[0].alive
+                ):
+                    break
+                time.sleep(0.005)
+            assert len(frontend.pool.healthy()) == 2
+            assert frontend.metrics.counter("supervisor.respawns").value >= 1
+            out = frontend.submit(one_image(), SLA(deadline_s=5.0)).result(timeout=10.0)
+            assert out.shape == (1, 10)
+            report = frontend.report()
+            assert report["supervisor"]["respawns"] >= 1
+        finally:
+            frontend.close()
+
+    def test_unsupervised_frontend_has_no_supervisor(self, frontend):
+        assert frontend.supervisor is None
+        assert "supervisor" not in frontend.report()

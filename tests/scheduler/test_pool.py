@@ -132,6 +132,61 @@ class TestHealth:
         assert pool.total_pending() == 1
 
 
+class TestRespawn:
+    """The pool half of self-healing: spawn_replica + adopt re-entry."""
+
+    def test_thread_spawn_revives_in_place(self, pool):
+        pool.replicas[1].kill()
+        fresh = pool.spawn_replica(1)
+        assert fresh is pool.replicas[1]
+        assert fresh.alive
+
+    def test_adopt_returns_the_replica_to_routing(self, pool):
+        pool.replicas[2].kill()
+        ejected = wait_for_ejection(pool, timeout_s=2.0)
+        assert [r.index for r in ejected] == [2]
+        fresh = pool.spawn_replica(2)
+        replaced = pool.adopt(2, fresh)
+        assert replaced is fresh  # thread backend: same object, revived
+        assert [r.index for r in pool.healthy()] == [0, 1, 2]
+        assert not pool.monitors[2].declared_dead
+
+    def test_adopted_replica_serves_and_routes(self, pool):
+        pool.replicas[0].kill()
+        pool.report_failure(pool.replicas[0])
+        pool.adopt(0, pool.spawn_replica(0))
+        # Make slot 0 the clear least-loaded choice again.
+        pool.replicas[1].begin()
+        pool.replicas[2].begin()
+        out, replica = pool.execute(one_image(), "lower25")
+        assert out.shape == (1, 10)
+        assert replica.index == 0
+
+    def test_adopted_replica_starts_with_zero_pending(self, pool):
+        pool.replicas[0].begin()
+        pool.replicas[0].begin()
+        pool.replicas[0].kill()
+        pool.report_failure(pool.replicas[0])
+        adopted = pool.adopt(0, pool.spawn_replica(0))
+        # Thread revive keeps the object; what matters is that routing
+        # sees it healthy and its load converges as requests finish.
+        assert adopted.alive
+        assert pool.replicas[0] in pool.healthy()
+
+    def test_stale_failure_report_after_adopt_is_ignored(self, model):
+        """A late failure report for a replaced replica must not eject
+        the fresh one behind the same monitor slot."""
+        pool = ReplicaPool(model, 2)
+        old = pool.replicas[0]
+        old.kill()
+        pool.report_failure(old)
+        fresh = type(old)(0, model)
+        pool.adopt(0, fresh)
+        pool.report_failure(old)  # stale: `old` no longer occupies slot 0
+        assert not pool.monitors[0].declared_dead
+        assert pool.replicas[0] is fresh
+
+
 def test_pool_validates_replica_count(model):
     with pytest.raises(ValueError):
         ReplicaPool(model, 0)

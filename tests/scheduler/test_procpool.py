@@ -229,6 +229,46 @@ class TestFrontendFaults:
         assert list_segments("r") == rings_before
 
 
+class TestCloseEscalation:
+    def test_close_with_wedged_transport_escalates_and_unlinks(self, model):
+        """close() must return within its bound even when the transport
+        lock never frees (a worker wedged mid-batch): SIGTERM -> SIGKILL,
+        and the ring segment is still unlinked — no /dev/shm leak."""
+        rings_before = list_segments("r")
+        replicas = make_process_replicas(model, 1, plan_options={"batch_rows": 8})
+        replica = replicas[0]
+        pid = replica._proc.pid
+        assert replica._transport_lock.acquire()  # simulate a stuck batch
+        try:
+            started = time.monotonic()
+            replica.close(timeout=0.3)
+            assert time.monotonic() - started < 10.0  # bounded, not hung
+        finally:
+            replica._transport_lock.release()
+        # close() joined: the worker is signalled, dead, and reaped.
+        with pytest.raises(OSError):
+            os.kill(pid, 0)
+        assert list_segments("r") == rings_before
+
+    def test_close_after_sigkill_reaps_and_unlinks(self, model):
+        rings_before = list_segments("r")
+        replicas = make_process_replicas(model, 1, plan_options={"batch_rows": 8})
+        replica = replicas[0]
+        pid = replica._proc.pid
+        replica.kill()
+        replica.close(timeout=1.0)
+        with pytest.raises(OSError):
+            os.kill(pid, 0)
+        assert list_segments("r") == rings_before
+
+    def test_close_is_idempotent(self, model):
+        replicas = make_process_replicas(model, 1, plan_options={"batch_rows": 8})
+        replica = replicas[0]
+        replica.close()
+        replica.close()  # second call: early-out, no crash
+        assert not replica.ping()
+
+
 class TestThreadBudget:
     def test_partition_splits_evenly_with_floor_one(self):
         assert partition_thread_budget(2, total=8) == 4
