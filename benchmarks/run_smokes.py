@@ -97,6 +97,11 @@ SMOKES: Tuple[Smoke, ...] = (
         (sys.executable, "benchmarks/bench_chaos.py", "--smoke"),
         "self-healing: zero-lost supervised incident, chaos sim, brown-out",
     ),
+    Smoke(
+        "tuning",
+        (sys.executable, "benchmarks/bench_tuning.py", "--smoke"),
+        "offline autotuner: tuned beats default across the zoo, byte-deterministic",
+    ),
 )
 
 
@@ -337,6 +342,50 @@ def check_chaos_record(record: dict) -> None:
     )
 
 
+def check_tuning_record(record: dict) -> None:
+    tuning = record["tuning"]
+    assert tuning["byte_identical"] is True, (
+        "tuning record lost the byte-deterministic artifact fact"
+    )
+    gated = tuning["must_beat"]
+    assert set(gated) >= {"multi_tenant", "adversarial"}, (
+        f"tuning record gates only {gated}; the acceptance criterion names "
+        "multi_tenant and adversarial"
+    )
+    for name in gated:
+        row = tuning["scenarios"][name]
+        assert row["tuned_miss_rate"] < row["default_miss_rate"], (
+            f"tuning record shows tuned not beating default on {name}: "
+            f"{row['tuned_miss_rate']} >= {row['default_miss_rate']}"
+        )
+        assert row["improved"] is True, f"{name}: improved flag inconsistent"
+    config = tuning["config"]
+    winner = tuning["winner_mapping"]
+    for key, value in winner.items():
+        if key in ("retry", "restart_backoff_s"):
+            continue  # flattened into the policy objects / scalar defaults
+        assert config.get(key) == value, (
+            f"emitted config diverges from the winner on {key}: "
+            f"{config.get(key)!r} != {value!r}"
+        )
+    derived = tuning["derived"]
+    assert config["rows_ladder"] == derived["rows_ladder"], (
+        "emitted config does not carry the derived rows_ladder"
+    )
+    assert config["conv_backend_per_rung"] == derived["conv_backend_per_rung"], (
+        "emitted config does not carry the derived per-rung backends"
+    )
+    chaos = record["chaos"]
+    assert chaos["improved"] is True, (
+        f"chaos-tuned config not better than default under faults: "
+        f"{chaos['tuned_miss_rate']} >= {chaos['default_miss_rate']}"
+    )
+    assert chaos["tuned_miss_rate"] < chaos["default_miss_rate"]
+    assert chaos["supervise"] is True and chaos["retry"] is True, (
+        "chaos-tuned config must record the live fault plane switched on"
+    )
+
+
 RECORD_CHECKS: Tuple[Tuple[str, Callable[[dict], None]], ...] = (
     ("BENCH_plan.json", check_plan_record),
     ("BENCH_scheduler.json", check_scheduler_record),
@@ -347,6 +396,7 @@ RECORD_CHECKS: Tuple[Tuple[str, Callable[[dict], None]], ...] = (
     ("BENCH_dist_plan.json", check_dist_plan_record),
     ("BENCH_trace_replay.json", check_trace_replay_record),
     ("BENCH_chaos.json", check_chaos_record),
+    ("BENCH_tuning.json", check_tuning_record),
 )
 
 

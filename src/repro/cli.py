@@ -49,6 +49,51 @@ from repro.training import RecipeConfig, TrainConfig, train_family
 from repro.utils import make_rng, resolve_dtype_policy, set_dtype_policy
 
 
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared scheduler-config flags (serve --sla mode and replay).
+
+    Every flag defaults to ``None`` — "not given" — so
+    :func:`config_from_args` can layer them as overrides on top of
+    ``--config FILE`` on top of the subcommand's defaults.  A flag with
+    an argparse default would silently override the config file instead.
+    """
+    parser.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="scheduler config to start from: a repro-tuned-config artifact "
+        "(replay --tune output) or a bare SchedulerConfig mapping JSON; "
+        "explicit flags below override its keys",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=None,
+        help="replica pool size (shared weights, zero copies; default 2)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=None,
+        help="micro-batch row ceiling per (replica, width) queue",
+    )
+    parser.add_argument(
+        "--max-delay-ms", type=float, default=None,
+        help="micro-batch flush delay in milliseconds",
+    )
+    parser.add_argument(
+        "--conv-backend", choices=CONV_BACKENDS, default=None,
+        help="convolution lowering for compiled plans: im2col (bitwise-exact "
+        "default), im2col-blocked (bitwise, cache-blocked gather), or "
+        "shifted-gemm (fastest at wide widths; allclose, not bitwise)",
+    )
+    parser.add_argument(
+        "--rows-ladder", default=None, metavar="R1,R2,...",
+        help="comma-separated batch-row rungs (e.g. 1,4,16): compile a plan "
+        "ladder per width so small flushes run on small arenas; the top rung "
+        "is always the batch ceiling",
+    )
+    parser.add_argument(
+        "--replica-backend", choices=("thread", "process"), default=None,
+        help="what a replica is: thread (shared interpreter) or process "
+        "(forked workers over shared-memory weights, GIL-free)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
@@ -101,8 +146,6 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--weights", default=None, help="optional npz checkpoint to serve")
     serve.add_argument("--requests", type=int, default=256)
     serve.add_argument("--concurrency", type=int, default=4)
-    serve.add_argument("--max-batch", type=int, default=32)
-    serve.add_argument("--max-delay-ms", type=float, default=2.0)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--sla", type=float, default=None, metavar="MS",
@@ -110,27 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the SLA scheduler (admission, width selection, hedged routing) vs a "
         "fixed-widest baseline",
     )
-    serve.add_argument(
-        "--replicas", type=int, default=2,
-        help="replica pool size for --sla mode (shared weights, zero copies)",
-    )
-    serve.add_argument(
-        "--conv-backend", choices=CONV_BACKENDS, default="im2col",
-        help="convolution lowering for compiled plans: im2col (bitwise-exact "
-        "default), im2col-blocked (bitwise, cache-blocked gather), or "
-        "shifted-gemm (fastest at wide widths; allclose, not bitwise)",
-    )
-    serve.add_argument(
-        "--rows-ladder", default=None, metavar="R1,R2,...",
-        help="comma-separated batch-row rungs (e.g. 1,4,16): compile a plan "
-        "ladder per width so small flushes run on small arenas; the top rung "
-        "is always --max-batch",
-    )
-    serve.add_argument(
-        "--replica-backend", choices=("thread", "process"), default="thread",
-        help="what an --sla replica is: thread (shared interpreter) or "
-        "process (forked workers over shared-memory weights, GIL-free)",
-    )
+    _add_config_flags(serve)
     serve.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="pool size for --replica-backend process (alias for --replicas)",
@@ -159,8 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--mode", choices=("sim", "live"), default="sim")
     replay.add_argument("--family", choices=("static", "dynamic", "fluid"), default="fluid")
     replay.add_argument("--weights", default=None, help="optional npz checkpoint to serve")
-    replay.add_argument("--replicas", type=int, default=2)
-    replay.add_argument("--seed", type=int, default=0, help="tracer sampling seed (live mode)")
+    _add_config_flags(replay)
+    replay.add_argument(
+        "--seed", type=int, default=0,
+        help="tracer sampling seed (live mode) and tuner seed (--tune)",
+    )
     replay.add_argument(
         "--sampling", type=float, default=1.0,
         help="fraction of requests traced in live mode (deterministic per request id)",
@@ -179,6 +205,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--list", action="store_true", help="list the scenario zoo and exit",
+    )
+    replay.add_argument(
+        "--tune", action="store_true",
+        help="offline autotune instead of replaying: search SchedulerConfig "
+        "space against the virtual-time simulator on this trace (with "
+        "--faults: scored under the attached fault plan — best config "
+        "under chaos) and write a repro-tuned-config artifact that "
+        "'serve --config FILE' loads directly.  The scheduler flags above "
+        "are ignored; the tuner searches its own space",
+    )
+    replay.add_argument(
+        "--tune-out", default=None, metavar="FILE",
+        help="tuned-config artifact path (default tuned_<trace>.json)",
+    )
+    replay.add_argument(
+        "--tune-workers", type=int, default=None, metavar="N",
+        help="process-pool width for candidate simulations (default: cores, "
+        "capped at 4; results are identical at any width)",
     )
 
     dist = sub.add_parser(
@@ -307,35 +351,98 @@ def _parse_rows_ladder(spec: Optional[str]):
     return rungs
 
 
+def config_from_args(args, defaults=None):
+    """Build the one :class:`SchedulerConfig` both subcommands serve with.
+
+    Three layers, lowest precedence first:
+
+    1. ``defaults`` — the subcommand's baseline mapping (e.g. serve's
+       historical ``max_batch=32``),
+    2. ``--config FILE`` — a tuned-config artifact or bare mapping,
+    3. explicit flags — only flags actually given override; every shared
+       flag parses with ``default=None`` so "absent" is detectable.
+
+    The merged mapping goes through ``SchedulerConfig.from_mapping``, the
+    single validated path — there is no loose-dict construction here.
+    """
+    from repro.scheduler.frontend import SchedulerConfig
+
+    mapping = dict(defaults or {})
+    if getattr(args, "config", None):
+        from repro.tuning import load_config_mapping
+
+        try:
+            file_mapping = load_config_mapping(args.config)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--config: {exc}") from exc
+        mapping.update(file_mapping)
+    if getattr(args, "replicas", None) is not None:
+        mapping["replicas"] = args.replicas
+    if getattr(args, "workers", None) is not None:
+        mapping["replicas"] = args.workers
+    if getattr(args, "max_batch", None) is not None:
+        mapping["max_batch"] = args.max_batch
+    if getattr(args, "max_delay_ms", None) is not None:
+        mapping["max_delay_s"] = args.max_delay_ms / 1000.0
+    if getattr(args, "conv_backend", None) is not None:
+        mapping["conv_backend"] = args.conv_backend
+        # An explicit backend flag overrides a config file's per-rung
+        # assignment too — otherwise the flag would silently only apply
+        # to rungs the file left unmapped.
+        mapping.pop("conv_backend_per_rung", None)
+    rows_ladder = getattr(args, "rows_ladder", None)
+    if rows_ladder is not None:
+        if isinstance(rows_ladder, str):
+            rows_ladder = _parse_rows_ladder(rows_ladder)
+        mapping["rows_ladder"] = list(rows_ladder)
+    if getattr(args, "replica_backend", None) is not None:
+        mapping["replica_backend"] = args.replica_backend
+    if getattr(args, "sla", None) is not None:
+        mapping["sla.deadline_s"] = args.sla / 1000.0
+    try:
+        return SchedulerConfig.from_mapping(mapping)
+    except ValueError as exc:
+        raise SystemExit(f"bad scheduler config: {exc}") from exc
+
+
 def cmd_serve(args) -> int:
     from repro.serving_bench import run_serving_comparison
 
     # Validate argparse-only facts before paying for a model build.
+    # --config implies the scheduled frontend, same as --sla: the config
+    # wire format *is* a scheduler config.
+    scheduled = args.sla is not None or args.config is not None
     if args.sla is not None and args.sla <= 0:
         raise SystemExit("--sla must be a positive deadline in milliseconds")
-    if args.replicas <= 0:
+    if args.replicas is not None and args.replicas <= 0:
         raise SystemExit("--replicas must be positive")
-    args.rows_ladder = _parse_rows_ladder(args.rows_ladder)
-    if args.sla is None and (args.conv_backend != "im2col" or args.rows_ladder):
-        # Only the --sla frontend compiles plans; silently ignoring these
-        # would report default-backend numbers under a shifted-gemm label.
-        raise SystemExit("--conv-backend/--rows-ladder require --sla (compiled-plan serving)")
-    if args.sla is None and (
-        args.replica_backend != "thread" or args.workers is not None or args.stats
+    if not scheduled and (
+        args.conv_backend is not None or args.rows_ladder is not None
+    ):
+        # Only the scheduled frontend compiles plans; silently ignoring
+        # these would report default-backend numbers under another label.
+        raise SystemExit(
+            "--conv-backend/--rows-ladder require --sla or --config "
+            "(compiled-plan serving)"
+        )
+    if not scheduled and (
+        args.replica_backend is not None or args.workers is not None or args.stats
     ):
         raise SystemExit(
-            "--replica-backend/--workers/--stats require --sla (scheduled serving)"
+            "--replica-backend/--workers/--stats require --sla or --config "
+            "(scheduled serving)"
         )
-    if args.sla is None and args.trace is not None:
-        raise SystemExit("--trace requires --sla (tracing attaches to the scheduler frontend)")
-    if args.workers is not None:
-        if args.workers <= 0:
-            raise SystemExit("--workers must be positive")
-        args.replicas = args.workers
+    if not scheduled and args.trace is not None:
+        raise SystemExit(
+            "--trace requires --sla or --config (tracing attaches to the "
+            "scheduler frontend)"
+        )
+    if args.workers is not None and args.workers <= 0:
+        raise SystemExit("--workers must be positive")
     model = build_model(args.family, rng=make_rng(args.seed))
     if args.weights:
         model.load_state_dict(load_state(args.weights))
-    if args.sla is not None:
+    if scheduled:
         return _serve_scheduled(model, args)
     subnet = args.subnet or model.width_spec.full().name
     if subnet not in {s.name for s in model.width_spec.all_specs()}:
@@ -345,8 +452,10 @@ def cmd_serve(args) -> int:
         subnet,
         num_requests=args.requests,
         concurrency=args.concurrency,
-        max_batch=args.max_batch,
-        max_delay_s=args.max_delay_ms / 1000.0,
+        max_batch=args.max_batch if args.max_batch is not None else 32,
+        max_delay_s=(
+            args.max_delay_ms if args.max_delay_ms is not None else 2.0
+        ) / 1000.0,
         seed=args.seed,
     )
     print(f"serving {args.family}/{subnet}: {args.requests} single-image requests")
@@ -365,26 +474,22 @@ def cmd_serve(args) -> int:
 
 
 def _serve_scheduled(model, args) -> int:
-    """``serve --sla`` mode: SLA scheduler vs fixed-widest on the synthetic trace."""
+    """``serve --sla/--config``: SLA scheduler vs fixed-widest on the synthetic trace."""
     from dataclasses import replace
 
-    from repro.scheduler.admission import SLA
     from repro.scheduler.bench import ACCEPTANCE_TRACE, run_scheduler_comparison
-    from repro.scheduler.frontend import SchedulerConfig
 
-    trace = replace(ACCEPTANCE_TRACE, deadline_s=args.sla / 1000.0, seed=args.seed)
     # The serve batching knobs apply to the scheduler's per-(replica, width)
     # queues too; --subnet/--requests/--concurrency describe the classic
-    # comparison and have no meaning on the SLA trace.
-    scheduler_config = SchedulerConfig(
-        replicas=args.replicas,
-        default_sla=SLA(deadline_s=args.sla / 1000.0),
-        max_batch=args.max_batch,
-        max_delay_s=args.max_delay_ms / 1000.0,
-        conv_backend=args.conv_backend,
-        rows_ladder=args.rows_ladder,
-        replica_backend=args.replica_backend,
+    # comparison and have no meaning on the SLA trace.  The defaults layer
+    # keeps the historical serve baseline (2 replicas, 32-row batches, 2ms
+    # flush); --config then flags override it.
+    scheduler_config = config_from_args(
+        args,
+        defaults={"replicas": 2, "max_batch": 32, "max_delay_s": 0.002},
     )
+    deadline_s = scheduler_config.default_sla.deadline_s
+    trace = replace(ACCEPTANCE_TRACE, deadline_s=deadline_s, seed=args.seed)
     tracer = recorder = None
     if args.trace:
         from repro.trace import TraceRecorder, Tracer
@@ -394,19 +499,19 @@ def _serve_scheduled(model, args) -> int:
             args.trace,
             meta={
                 "name": "serve-sla",
-                "deadline_s": args.sla / 1000.0,
+                "deadline_s": deadline_s,
                 "duration_s": trace.duration_s,
                 "seed": args.seed,
             },
         )
     report = run_scheduler_comparison(
-        model, trace, replicas=args.replicas, scheduler_config=scheduler_config,
-        tracer=tracer, recorder=recorder,
+        model, trace, replicas=scheduler_config.replicas,
+        scheduler_config=scheduler_config, tracer=tracer, recorder=recorder,
     )
     print(
         f"SLA serving ({args.family}): {report['arrivals']} requests over "
-        f"{trace.duration_s:.1f}s, deadline {args.sla:.0f}ms, "
-        f"{args.replicas} replicas, replica kill at t={trace.kill_at_s}s"
+        f"{trace.duration_s:.1f}s, deadline {1e3 * deadline_s:.0f}ms, "
+        f"{scheduler_config.replicas} replicas, replica kill at t={trace.kill_at_s}s"
     )
     for label in ("fixed_widest", "scheduler"):
         stats = report[label]
@@ -426,7 +531,7 @@ def _serve_scheduled(model, args) -> int:
     if args.stats:
         workers = report["scheduler"]["frontend"].get("workers", [])
         if workers:
-            print(f"  per-worker telemetry ({args.replica_backend} backend):")
+            print(f"  per-worker telemetry ({scheduler_config.replica_backend} backend):")
             for w in workers:
                 rate = w["rows_per_s"]
                 rate_s = f"{rate:9.1f}" if rate is not None else "      n/a"
@@ -450,8 +555,7 @@ def _serve_scheduled(model, args) -> int:
 
 def cmd_replay(args) -> int:
     """``replay``: re-inject a scenario or trace artifact against the scheduler."""
-    from repro.faults import FAULTY_SCENARIOS, FaultPlan, RetryPolicy, faulty_replayer
-    from repro.scheduler.frontend import SchedulerConfig
+    from repro.faults import FAULTY_SCENARIOS, FaultPlan, faulty_replayer
     from repro.trace import SCENARIOS, TraceRecorder, Tracer, TraceReplayer
     from repro.trace.scenarios import EXTRA_SCENARIOS
 
@@ -466,10 +570,16 @@ def cmd_replay(args) -> int:
         return 0
     if (args.scenario is None) == (args.trace is None):
         raise SystemExit("replay needs exactly one of --scenario or --trace (or --list)")
-    if args.replicas <= 0:
+    if args.replicas is not None and args.replicas <= 0:
         raise SystemExit("--replicas must be positive")
     if not 0.0 <= args.sampling <= 1.0:
         raise SystemExit("--sampling must be in [0, 1]")
+    if args.tune and args.mode == "live":
+        raise SystemExit("--tune replays in the virtual-time simulator; drop --mode live")
+    if args.tune and args.out:
+        raise SystemExit("--tune writes a tuned-config artifact, not a trace (--tune-out)")
+    if args.tune_workers is not None and args.tune_workers <= 0:
+        raise SystemExit("--tune-workers must be positive")
     if args.scenario is not None:
         if args.scenario in FAULTY_SCENARIOS:
             replayer = faulty_replayer(args.scenario)
@@ -501,13 +611,14 @@ def cmd_replay(args) -> int:
     model = build_model(args.family, rng=make_rng(args.seed))
     if args.weights:
         model.load_state_dict(load_state(args.weights))
-    config = SchedulerConfig(replicas=args.replicas)
+    if args.tune:
+        return _replay_tune(replayer, model, args)
+    defaults: dict = {"replicas": 2}
     if replayer.faults and args.mode == "live":
         # An injected incident without self-healing would just lose the
         # crashed replicas' capacity for the rest of the run.
-        config = SchedulerConfig(
-            replicas=args.replicas, supervise=True, retry_policy=RetryPolicy()
-        )
+        defaults.update({"supervise": True, "retry": True})
+    config = config_from_args(args, defaults=defaults)
     recorder = None
     if args.out:
         recorder = TraceRecorder(
@@ -533,7 +644,7 @@ def cmd_replay(args) -> int:
     outcomes, lat = result["outcomes"], result["latency"]
     print(
         f"replay {result['name']} ({result['mode']}): {result['requests']} requests "
-        f"over {result['duration_s']:.2f}s, {args.replicas} replicas"
+        f"over {result['duration_s']:.2f}s, {config.replicas} replicas"
     )
     if replayer.faults:
         kinds = [e.kind for e in replayer.faults.events]
@@ -561,6 +672,43 @@ def cmd_replay(args) -> int:
     if recorder is not None:
         path = recorder.write()
         print(f"  recorded  {len(recorder)} request records -> {path}")
+    return 0
+
+
+def _replay_tune(replayer, model, args) -> int:
+    """``replay --tune``: offline config search on the loaded trace."""
+    from repro.tuning import default_workers, tune, write_tuned_config
+
+    use_faults = replayer.faults is not None
+    workers = args.tune_workers if args.tune_workers is not None else default_workers()
+    result = tune(
+        replayer, model, seed=args.seed, workers=workers, use_faults=use_faults
+    )
+    out = args.tune_out or f"tuned_{replayer.name}.json"
+    path = write_tuned_config(out, result)
+    stages = result.stages
+    print(
+        f"tune {result.trace_name}: {result.evaluations} simulations "
+        f"(grid {stages['grid']}, coarse {stages['coarse']} @ "
+        f"{stages['coarse_frac']:.0%} of trace, refine {stages['refine']}, "
+        f"zoo-validated {stages['validated']}), seed {result.seed}, "
+        f"{workers} workers{', faults injected' if use_faults else ''}"
+    )
+    for label, ev in (("baseline", result.baseline), ("tuned", result.tuned)):
+        print(
+            f"  {label:8s} miss-rate {ev.miss_rate:.3f}  "
+            f"goodput {ev.goodput_rps:7.1f} req/s  ({ev.requests} requests)"
+        )
+    winner = dict(sorted(result.winner.mapping.items()))
+    print(f"  winner    {winner}")
+    if result.derived.get("rows_ladder"):
+        backends = result.derived["conv_backend_per_rung"] or []
+        rungs = "  ".join(
+            f"{rows}:{backend}" for rows, backend in backends
+        ) or "/".join(str(r) for r in result.derived["rows_ladder"])
+        print(f"  derived   rows_ladder {rungs}")
+    verdict = "improved" if result.improved else "no improvement (kept for audit)"
+    print(f"  artifact  {path} ({verdict})")
     return 0
 
 

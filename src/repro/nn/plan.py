@@ -55,7 +55,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -754,6 +754,13 @@ class PlanLadder:
     the top rung's).  Ducks as a plan: the serving stack
     (:class:`~repro.engine.session.InferenceSession`, replicas, the
     frontend) treats ladders and single plans interchangeably.
+
+    Rungs may use **different conv backends** (e.g. im2col on the 1-row
+    rung, shifted-gemm on the 16-row rung — the best column of each
+    ``BENCH_plan.json`` grid row); width, dtype, and the weight store
+    must still match.  ``conv_backend`` reports the head (smallest)
+    rung's backend; ``exact`` is True only when *every* rung keeps the
+    bitwise contract.
     """
 
     def __init__(self, plans: Sequence[InferencePlan]) -> None:
@@ -765,11 +772,10 @@ class PlanLadder:
             if (
                 plan.width != head.width
                 or plan.dtype != head.dtype
-                or plan.conv_backend != head.conv_backend
                 or plan.net is not head.net
             ):
                 raise ValueError(
-                    "ladder rungs must share width, dtype, backend and weight store"
+                    "ladder rungs must share width, dtype and weight store"
                 )
         if len({p.batch_rows for p in rungs}) != len(rungs):
             raise ValueError("ladder rungs must have distinct batch_rows")
@@ -782,7 +788,7 @@ class PlanLadder:
 
     @property
     def exact(self) -> bool:
-        return self.rungs[0].exact
+        return all(p.exact for p in self.rungs)
 
     @property
     def batch_rows(self) -> int:
@@ -830,9 +836,14 @@ class PlanLadder:
 
     def __repr__(self) -> str:
         rows = "/".join(str(p.batch_rows) for p in self.rungs)
+        backends = {p.conv_backend for p in self.rungs}
+        if len(backends) == 1:
+            backend = self.conv_backend
+        else:
+            backend = "/".join(p.conv_backend for p in self.rungs)
         return (
             f"PlanLadder({self.width}, rows={rows}, dtype={self.dtype.name}, "
-            f"backend={self.conv_backend})"
+            f"backend={backend})"
         )
 
 
@@ -861,10 +872,27 @@ def compile_plan_ladder(
     cache: Optional[PackedWeightCache] = None,
     workspaces: int = 1,
     conv_backend: str = "im2col",
+    conv_backend_per_rung: Optional[
+        Union[Mapping[int, str], Sequence[Tuple[int, str]]]
+    ] = None,
 ) -> PlanLadder:
-    """Compile one :class:`PlanLadder` (see there) for a single width."""
+    """Compile one :class:`PlanLadder` (see there) for a single width.
+
+    ``conv_backend_per_rung`` maps a rung's row ceiling to its conv
+    lowering (``{1: "im2col", 16: "shifted-gemm"}`` or the equivalent
+    pair sequence); unmapped rungs fall back to ``conv_backend``.  Keys
+    must name rungs of the *normalized* ladder — a typo'd rung would
+    otherwise silently compile the default backend.
+    """
     if cache is None:
         cache = PackedWeightCache()
+    rungs = normalize_rows_ladder(rows_ladder, batch_rows)
+    per_rung = dict(conv_backend_per_rung or {})
+    unknown = sorted(set(per_rung) - set(rungs))
+    if unknown:
+        raise ValueError(
+            f"conv_backend_per_rung keys {unknown} are not ladder rungs {rungs}"
+        )
     plans = [
         InferencePlan.compile(
             model,
@@ -873,9 +901,9 @@ def compile_plan_ladder(
             dtype=dtype,
             cache=cache,
             workspaces=workspaces,
-            conv_backend=conv_backend,
+            conv_backend=per_rung.get(rows, conv_backend),
         )
-        for rows in normalize_rows_ladder(rows_ladder, batch_rows)
+        for rows in rungs
     ]
     return PlanLadder(plans)
 
@@ -890,6 +918,9 @@ def compile_width_plans(
     workspaces: int = 1,
     conv_backend: str = "im2col",
     rows_ladder: Optional[Sequence[int]] = None,
+    conv_backend_per_rung: Optional[
+        Union[Mapping[int, str], Sequence[Tuple[int, str]]]
+    ] = None,
 ) -> Dict[str, Union[InferencePlan, PlanLadder]]:
     """One plan (or, with ``rows_ladder``, one ladder) per width.
 
@@ -899,6 +930,8 @@ def compile_width_plans(
     """
     if cache is None:  # an empty cache is falsy (len 0) — test identity
         cache = PackedWeightCache()
+    if conv_backend_per_rung and rows_ladder is None:
+        raise ValueError("conv_backend_per_rung requires rows_ladder")
     plans: Dict[str, Union[InferencePlan, PlanLadder]] = {}
     for width in widths:
         if rows_ladder is not None:
@@ -911,6 +944,7 @@ def compile_width_plans(
                 cache=cache,
                 workspaces=workspaces,
                 conv_backend=conv_backend,
+                conv_backend_per_rung=conv_backend_per_rung,
             )
         else:
             plan = InferencePlan.compile(

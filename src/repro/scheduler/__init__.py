@@ -13,7 +13,11 @@ from repro.scheduler.admission import (
     AdmissionDecision,
     AdmissionRejected,
 )
-from repro.scheduler.frontend import SchedulerConfig, ServingFrontend
+from repro.scheduler.frontend import (
+    CONFIG_MAPPING_VERSION,
+    SchedulerConfig,
+    ServingFrontend,
+)
 from repro.scheduler.pool import Replica, ReplicaPool, ReplicaUnavailable
 from repro.scheduler.telemetry import (
     Counter,
@@ -27,6 +31,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionRejected",
+    "CONFIG_MAPPING_VERSION",
     "CRITICAL_PRIORITY",
     "Counter",
     "EWMA",

@@ -77,6 +77,11 @@ from repro.trace.tracer import (
 from repro.utils.config import Config
 from repro.utils.logging import get_logger
 
+#: Version of the flat :meth:`SchedulerConfig.to_mapping` wire format.
+#: Bump when a knob is renamed or its meaning changes; ``from_mapping``
+#: refuses mappings stamped with a *newer* version than it understands.
+CONFIG_MAPPING_VERSION = 1
+
 
 @dataclass(frozen=True)
 class SchedulerConfig:
@@ -99,6 +104,11 @@ class SchedulerConfig:
     rows_ladder: Optional[Tuple[int, ...]] = None  # e.g. (1, 4, 16): compile a
     # PlanLadder per width so small flushes run on small arenas (the top rung
     # is always max_batch); None keeps one max_batch-rows plan per width.
+    conv_backend_per_rung: Optional[Tuple[Tuple[int, str], ...]] = None
+    # ((rows, backend), ...) overriding ``conv_backend`` rung by rung — e.g.
+    # ((1, "im2col"), (16, "shifted-gemm")): im2col where gather dominates,
+    # shifted-gemm where the GEMM does (the best column of each BENCH_plan
+    # grid row).  Requires rows_ladder; unmapped rungs use ``conv_backend``.
     replica_backend: str = "thread"  # "thread" shares one interpreter;
     # "process" forks GIL-free workers over shared-memory weights
     # (see repro.scheduler.procpool).
@@ -127,6 +137,13 @@ class SchedulerConfig:
             len(self.rows_ladder) == 0 or any(r <= 0 for r in self.rows_ladder)
         ):
             raise ValueError("rows_ladder must be a non-empty tuple of positive ints")
+        if self.conv_backend_per_rung is not None:
+            if self.rows_ladder is None:
+                raise ValueError("conv_backend_per_rung requires rows_ladder")
+            for rows, backend in self.conv_backend_per_rung:
+                if rows <= 0:
+                    raise ValueError("conv_backend_per_rung rows must be positive")
+                F.check_conv_backend(backend)
         if self.hedge_factor <= 1.0:
             raise ValueError("hedge_factor must exceed 1.0")
         if not 0.0 <= self.hedge_ratio <= 1.0:
@@ -135,6 +152,165 @@ class SchedulerConfig:
             raise ValueError("time budgets must be non-negative")
         if self.max_batch <= 0:
             raise ValueError("max_batch must be positive")
+
+    # -- serialization ---------------------------------------------------------
+    #
+    # The flat mapping below is the *public config wire format*: the offline
+    # tuner (repro.tuning) emits it inside ``repro-tuned-config`` artifacts,
+    # ``serve/replay --config FILE`` consume it, and the CLI's flag overrides
+    # are merged through it.  Nested objects flatten to dotted keys
+    # ("sla.deadline_s"); the optional RetryPolicy / BrownoutPolicy flatten to
+    # a boolean presence key ("retry", "brownout") plus dotted knobs.
+
+    def to_mapping(self) -> Dict[str, object]:
+        """Every knob as a flat, stable-sorted, JSON-serializable mapping.
+
+        ``from_mapping(to_mapping(cfg)) == cfg`` for any valid config, and
+        ``json.dumps(..., sort_keys=True)`` of the result is byte-stable —
+        the property the tuner's artifact determinism rests on.
+        """
+        sla = self.default_sla
+        mapping: Dict[str, object] = {
+            "version": CONFIG_MAPPING_VERSION,
+            "replicas": self.replicas,
+            "admission_headroom": self.admission_headroom,
+            "enable_admission": self.enable_admission,
+            "enable_hedging": self.enable_hedging,
+            "hedge_factor": self.hedge_factor,
+            "hedge_min_s": self.hedge_min_s,
+            "hedge_ratio": self.hedge_ratio,
+            "warmup": self.warmup,
+            "max_batch": self.max_batch,
+            "max_delay_s": self.max_delay_s,
+            "compile_plans": self.compile_plans,
+            "plan_workspaces": self.plan_workspaces,
+            "conv_backend": self.conv_backend,
+            "rows_ladder": list(self.rows_ladder) if self.rows_ladder else None,
+            "conv_backend_per_rung": (
+                [[rows, backend] for rows, backend in self.conv_backend_per_rung]
+                if self.conv_backend_per_rung
+                else None
+            ),
+            "replica_backend": self.replica_backend,
+            "supervise": self.supervise,
+            "restart_backoff_s": self.restart_backoff_s,
+            "restart_backoff_max_s": self.restart_backoff_max_s,
+            "restart_budget": self.restart_budget,
+            "restart_window_s": self.restart_window_s,
+            "sla.deadline_s": sla.deadline_s,
+            "sla.priority": sla.priority,
+            "sla.min_width": sla.min_width,
+            "sla.max_width": sla.max_width,
+            "retry": self.retry_policy is not None,
+            "brownout": self.brownout is not None,
+        }
+        if self.retry_policy is not None:
+            mapping.update(
+                {
+                    "retry.max_retries": self.retry_policy.max_retries,
+                    "retry.backoff_base_s": self.retry_policy.backoff_base_s,
+                    "retry.backoff_factor": self.retry_policy.backoff_factor,
+                    "retry.backoff_max_s": self.retry_policy.backoff_max_s,
+                }
+            )
+        if self.brownout is not None:
+            mapping.update(
+                {
+                    "brownout.enter_queue_depth": self.brownout.enter_queue_depth,
+                    "brownout.enter_miss_rate": self.brownout.enter_miss_rate,
+                    "brownout.exit_queue_depth": self.brownout.exit_queue_depth,
+                    "brownout.exit_miss_rate": self.brownout.exit_miss_rate,
+                    "brownout.min_dwell_s": self.brownout.min_dwell_s,
+                    "brownout.shed_below_priority": self.brownout.shed_below_priority,
+                    "brownout.clamp_width": self.brownout.clamp_width,
+                }
+            )
+        return dict(sorted(mapping.items()))
+
+    @classmethod
+    def from_mapping(cls, mapping) -> "SchedulerConfig":
+        """Rebuild a config from :meth:`to_mapping` output (or a subset).
+
+        Missing keys keep their dataclass defaults, so a partial mapping is
+        a valid *override set* — the CLI builds configs by layering flag
+        overrides onto ``--config FILE`` through this.  Unknown keys and
+        newer ``version`` values are rejected, never ignored: a typo'd knob
+        that silently kept its default would be worse than a crash.
+        """
+        data = dict(mapping)
+        version = data.pop("version", CONFIG_MAPPING_VERSION)
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise ValueError(f"config mapping version must be an int, got {version!r}")
+        if version > CONFIG_MAPPING_VERSION:
+            raise ValueError(
+                f"config mapping version {version} is newer than this "
+                f"build understands ({CONFIG_MAPPING_VERSION})"
+            )
+        scalar_fields = {
+            "replicas", "admission_headroom", "enable_admission",
+            "enable_hedging", "hedge_factor", "hedge_min_s", "hedge_ratio",
+            "warmup", "max_batch", "max_delay_s", "compile_plans",
+            "plan_workspaces", "conv_backend", "replica_backend", "supervise",
+            "restart_backoff_s", "restart_backoff_max_s", "restart_budget",
+            "restart_window_s",
+        }
+        sla_fields = {"deadline_s", "priority", "min_width", "max_width"}
+        retry_fields = {
+            "max_retries", "backoff_base_s", "backoff_factor", "backoff_max_s",
+        }
+        brownout_fields = {
+            "enter_queue_depth", "enter_miss_rate", "exit_queue_depth",
+            "exit_miss_rate", "min_dwell_s", "shed_below_priority",
+            "clamp_width",
+        }
+        kwargs: Dict[str, object] = {}
+        sla_kwargs: Dict[str, object] = {}
+        retry_kwargs: Dict[str, object] = {}
+        brownout_kwargs: Dict[str, object] = {}
+        retry_flag = data.pop("retry", None)
+        brownout_flag = data.pop("brownout", None)
+        unknown = []
+        for key, value in data.items():
+            prefix, _, knob = key.partition(".")
+            if key in scalar_fields:
+                kwargs[key] = value
+            elif key == "rows_ladder":
+                kwargs[key] = tuple(value) if value is not None else None
+            elif key == "conv_backend_per_rung":
+                kwargs[key] = (
+                    tuple((rows, backend) for rows, backend in value)
+                    if value is not None
+                    else None
+                )
+            elif prefix == "sla" and knob in sla_fields:
+                sla_kwargs[knob] = value
+            elif prefix == "retry" and knob in retry_fields:
+                retry_kwargs[knob] = value
+            elif prefix == "brownout" and knob in brownout_fields:
+                brownout_kwargs[knob] = value
+            else:
+                unknown.append(key)
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        if sla_kwargs:
+            # deadline_s is SLA's only required field; a partial override
+            # set (e.g. just "sla.priority") keeps the dataclass default.
+            sla_kwargs.setdefault("deadline_s", 0.05)
+            kwargs["default_sla"] = SLA(**sla_kwargs)
+        if retry_flag is False and retry_kwargs:
+            raise ValueError(
+                f"retry is disabled but retry knobs given: {sorted(retry_kwargs)}"
+            )
+        if retry_flag or (retry_flag is None and retry_kwargs):
+            kwargs["retry_policy"] = fault_policy.RetryPolicy(**retry_kwargs)
+        if brownout_flag is False and brownout_kwargs:
+            raise ValueError(
+                f"brownout is disabled but brownout knobs given: "
+                f"{sorted(brownout_kwargs)}"
+            )
+        if brownout_flag or (brownout_flag is None and brownout_kwargs):
+            kwargs["brownout"] = fault_policy.BrownoutPolicy(**brownout_kwargs)
+        return cls(**kwargs)
 
 
 class _Entry:
@@ -259,6 +435,7 @@ class ServingFrontend:
                 workspaces=self.config.plan_workspaces,
                 conv_backend=self.config.conv_backend,
                 rows_ladder=self.config.rows_ladder,
+                conv_backend_per_rung=self.config.conv_backend_per_rung,
             )
         self.policy = WidthPolicy(
             net,
@@ -286,6 +463,7 @@ class ServingFrontend:
                     "workspaces": self.config.plan_workspaces,
                     "conv_backend": self.config.conv_backend,
                     "rows_ladder": self.config.rows_ladder,
+                    "conv_backend_per_rung": self.config.conv_backend_per_rung,
                 }
             }
         self.pool = ReplicaPool(

@@ -34,6 +34,7 @@ from __future__ import annotations
 import heapq
 import threading
 import time
+from collections import Counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -506,6 +507,15 @@ class TraceReplayer:
                 "respawn_delay_s": respawn_delay_s if plan else None,
                 "brownout": brownout is not None,
             },
+            # Flushed-batch shape: {rows: count}, int keys.  The offline
+            # tuner seeds ladder rungs from this (a virtual-time stand-in
+            # for the live plane's BatchingStats.recent_batch_sizes).
+            "batches": {
+                "count": sim.batches,
+                "rows": dict(
+                    sorted(Counter(sim.batch_rows).items())
+                ),
+            },
             **summary,
             "records": records,
         }
@@ -553,6 +563,7 @@ class _Simulation:
         self.timers: List[Tuple[float, int, int, str, int]] = []
         self.generation: Dict[Tuple[int, str], int] = {}
         self.batches = 0
+        self.batch_rows: List[int] = []  # rows of every flushed batch, in order
         self.seq = 0
         self.completed: List[Tuple[RequestSpec, Dict, List[Dict]]] = []
         self.inflight: List[Tuple[float, int]] = []  # heap of (finish_s, rows)
@@ -672,6 +683,7 @@ class _Simulation:
         rows = len(members)
         batch_id = self.batches
         self.batches += 1
+        self.batch_rows.append(rows)
         start = max(now, self.free_at[replica])
         service = self.service_s(width, rows)
         stall = self.stall.get(replica)

@@ -193,3 +193,30 @@ class TestScheduledQueue:
             frontend.close()
             live.master.shutdown_worker()
             thread.join(timeout=5.0)
+
+    def test_loose_dict_config_warns_and_converts(self):
+        """One-release shim: dict configs warn and go through from_mapping."""
+        live, thread = make_live("fluid", "accuracy")
+        try:
+            with pytest.warns(DeprecationWarning, match="SchedulerConfig"):
+                frontend = live.scheduled_queue(
+                    {"replicas": 2, "warmup": False, "compile_plans": False}
+                )
+            try:
+                assert frontend.config.replicas == 2
+                assert frontend.config.warmup is False
+            finally:
+                frontend.close()
+        finally:
+            live.master.shutdown_worker()
+            thread.join(timeout=5.0)
+
+    def test_loose_dict_with_unknown_key_rejected(self):
+        live, thread = make_live("fluid", "accuracy")
+        try:
+            with pytest.warns(DeprecationWarning):
+                with pytest.raises(ValueError, match="unknown config keys"):
+                    live.scheduled_queue({"replcas": 2})
+        finally:
+            live.master.shutdown_worker()
+            thread.join(timeout=5.0)

@@ -1,0 +1,222 @@
+"""The SchedulerConfig flat-mapping wire format (to_mapping/from_mapping).
+
+The contract the tuner artifact and ``--config FILE`` both rest on:
+``from_mapping(to_mapping(cfg)) == cfg`` for *any* valid config, the
+mapping is stable-sorted and JSON-round-trippable byte-for-byte, and
+unknown keys / newer versions are rejected rather than ignored.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import BrownoutPolicy, RetryPolicy
+from repro.nn.functional import CONV_BACKENDS
+from repro.scheduler import CONFIG_MAPPING_VERSION, SLA, SchedulerConfig
+
+# Floats drawn from JSON-exact values (repr round-trips losslessly, and
+# hypothesis never produces NaN/inf here), so dataclass equality after a
+# JSON round-trip is exact equality.
+pos_float = st.floats(0.001, 10.0, allow_nan=False, allow_infinity=False)
+small_float = st.floats(0.0, 0.05, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def ladders(draw):
+    """(rows_ladder, conv_backend_per_rung) — per-rung map covers a subset."""
+    rungs = draw(
+        st.one_of(
+            st.none(),
+            st.lists(st.integers(1, 64), min_size=1, max_size=4, unique=True).map(
+                lambda rs: tuple(sorted(rs))
+            ),
+        )
+    )
+    if rungs is None:
+        return None, None
+    per_rung = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(
+                *[
+                    st.one_of(st.none(), st.sampled_from(CONV_BACKENDS))
+                    for _ in rungs
+                ]
+            ).map(
+                lambda backends: tuple(
+                    (rows, backend)
+                    for rows, backend in zip(rungs, backends)
+                    if backend is not None
+                )
+                or None
+            ),
+        )
+    )
+    return rungs, per_rung
+
+
+@st.composite
+def brownouts(draw):
+    enter_depth = draw(st.integers(8, 128))
+    enter_miss = draw(st.floats(0.2, 0.9, allow_nan=False))
+    return BrownoutPolicy(
+        enter_queue_depth=enter_depth,
+        enter_miss_rate=enter_miss,
+        exit_queue_depth=draw(st.integers(1, enter_depth)),
+        exit_miss_rate=draw(st.floats(0.0, enter_miss, allow_nan=False)),
+        min_dwell_s=draw(small_float),
+        shed_below_priority=draw(st.integers(0, 200)),
+        clamp_width=draw(st.booleans()),
+    )
+
+
+@st.composite
+def configs(draw):
+    rungs, per_rung = draw(ladders())
+    return SchedulerConfig(
+        replicas=draw(st.integers(1, 8)),
+        default_sla=SLA(
+            deadline_s=draw(pos_float),
+            priority=draw(st.integers(0, 100)),
+            min_width=draw(st.one_of(st.none(), st.sampled_from(["lower25", "lower50"]))),
+            max_width=draw(st.one_of(st.none(), st.sampled_from(["lower75", "lower100"]))),
+        ),
+        admission_headroom=draw(st.floats(0.5, 3.0, allow_nan=False)),
+        enable_admission=draw(st.booleans()),
+        enable_hedging=draw(st.booleans()),
+        hedge_factor=draw(st.floats(1.5, 10.0, allow_nan=False)),
+        hedge_min_s=draw(small_float),
+        hedge_ratio=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        warmup=draw(st.booleans()),
+        max_batch=draw(st.integers(1, 64)),
+        max_delay_s=draw(small_float),
+        compile_plans=draw(st.booleans()),
+        plan_workspaces=draw(st.integers(1, 4)),
+        conv_backend=draw(st.sampled_from(CONV_BACKENDS)),
+        rows_ladder=rungs,
+        conv_backend_per_rung=per_rung,
+        replica_backend=draw(st.sampled_from(["thread", "process"])),
+        supervise=draw(st.booleans()),
+        restart_backoff_s=draw(small_float),
+        restart_backoff_max_s=draw(pos_float),
+        restart_budget=draw(st.integers(1, 5)),
+        restart_window_s=draw(pos_float),
+        retry_policy=draw(
+            st.one_of(
+                st.none(),
+                st.builds(
+                    RetryPolicy,
+                    max_retries=st.integers(0, 10),
+                    backoff_base_s=small_float,
+                    backoff_factor=st.floats(1.0, 4.0, allow_nan=False),
+                    backoff_max_s=small_float,
+                ),
+            )
+        ),
+        brownout=draw(st.one_of(st.none(), brownouts())),
+    )
+
+
+class TestRoundTrip:
+    @given(config=configs())
+    @settings(max_examples=80, deadline=None)
+    def test_from_mapping_inverts_to_mapping(self, config):
+        assert SchedulerConfig.from_mapping(config.to_mapping()) == config
+
+    @given(config=configs())
+    @settings(max_examples=40, deadline=None)
+    def test_mapping_survives_json(self, config):
+        wire = json.dumps(config.to_mapping(), sort_keys=True)
+        assert SchedulerConfig.from_mapping(json.loads(wire)) == config
+
+    @given(config=configs())
+    @settings(max_examples=40, deadline=None)
+    def test_mapping_is_stable_sorted_and_byte_stable(self, config):
+        mapping = config.to_mapping()
+        assert list(mapping) == sorted(mapping)
+        assert json.dumps(mapping, sort_keys=True) == json.dumps(
+            config.to_mapping(), sort_keys=True
+        )
+
+    def test_default_config_round_trips(self):
+        config = SchedulerConfig()
+        assert SchedulerConfig.from_mapping(config.to_mapping()) == config
+
+    def test_empty_mapping_is_the_default_config(self):
+        assert SchedulerConfig.from_mapping({}) == SchedulerConfig()
+
+
+class TestPartialMappings:
+    def test_partial_mapping_overrides_only_named_keys(self):
+        config = SchedulerConfig.from_mapping({"replicas": 5, "max_batch": 8})
+        assert config.replicas == 5
+        assert config.max_batch == 8
+        assert config.max_delay_s == SchedulerConfig().max_delay_s
+
+    def test_dotted_sla_override(self):
+        config = SchedulerConfig.from_mapping({"sla.deadline_s": 0.2})
+        assert config.default_sla.deadline_s == 0.2
+        assert config.default_sla.priority == 0
+
+    def test_retry_knobs_imply_retry(self):
+        config = SchedulerConfig.from_mapping({"retry.max_retries": 5})
+        assert config.retry_policy is not None
+        assert config.retry_policy.max_retries == 5
+
+    def test_bare_retry_flag_uses_default_policy(self):
+        config = SchedulerConfig.from_mapping({"retry": True})
+        assert config.retry_policy == RetryPolicy()
+
+    def test_brownout_knobs_imply_brownout(self):
+        config = SchedulerConfig.from_mapping({"brownout.enter_queue_depth": 32})
+        assert config.brownout is not None
+        assert config.brownout.enter_queue_depth == 32
+
+    def test_rows_ladder_list_becomes_tuple(self):
+        config = SchedulerConfig.from_mapping(
+            {"rows_ladder": [1, 8], "conv_backend_per_rung": [[1, "im2col"]]}
+        )
+        assert config.rows_ladder == (1, 8)
+        assert config.conv_backend_per_rung == ((1, "im2col"),)
+
+
+class TestRejection:
+    def test_unknown_keys_rejected_with_names(self):
+        with pytest.raises(ValueError, match=r"unknown config keys: \['replcas'\]"):
+            SchedulerConfig.from_mapping({"replcas": 3})
+
+    def test_unknown_dotted_knob_rejected(self):
+        with pytest.raises(ValueError, match="retry.backof_base_s"):
+            SchedulerConfig.from_mapping({"retry.backof_base_s": 0.01})
+
+    def test_newer_version_rejected(self):
+        with pytest.raises(ValueError, match="newer"):
+            SchedulerConfig.from_mapping({"version": CONFIG_MAPPING_VERSION + 1})
+
+    def test_non_int_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            SchedulerConfig.from_mapping({"version": "1"})
+        with pytest.raises(ValueError, match="version"):
+            SchedulerConfig.from_mapping({"version": True})
+
+    def test_current_version_accepted(self):
+        config = SchedulerConfig.from_mapping({"version": CONFIG_MAPPING_VERSION})
+        assert config == SchedulerConfig()
+
+    def test_disabled_retry_with_knobs_rejected(self):
+        with pytest.raises(ValueError, match="retry is disabled"):
+            SchedulerConfig.from_mapping({"retry": False, "retry.max_retries": 2})
+
+    def test_disabled_brownout_with_knobs_rejected(self):
+        with pytest.raises(ValueError, match="brownout is disabled"):
+            SchedulerConfig.from_mapping(
+                {"brownout": False, "brownout.enter_queue_depth": 8}
+            )
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig.from_mapping({"replicas": 0})
+        with pytest.raises(ValueError):
+            SchedulerConfig.from_mapping({"conv_backend": "winograd"})

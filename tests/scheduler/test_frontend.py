@@ -475,3 +475,28 @@ class TestConvBackendAndLadderConfig:
             SchedulerConfig(rows_ladder=())
         with pytest.raises(ValueError, match="rows_ladder"):
             SchedulerConfig(rows_ladder=(0, 4))
+
+    def test_per_rung_backend_config_compiles_mixed_ladders(self, model):
+        """The tuner's derived dimension round-trips into serving plans."""
+        with make_frontend(
+            model,
+            rows_ladder=(1, 8),
+            max_batch=8,
+            conv_backend_per_rung=((1, "im2col"), (8, "shifted-gemm")),
+        ) as frontend:
+            for ladder in frontend.plans.values():
+                assert [p.conv_backend for p in ladder.rungs] == [
+                    "im2col", "shifted-gemm",
+                ]
+            out = frontend.submit(one_image(24), SLA(deadline_s=5.0)).result(
+                timeout=10.0
+            )
+            assert out.shape == (1, 10)
+
+    def test_per_rung_backend_requires_ladder(self):
+        with pytest.raises(ValueError, match="rows_ladder"):
+            SchedulerConfig(conv_backend_per_rung=((1, "im2col"),))
+        with pytest.raises(ValueError, match="unknown conv backend"):
+            SchedulerConfig(
+                rows_ladder=(1, 8), conv_backend_per_rung=((1, "winograd"),)
+            )

@@ -111,7 +111,10 @@ class TestScheduledServe:
     def test_sla_defaults_off(self):
         args = build_parser().parse_args(["serve"])
         assert args.sla is None
-        assert args.replicas == 2
+        # Config flags default to None so --config FILE can tell "absent"
+        # from "explicitly set" (flags override file values).
+        assert args.replicas is None
+        assert args.config is None
 
     def test_invalid_sla_rejected(self, capsys):
         with pytest.raises(SystemExit):
@@ -146,9 +149,11 @@ class TestReplayCommand:
         args = build_parser().parse_args(["replay", "--scenario", "bursts"])
         assert args.scenario == "bursts"
         assert args.mode == "sim"
-        assert args.replicas == 2
+        assert args.replicas is None
         assert args.sampling == 1.0
         assert args.out is None
+        assert args.tune is False
+        assert args.tune_out is None
 
     def test_needs_exactly_one_source(self, capsys):
         with pytest.raises(SystemExit):
@@ -189,7 +194,9 @@ class TestReplayCommand:
 class TestConvBackendFlags:
     def test_defaults(self):
         args = build_parser().parse_args(["serve"])
-        assert args.conv_backend == "im2col"
+        # None = "not given": config_from_args falls back to the
+        # SchedulerConfig default (im2col) unless --config overrides it.
+        assert args.conv_backend is None
         assert args.rows_ladder is None
 
     def test_backend_choices(self):
@@ -215,3 +222,85 @@ class TestConvBackendFlags:
             main(["serve", "--conv-backend", "shifted-gemm"])
         with pytest.raises(SystemExit):
             main(["serve", "--rows-ladder", "1,4"])
+
+
+class TestConfigFromArgs:
+    """The single flag->SchedulerConfig path both subcommands share."""
+
+    @staticmethod
+    def _config(argv, defaults=None):
+        from repro.cli import config_from_args
+
+        return config_from_args(build_parser().parse_args(argv), defaults=defaults)
+
+    def test_defaults_layer_applies_when_flags_absent(self):
+        config = self._config(
+            ["serve"], defaults={"replicas": 2, "max_batch": 32, "max_delay_s": 0.002}
+        )
+        assert config.replicas == 2
+        assert config.max_batch == 32
+        assert config.max_delay_s == pytest.approx(0.002)
+
+    def test_flags_override_defaults(self):
+        config = self._config(
+            ["serve", "--replicas", "4", "--max-delay-ms", "1"],
+            defaults={"replicas": 2, "max_delay_s": 0.002},
+        )
+        assert config.replicas == 4
+        assert config.max_delay_s == pytest.approx(0.001)
+
+    def test_config_file_between_defaults_and_flags(self, tmp_path):
+        import json
+
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"replicas": 3, "max_batch": 8}))
+        config = self._config(
+            ["serve", "--config", str(path), "--max-batch", "16"],
+            defaults={"replicas": 2, "max_batch": 32},
+        )
+        assert config.replicas == 3      # file beats defaults
+        assert config.max_batch == 16    # flag beats file
+
+    def test_sla_flag_becomes_deadline(self):
+        config = self._config(["serve", "--sla", "40"])
+        assert config.default_sla.deadline_s == pytest.approx(0.040)
+
+    def test_unknown_key_in_config_file_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"replcas": 3}))
+        with pytest.raises(SystemExit, match="unknown config keys"):
+            self._config(["serve", "--config", str(path)])
+
+    def test_missing_config_file_rejected(self):
+        with pytest.raises(SystemExit, match="--config"):
+            self._config(["serve", "--config", "/nonexistent/cfg.json"])
+
+    def test_conv_backend_flag_clears_per_rung_assignment(self, tmp_path):
+        import json
+
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({
+            "rows_ladder": [1, 8],
+            "conv_backend_per_rung": [[1, "im2col"], [8, "shifted-gemm"]],
+        }))
+        config = self._config(
+            ["serve", "--config", str(path), "--conv-backend", "shifted-gemm"]
+        )
+        assert config.conv_backend == "shifted-gemm"
+        assert config.conv_backend_per_rung is None
+
+
+class TestTuneFlags:
+    def test_tune_requires_sim_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--scenario", "bursts", "--tune", "--mode", "live"])
+
+    def test_tune_rejects_trace_out(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--scenario", "bursts", "--tune", "--out", "x.jsonl"])
+
+    def test_tune_workers_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--scenario", "bursts", "--tune", "--tune-workers", "0"])

@@ -5,6 +5,7 @@ import pytest
 from repro.models import build_model
 from repro.scheduler.frontend import SchedulerConfig
 from repro.trace.recorder import (
+    LATE,
     OK,
     REJECTED,
     RequestSpec,
@@ -103,6 +104,16 @@ class TestSimulate:
         result = TraceReplayer.from_scenario("adversarial").simulate(model)
         assert sum(result["outcomes"].values()) == result["requests"]
         assert result["requests"] == len(SCENARIOS["adversarial"].generate())
+
+    def test_batch_rows_histogram_accounts_for_every_flush(self, model):
+        """The tuner's ladder derivation feeds off this histogram."""
+        result = TraceReplayer.from_scenario("bursts").simulate(model)
+        batches = result["batches"]
+        assert sum(batches["rows"].values()) == batches["count"]
+        assert all(rows >= 1 for rows in batches["rows"])
+        # Every served (non-rejected, non-lost) request rode exactly one batch.
+        served = sum(rows * n for rows, n in batches["rows"].items())
+        assert served == result["outcomes"][OK] + result["outcomes"][LATE]
 
     def test_tight_deadlines_are_rejected_not_served(self, model):
         """Admission arithmetic is real: impossible deadlines fail fast."""
